@@ -1,0 +1,108 @@
+/// \file bench_micro_components.cpp
+/// \brief google-benchmark micro-benchmarks of the algorithmic building
+/// blocks: matchers, contraction, FM, coloring, band BFS.
+///
+/// These are not paper tables; they quantify the per-component costs the
+/// paper discusses qualitatively (e.g. "although GPA is slower than SHEM,
+/// this disadvantage is offset by less work in the refinement phase").
+#include <benchmark/benchmark.h>
+
+#include "generators/generators.hpp"
+#include "graph/contraction.hpp"
+#include "graph/metrics.hpp"
+#include "graph/quotient_graph.hpp"
+#include "matching/matchers.hpp"
+#include "refinement/band.hpp"
+#include "refinement/edge_coloring.hpp"
+#include "refinement/twoway_fm.hpp"
+#include "util/random.hpp"
+
+namespace kappa {
+namespace {
+
+const StaticGraph& bench_graph() {
+  static const StaticGraph graph = make_instance("rgg15", 1);
+  return graph;
+}
+
+void BM_Matching(benchmark::State& state, MatcherAlgo algo) {
+  const StaticGraph& g = bench_graph();
+  MatchingOptions options;
+  for (auto _ : state) {
+    Rng rng(1);
+    benchmark::DoNotOptimize(compute_matching(g, algo, options, rng));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK_CAPTURE(BM_Matching, shem, MatcherAlgo::kSHEM);
+BENCHMARK_CAPTURE(BM_Matching, greedy, MatcherAlgo::kGreedy);
+BENCHMARK_CAPTURE(BM_Matching, gpa, MatcherAlgo::kGPA);
+
+void BM_Contraction(benchmark::State& state) {
+  const StaticGraph& g = bench_graph();
+  MatchingOptions options;
+  Rng rng(1);
+  const auto partner = compute_matching(g, MatcherAlgo::kGPA, options, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(contract(g, partner));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.num_arcs()));
+}
+BENCHMARK(BM_Contraction);
+
+void BM_TwoWayFM(benchmark::State& state) {
+  const StaticGraph& g = bench_graph();
+  std::vector<BlockID> assignment(g.num_nodes());
+  for (NodeID u = 0; u < g.num_nodes(); ++u) {
+    assignment[u] = g.coordinate(u).x < 0.5 ? 0 : 1;
+  }
+  TwoWayFMOptions options;
+  options.max_block_weight = max_block_weight_bound(g, 2, 0.03);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Partition p(g, std::vector<BlockID>(assignment), 2);
+    const auto band = boundary_band(g, p, 0, 1, 5);
+    Rng rng(1);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(twoway_fm(g, p, 0, 1, band, options, rng));
+  }
+}
+BENCHMARK(BM_TwoWayFM);
+
+void BM_BandBFS(benchmark::State& state) {
+  const StaticGraph& g = bench_graph();
+  std::vector<BlockID> assignment(g.num_nodes());
+  for (NodeID u = 0; u < g.num_nodes(); ++u) {
+    assignment[u] = g.coordinate(u).x < 0.5 ? 0 : 1;
+  }
+  const Partition p(g, std::move(assignment), 2);
+  const int depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(boundary_band(g, p, 0, 1, depth));
+  }
+}
+BENCHMARK(BM_BandBFS)->Arg(1)->Arg(5)->Arg(20);
+
+void BM_QuotientColoring(benchmark::State& state) {
+  const StaticGraph& g = bench_graph();
+  const BlockID k = static_cast<BlockID>(state.range(0));
+  std::vector<BlockID> assignment(g.num_nodes());
+  for (NodeID u = 0; u < g.num_nodes(); ++u) {
+    assignment[u] = static_cast<BlockID>(
+        std::min<double>(g.coordinate(u).x * k, k - 1));
+  }
+  const Partition p(g, std::move(assignment), k);
+  const QuotientGraph q(g, p);
+  for (auto _ : state) {
+    Rng rng(1);
+    benchmark::DoNotOptimize(color_quotient_edges(q, rng));
+  }
+}
+BENCHMARK(BM_QuotientColoring)->Arg(8)->Arg(32)->Arg(64);
+
+}  // namespace
+}  // namespace kappa
+
+BENCHMARK_MAIN();

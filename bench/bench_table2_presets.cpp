@@ -1,0 +1,38 @@
+/// \file bench_table2_presets.cpp
+/// \brief Regenerates Table 2's bottom rows: geometric-mean cut and time
+/// of the minimal / fast / strong parameter presets.
+///
+/// Paper (Table 2): avg cut 2985 / 2910 / 2890 and avg time 0.67 / 1.29 /
+/// 2.10 s — i.e. minimal > fast > strong in cut, the reverse in time.
+/// The absolute numbers differ here (different instances and machine);
+/// the monotone shape is the reproduction target.
+#include <cstdio>
+
+#include "generators/generators.hpp"
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kappa;
+  using namespace kappa::bench;
+  const int reps = repetitions(argc, argv);
+
+  print_table_header(
+      "Table 2: presets over the calibration suite, k = 16 (geom. means)",
+      {"preset", "avg cut", "best cut", "avg bal", "avg t[s]"});
+
+  for (const Preset preset :
+       {Preset::kMinimal, Preset::kFast, Preset::kStrong}) {
+    SuiteAccumulator accumulator;
+    for (const std::string& name : small_suite()) {
+      const StaticGraph g = make_instance(name);
+      accumulator.add(run_kappa(g, Config::preset(preset, 16), reps));
+    }
+    const SuiteSummary s = accumulator.summary();
+    print_row({preset_name(preset), fmt(s.avg_cut), fmt(s.best_cut),
+               fmt(s.avg_balance, 3), fmt(s.avg_time, 2)});
+  }
+  std::printf(
+      "\nshape target (paper): cut(minimal) > cut(fast) > cut(strong);\n"
+      "time(minimal) < time(fast) < time(strong)\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+/// \file bench_tables6_14_kappa.cpp
+/// \brief Regenerates Tables 6-14: per-instance results of
+/// KaPPa-minimal / fast / strong for k in {16, 32, 64}.
+///
+/// Nine appendix tables in one binary (one section per preset x k). The
+/// paper's shape: for each instance cut(strong) <= cut(fast) <=
+/// cut(minimal) up to noise, balance pinned at <= 1.030, runtime
+/// strictly increasing with the preset strength.
+#include <cstdio>
+
+#include "generators/generators.hpp"
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kappa;
+  using namespace kappa::bench;
+  const int reps = repetitions(argc, argv, 2);
+
+  int table = 6;
+  for (const Preset preset :
+       {Preset::kMinimal, Preset::kFast, Preset::kStrong}) {
+    for (const BlockID k : {BlockID{16}, BlockID{32}, BlockID{64}}) {
+      print_table_header(
+          "Table " + std::to_string(table++) + ": KaPPa-" +
+              preset_name(preset) + " k = " + std::to_string(k),
+          {"graph", "avg cut", "best cut", "avg bal", "avg t[s]"});
+      for (const std::string& name : large_suite()) {
+        const StaticGraph g = make_instance(name);
+        const RunAggregate a = run_kappa(g, Config::preset(preset, k), reps);
+        print_row({name, fmt(a.avg_cut()), fmt(a.best_cut()),
+                   fmt(a.avg_balance(), 3), fmt(a.avg_time(), 2)});
+      }
+    }
+  }
+  std::printf(
+      "\nshape targets (paper, Tables 6-14): balance <= 1+eps everywhere; "
+      "per instance cut decreases from minimal to strong\n");
+  return 0;
+}

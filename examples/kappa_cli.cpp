@@ -1,0 +1,99 @@
+/// \file kappa_cli.cpp
+/// \brief Command-line partitioner: METIS-format graphs in, partition
+/// files out — the interface downstream users expect from a partitioning
+/// tool (same conventions as kmetis / scotch / kahip).
+///
+/// Usage:
+///   kappa_cli <graph.metis> <k> [--preset=fast|strong|minimal]
+///             [--eps=0.03] [--seed=1] [--threads=1] [--output=out.part]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/kappa.hpp"
+#include "graph/graph_io.hpp"
+#include "graph/validation.hpp"
+
+namespace {
+
+const char* arg_value(int argc, char** argv, const char* key) {
+  const std::size_t len = std::strlen(key);
+  for (int i = 3; i < argc; ++i) {
+    if (std::strncmp(argv[i], key, len) == 0 && argv[i][len] == '=') {
+      return argv[i] + len + 1;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace kappa;
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s <graph.metis> <k> [--preset=fast|strong|minimal]"
+                 " [--eps=0.03] [--seed=1] [--threads=1] [--output=FILE]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  StaticGraph graph;
+  try {
+    graph = read_metis_graph(argv[1]);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+  const BlockID k = static_cast<BlockID>(std::atoi(argv[2]));
+  if (k < 2) {
+    std::fprintf(stderr, "error: k must be >= 2\n");
+    return 2;
+  }
+
+  Preset preset = Preset::kFast;
+  if (const char* name = arg_value(argc, argv, "--preset")) {
+    if (std::strcmp(name, "strong") == 0) {
+      preset = Preset::kStrong;
+    } else if (std::strcmp(name, "minimal") == 0) {
+      preset = Preset::kMinimal;
+    } else if (std::strcmp(name, "fast") != 0) {
+      std::fprintf(stderr, "error: unknown preset '%s'\n", name);
+      return 2;
+    }
+  }
+  double eps = 0.03;
+  if (const char* value = arg_value(argc, argv, "--eps")) {
+    eps = std::atof(value);
+  }
+
+  Config config = Config::preset(preset, k, eps);
+  if (const char* value = arg_value(argc, argv, "--seed")) {
+    config.seed = std::strtoull(value, nullptr, 10);
+  }
+  if (const char* value = arg_value(argc, argv, "--threads")) {
+    config.num_threads = std::atoi(value);
+  }
+
+  std::fprintf(stderr, "graph: %u nodes, %llu edges; k=%u eps=%.3f (%s)\n",
+               graph.num_nodes(),
+               static_cast<unsigned long long>(graph.num_edges()), k, eps,
+               preset_name(preset));
+
+  const KappaResult result = kappa_partition(graph, config);
+
+  std::printf("cut      %lld\n", static_cast<long long>(result.cut));
+  std::printf("balance  %.4f\n", result.balance);
+  std::printf("feasible %s\n", result.balanced ? "yes" : "no");
+  std::printf("time     %.3f s  (coarsen %.3f | initial %.3f | refine %.3f)\n",
+              result.total_time, result.coarsening_time, result.initial_time,
+              result.refinement_time);
+
+  const char* output = arg_value(argc, argv, "--output");
+  const std::string output_path =
+      output != nullptr ? output
+                        : std::string(argv[1]) + ".part." + std::to_string(k);
+  write_partition(result.partition, output_path);
+  std::fprintf(stderr, "partition written to %s\n", output_path.c_str());
+  return 0;
+}

@@ -1,0 +1,57 @@
+/// \file road_network.cpp
+/// \brief Route-planning scenario: partition a road network and show why
+/// structure-aware partitioning matters.
+///
+/// §6.2 of the paper: "for the European road network, eur, KaPPa produces
+/// a several times smaller cut than Metis. Apparently, Metis was not able
+/// at all to discover the structure inherent in the network (e.g., due to
+/// waterbodies, mountains, and national borders)." Our synthetic road
+/// network has the same river-and-bridges structure; this example runs
+/// KaPPa and the Metis-like baseline side by side.
+#include <cstdio>
+
+#include "baselines/baselines.hpp"
+#include "core/kappa.hpp"
+#include "generators/generators.hpp"
+#include "util/random.hpp"
+
+int main() {
+  using namespace kappa;
+
+  Rng rng(7);
+  const StaticGraph road = road_network(/*approx_n=*/120'000, rng);
+  std::printf("road network: %u junctions, %llu road segments\n",
+              road.num_nodes(),
+              static_cast<unsigned long long>(road.num_edges()));
+
+  const BlockID k = 32;
+
+  Config config = Config::preset(Preset::kStrong, k);
+  config.seed = 9;
+  const KappaResult kappa_result = kappa_partition(road, config);
+
+  const BaselineResult kmetis_result = kmetis_partition(road, k, 0.03, 9);
+  const BaselineResult parmetis_result = parmetis_partition(road, k, 0.03, 9);
+
+  std::printf("\n%-14s%-10s%-10s%-10s\n", "partitioner", "cut", "balance",
+              "time[s]");
+  std::printf("%-14s%-10lld%-10.3f%-10.2f\n", "KaPPa-strong",
+              static_cast<long long>(kappa_result.cut), kappa_result.balance,
+              kappa_result.total_time);
+  std::printf("%-14s%-10lld%-10.3f%-10.2f\n", "kmetis-like",
+              static_cast<long long>(kmetis_result.cut),
+              kmetis_result.balance, kmetis_result.total_time);
+  std::printf("%-14s%-10lld%-10.3f%-10.2f\n", "parmetis-like",
+              static_cast<long long>(parmetis_result.cut),
+              parmetis_result.balance, parmetis_result.total_time);
+
+  const double factor = static_cast<double>(parmetis_result.cut) /
+                        static_cast<double>(kappa_result.cut);
+  std::printf(
+      "\nKaPPa's cut is %.1fx smaller than the parallel Metis-like cut.\n"
+      "For route planning, cut edges are the 'overlay arcs' every\n"
+      "partition-based speedup technique must process - a smaller cut\n"
+      "means a smaller overlay graph and faster queries.\n",
+      factor);
+  return 0;
+}

@@ -1,0 +1,52 @@
+/// \file baselines.hpp
+/// \brief Re-implementations of the comparison partitioners (§6.2).
+///
+/// The paper compares KaPPa against Scotch, kMetis and parMetis. Those
+/// tools are closed boxes here, so we implement the *algorithm class* of
+/// each from scratch:
+///
+/// * scotch_partition — multilevel recursive bisection (greedy graph
+///   growing + 2-way FM per bisection), Scotch's core scheme;
+/// * kmetis_partition — direct k-way multilevel: SHEM coarsening with the
+///   plain weight rating, recursive-bisection initial partition on the
+///   coarsest graph, greedy k-way boundary refinement per level;
+/// * parmetis_partition — the parallel-flavoured variant: PE-local
+///   matching only (no cross-boundary matching), a single cheap refinement
+///   pass per level and laxer balance handling. This reproduces parMetis'
+///   signature behaviour in the paper: fastest, worst cuts, and balance
+///   violations (Tables 16/18/20 show ~1.047 at eps = 3%).
+///
+/// The expected quality ordering (Table 4 right) is
+/// KaPPa-strong < KaPPa-fast < KaPPa-minimal ≈ scotch < kmetis < parmetis.
+#pragma once
+
+#include "graph/partition.hpp"
+#include "graph/static_graph.hpp"
+#include "util/types.hpp"
+
+namespace kappa {
+
+/// Result of a baseline run (same reporting columns as KappaResult).
+struct BaselineResult {
+  Partition partition;
+  EdgeWeight cut = 0;
+  double balance = 1.0;
+  double total_time = 0.0;
+};
+
+/// Scotch-like multilevel recursive bisection.
+[[nodiscard]] BaselineResult scotch_partition(const StaticGraph& graph,
+                                              BlockID k, double eps,
+                                              std::uint64_t seed);
+
+/// kMetis-like direct k-way multilevel partitioner.
+[[nodiscard]] BaselineResult kmetis_partition(const StaticGraph& graph,
+                                              BlockID k, double eps,
+                                              std::uint64_t seed);
+
+/// parMetis-like parallel k-way partitioner (quality-degraded, fast).
+[[nodiscard]] BaselineResult parmetis_partition(const StaticGraph& graph,
+                                                BlockID k, double eps,
+                                                std::uint64_t seed);
+
+}  // namespace kappa

@@ -1,0 +1,73 @@
+#include "coarsening/hierarchy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "coarsening/prepartition.hpp"
+#include "util/logging.hpp"
+
+namespace kappa {
+
+NodeID contraction_stop_threshold(NodeID n, BlockID k, double alpha) {
+  const double per_pe =
+      std::max(20.0, static_cast<double>(n) /
+                         (alpha * static_cast<double>(k) *
+                          static_cast<double>(k)));
+  const double global = per_pe * static_cast<double>(k);
+  return static_cast<NodeID>(std::min<double>(global, n));
+}
+
+Hierarchy build_hierarchy(const StaticGraph& graph,
+                          const CoarseningOptions& options, Rng& rng) {
+  Hierarchy hierarchy(graph);
+
+  MatchingOptions match_options;
+  match_options.rating = options.rating;
+  {
+    const double bound = options.max_pair_weight_factor *
+                         static_cast<double>(graph.total_node_weight()) /
+                         std::max<double>(options.contraction_limit, 1.0);
+    match_options.max_pair_weight = std::max<NodeWeight>(
+        static_cast<NodeWeight>(bound), 2 * graph.max_node_weight());
+  }
+
+  std::size_t level = 0;
+  while (hierarchy.coarsest().num_nodes() > options.contraction_limit) {
+    const StaticGraph& current = hierarchy.coarsest();
+    Rng level_rng = rng.fork(level);
+
+    std::vector<NodeID> partner;
+    if (options.matching_pes > 1 &&
+        current.num_nodes() > 4 * options.matching_pes) {
+      const std::vector<BlockID> homes =
+          prepartition(current, options.matching_pes);
+      partner = parallel_matching(current, homes, options.matching_pes,
+                                  options.matcher, match_options, level_rng);
+    } else {
+      partner =
+          compute_matching(current, options.matcher, match_options, level_rng);
+    }
+
+    const NodeID pairs = matching_size(partner);
+    if (pairs == 0) break;  // nothing contractible is left
+    const double shrink =
+        static_cast<double>(pairs) / static_cast<double>(current.num_nodes());
+
+    ContractionResult result = contract(current, partner);
+    {
+      std::ostringstream msg;
+      msg << "level " << level << ": n=" << current.num_nodes() << " -> "
+          << result.coarse_graph.num_nodes() << " (matched " << pairs
+          << " pairs)";
+      log_debug(msg.str());
+    }
+    hierarchy.push_level(std::move(result.coarse_graph),
+                         std::move(result.fine_to_coarse));
+    ++level;
+    if (shrink < options.min_shrink_factor) break;
+  }
+  return hierarchy;
+}
+
+}  // namespace kappa

@@ -1,0 +1,89 @@
+/// \file hierarchy.hpp
+/// \brief The multilevel contraction hierarchy (§2, §3).
+///
+/// Repeatedly rate edges, compute a matching, contract it — until the
+/// graph is "small enough" for initial partitioning: the paper stops when
+/// the node count per PE drops below max(20, n/(alpha k^2)); with k PEs
+/// this is the global threshold k * max(20, n/(alpha k^2)) used here
+/// (Table 2 fixes alpha = 60).
+#pragma once
+
+#include <vector>
+
+#include "graph/contraction.hpp"
+#include "graph/static_graph.hpp"
+#include "matching/matchers.hpp"
+#include "matching/parallel_match.hpp"
+#include "util/random.hpp"
+#include "util/types.hpp"
+
+namespace kappa {
+
+/// Knobs of the contraction phase.
+struct CoarseningOptions {
+  EdgeRating rating = EdgeRating::kExpansionStar2;
+  MatcherAlgo matcher = MatcherAlgo::kGPA;
+  /// Contraction stops once the coarse graph has at most this many nodes.
+  NodeID contraction_limit = 160;
+  /// Use the two-phase parallel matching scheme (local + gap graph) with
+  /// this many PEs; 0 disables it and matches the whole graph sequentially.
+  BlockID matching_pes = 0;
+  /// Safety net: stop when a level shrinks by less than this factor
+  /// (pathological graphs where hardly anything can be matched).
+  double min_shrink_factor = 0.05;
+  /// Matched pairs may weigh at most this fraction of c(V)/contraction_limit
+  /// (keeps coarse node weights uniform enough for a feasible initial
+  /// partition).
+  double max_pair_weight_factor = 1.5;
+};
+
+/// The full hierarchy: level 0 is the input graph (referenced, not owned),
+/// levels 1..L are owned coarse graphs. map(l) sends nodes of level l to
+/// nodes of level l+1.
+class Hierarchy {
+ public:
+  Hierarchy(const StaticGraph& finest) : finest_(&finest) {}
+
+  /// Number of levels including the finest input level.
+  [[nodiscard]] std::size_t num_levels() const {
+    return coarse_graphs_.size() + 1;
+  }
+
+  /// Graph at a level; 0 = input, num_levels()-1 = coarsest.
+  [[nodiscard]] const StaticGraph& graph(std::size_t level) const {
+    return level == 0 ? *finest_ : coarse_graphs_[level - 1];
+  }
+
+  /// The coarsest graph.
+  [[nodiscard]] const StaticGraph& coarsest() const {
+    return graph(num_levels() - 1);
+  }
+
+  /// Mapping from nodes of \p level to nodes of level+1.
+  [[nodiscard]] const std::vector<NodeID>& map(std::size_t level) const {
+    return maps_[level];
+  }
+
+  /// Appends one contraction step (used by the builder).
+  void push_level(StaticGraph coarse, std::vector<NodeID> fine_to_coarse) {
+    coarse_graphs_.push_back(std::move(coarse));
+    maps_.push_back(std::move(fine_to_coarse));
+  }
+
+ private:
+  const StaticGraph* finest_;
+  std::vector<StaticGraph> coarse_graphs_;
+  std::vector<std::vector<NodeID>> maps_;
+};
+
+/// Builds the hierarchy by iterated match-and-contract.
+[[nodiscard]] Hierarchy build_hierarchy(const StaticGraph& graph,
+                                        const CoarseningOptions& options,
+                                        Rng& rng);
+
+/// The paper's stop threshold: k * max(20, n / (alpha k^2)) nodes
+/// (per-PE threshold max(20, n/(alpha k^2)) times k PEs).
+[[nodiscard]] NodeID contraction_stop_threshold(NodeID n, BlockID k,
+                                                double alpha);
+
+}  // namespace kappa

@@ -1,0 +1,168 @@
+#include "coarsening/prepartition.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+
+namespace kappa {
+
+namespace {
+
+/// Recursively splits nodes[begin, end) into \p parts PEs, alternating the
+/// split axis, writing ids starting at \p first_part.
+void split_recursive(const StaticGraph& graph, std::vector<NodeID>& nodes,
+                     std::size_t begin, std::size_t end, BlockID first_part,
+                     BlockID parts, bool split_x,
+                     std::vector<BlockID>& result) {
+  if (parts == 1) {
+    for (std::size_t i = begin; i < end; ++i) result[nodes[i]] = first_part;
+    return;
+  }
+  // Proportional split for non-power-of-two part counts.
+  const BlockID left_parts = parts / 2;
+  const BlockID right_parts = parts - left_parts;
+  const std::size_t count = end - begin;
+  const std::size_t left_count =
+      count * left_parts / parts;
+
+  auto key = [&](NodeID u) {
+    const Point2D& p = graph.coordinate(u);
+    return split_x ? p.x : p.y;
+  };
+  std::nth_element(nodes.begin() + begin, nodes.begin() + begin + left_count,
+                   nodes.begin() + end,
+                   [&](NodeID a, NodeID b) { return key(a) < key(b); });
+
+  split_recursive(graph, nodes, begin, begin + left_count, first_part,
+                  left_parts, !split_x, result);
+  split_recursive(graph, nodes, begin + left_count, end,
+                  first_part + left_parts, right_parts, !split_x, result);
+}
+
+}  // namespace
+
+std::vector<BlockID> geometric_prepartition(const StaticGraph& graph,
+                                            BlockID num_pes) {
+  assert(graph.has_coordinates());
+  const NodeID n = graph.num_nodes();
+  std::vector<NodeID> nodes(n);
+  std::iota(nodes.begin(), nodes.end(), NodeID{0});
+  std::vector<BlockID> result(n, 0);
+  if (num_pes <= 1 || n == 0) return result;
+  split_recursive(graph, nodes, 0, n, 0, num_pes, /*split_x=*/true, result);
+  return result;
+}
+
+std::vector<BlockID> numbering_prepartition(NodeID num_nodes,
+                                            BlockID num_pes) {
+  std::vector<BlockID> result(num_nodes, 0);
+  if (num_pes <= 1 || num_nodes == 0) return result;
+  for (NodeID u = 0; u < num_nodes; ++u) {
+    result[u] = static_cast<BlockID>(
+        std::min<std::uint64_t>(static_cast<std::uint64_t>(u) * num_pes /
+                                    num_nodes,
+                                num_pes - 1));
+  }
+  return result;
+}
+
+std::vector<BlockID> bfs_prepartition(const StaticGraph& graph,
+                                      BlockID num_pes, Rng& rng) {
+  const NodeID n = graph.num_nodes();
+  std::vector<BlockID> result(n, 0);
+  if (num_pes <= 1 || n == 0) return result;
+
+  // --- Seed selection: farthest-point traversal (k-center heuristic). ---
+  std::vector<NodeID> seeds;
+  std::vector<std::uint32_t> distance(n,
+                                      std::numeric_limits<std::uint32_t>::max());
+  std::vector<NodeID> queue;
+  auto bfs_from = [&](NodeID seed) {
+    queue.clear();
+    queue.push_back(seed);
+    distance[seed] = 0;
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+      const NodeID u = queue[i];
+      for (const NodeID v : graph.neighbors(u)) {
+        if (distance[v] > distance[u] + 1) {
+          distance[v] = distance[u] + 1;
+          queue.push_back(v);
+        }
+      }
+    }
+  };
+  seeds.push_back(static_cast<NodeID>(rng.bounded(n)));
+  bfs_from(seeds.back());
+  while (seeds.size() < num_pes) {
+    // Farthest node from all current seeds; unreached nodes (other
+    // components) count as infinitely far and are picked first.
+    NodeID farthest = seeds.back();
+    std::uint32_t best = 0;
+    for (NodeID u = 0; u < n; ++u) {
+      if (distance[u] > best ||
+          distance[u] == std::numeric_limits<std::uint32_t>::max()) {
+        best = distance[u];
+        farthest = u;
+        if (distance[u] == std::numeric_limits<std::uint32_t>::max()) break;
+      }
+    }
+    seeds.push_back(farthest);
+    bfs_from(farthest);  // updates the min-distance field incrementally
+  }
+
+  // --- Balanced multi-source BFS growth: every PE absorbs frontier
+  // nodes round-robin, capped at ceil(n / num_pes) nodes each. ---
+  const NodeID cap = (n + num_pes - 1) / num_pes;
+  std::vector<std::vector<NodeID>> frontier(num_pes);
+  std::vector<NodeID> pe_size(num_pes, 0);
+  std::vector<bool> assigned(n, false);
+  for (BlockID pe = 0; pe < num_pes; ++pe) {
+    const NodeID seed = seeds[pe];
+    if (!assigned[seed]) {
+      assigned[seed] = true;
+      result[seed] = pe;
+      ++pe_size[pe];
+      frontier[pe].push_back(seed);
+    }
+  }
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (BlockID pe = 0; pe < num_pes; ++pe) {
+      std::vector<NodeID> next;
+      for (const NodeID u : frontier[pe]) {
+        for (const NodeID v : graph.neighbors(u)) {
+          if (assigned[v] || pe_size[pe] >= cap) continue;
+          assigned[v] = true;
+          result[v] = pe;
+          ++pe_size[pe];
+          next.push_back(v);
+          progress = true;
+        }
+      }
+      frontier[pe].swap(next);
+    }
+  }
+  // Leftovers (capped-out regions, disconnected scraps) go to the
+  // lightest PEs.
+  for (NodeID u = 0; u < n; ++u) {
+    if (assigned[u]) continue;
+    BlockID lightest = 0;
+    for (BlockID pe = 1; pe < num_pes; ++pe) {
+      if (pe_size[pe] < pe_size[lightest]) lightest = pe;
+    }
+    result[u] = lightest;
+    ++pe_size[lightest];
+  }
+  return result;
+}
+
+std::vector<BlockID> prepartition(const StaticGraph& graph, BlockID num_pes) {
+  if (graph.has_coordinates()) {
+    return geometric_prepartition(graph, num_pes);
+  }
+  return numbering_prepartition(graph.num_nodes(), num_pes);
+}
+
+}  // namespace kappa

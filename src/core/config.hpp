@@ -1,0 +1,71 @@
+/// \file config.hpp
+/// \brief KaPPa configuration and the minimal/fast/strong presets (Table 2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "matching/matchers.hpp"
+#include "refinement/twoway_fm.hpp"
+#include "util/types.hpp"
+
+namespace kappa {
+
+/// The three main strategies of Table 2 ("there is also a minimal variant
+/// where for all parameters the smallest possible value is chosen").
+enum class Preset { kMinimal, kFast, kStrong };
+
+/// Human-readable preset name.
+[[nodiscard]] const char* preset_name(Preset preset);
+
+/// All knobs of the partitioner. Defaults equal the fast preset.
+struct Config {
+  BlockID k = 2;         ///< number of blocks (= PEs, as in the paper)
+  double eps = 0.03;     ///< allowed imbalance (paper default 3%)
+  std::uint64_t seed = 1;
+
+  // --- Contraction (§3, Table 2 rows 1-3). ---
+  EdgeRating rating = EdgeRating::kExpansionStar2;
+  MatcherAlgo matcher = MatcherAlgo::kGPA;
+  /// Stop contraction below k * max(20, n/(stop_alpha k^2)) nodes
+  /// (Table 2: "stop contraction n/60k^2").
+  double stop_alpha = 60.0;
+  /// PEs used by the two-phase parallel matching; 0 = sequential matching,
+  /// the paper's setting equals k.
+  BlockID matching_pes = 0;
+
+  // --- Initial partitioning (§4, Table 2 row "init. repeats"). ---
+  int init_repeats = 3;
+
+  // --- Refinement (§5, Table 2 rows 6-12). ---
+  QueueSelection queue_selection = QueueSelection::kTopGain;
+  int bfs_depth = 5;
+  /// Stop after this many consecutive global iterations without
+  /// improvement (fast: 1 "no change", strong: 2 "2x no change").
+  int stop_no_change = 1;
+  int max_global_iterations = 15;
+  int local_iterations = 3;
+  /// FM patience alpha (Table 2: 1% / 5% / 20%; Walshaw mode 30%).
+  double fm_alpha = 0.05;
+  /// Refine each pair with two seeds and adopt the better result (§5);
+  /// in the MPI original this is free because both PEs of a pair work.
+  bool duplicate_search = true;
+  /// Worker threads standing in for PEs during refinement (pairs of one
+  /// color class run concurrently). 1 = sequential execution.
+  int num_threads = 1;
+  /// Extension (§8 future work): add a min-cut pass per pair after FM.
+  /// Off in all paper presets; the ablation bench quantifies its effect.
+  bool use_flow_refinement = false;
+
+  /// The Table 2 preset for a given k and eps.
+  [[nodiscard]] static Config preset(Preset preset, BlockID k,
+                                     double eps = 0.03);
+
+  /// The further-strengthened strong configuration used for the Walshaw
+  /// benchmark (§6.3): BFS depth 20, FM patience 30%. The rating is left
+  /// to the caller, which tries innerOuter / expansion* / expansion*2.
+  [[nodiscard]] static Config walshaw(BlockID k, double eps,
+                                      EdgeRating rating);
+};
+
+}  // namespace kappa

@@ -1,0 +1,38 @@
+/// \file kappa.hpp
+/// \brief The KaPPa partitioner: the paper's primary contribution.
+///
+/// Multilevel pipeline: (1) contraction with rated matchings, optionally
+/// computed with the two-phase parallel matching scheme over geometrically
+/// pre-partitioned PEs; (2) repeated initial partitioning of the coarsest
+/// graph; (3) uncoarsening with parallel pairwise FM refinement scheduled
+/// by edge colorings of the quotient graph.
+#pragma once
+
+#include "core/config.hpp"
+#include "graph/partition.hpp"
+#include "graph/static_graph.hpp"
+
+namespace kappa {
+
+/// Result of one partitioning run with phase statistics.
+struct KappaResult {
+  Partition partition;
+  EdgeWeight cut = 0;
+  double balance = 1.0;   ///< max block weight / average block weight
+  bool balanced = false;  ///< obeys the Lmax bound
+
+  // Phase breakdown (seconds).
+  double coarsening_time = 0.0;
+  double initial_time = 0.0;
+  double refinement_time = 0.0;
+  double total_time = 0.0;
+
+  std::size_t hierarchy_levels = 0;
+  NodeID coarsest_nodes = 0;
+};
+
+/// Partitions \p graph into \p config.k blocks.
+[[nodiscard]] KappaResult kappa_partition(const StaticGraph& graph,
+                                          const Config& config);
+
+}  // namespace kappa

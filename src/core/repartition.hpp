@@ -1,0 +1,36 @@
+/// \file repartition.hpp
+/// \brief Repartitioning: improve an existing partition in place (§8
+/// names repartitioning as a planned generalization of KaPPa).
+///
+/// In adaptive simulations the mesh changes between time steps; a full
+/// from-scratch partition would migrate almost every node, which costs
+/// more than it saves. Repartitioning instead runs KaPPa's pairwise
+/// refinement (plus the rebalancing rule) directly on the current
+/// assignment: the cut improves, feasibility is restored, and — the point
+/// of the exercise — only nodes near block boundaries migrate.
+#pragma once
+
+#include "core/config.hpp"
+#include "graph/partition.hpp"
+#include "graph/static_graph.hpp"
+
+namespace kappa {
+
+/// Result of a repartitioning run.
+struct RepartitionResult {
+  Partition partition;
+  EdgeWeight cut = 0;
+  EdgeWeight initial_cut = 0;  ///< cut of the input partition
+  double balance = 1.0;
+  bool balanced = false;
+  NodeID migrated_nodes = 0;  ///< nodes whose block changed
+  double total_time = 0.0;
+};
+
+/// Refines \p current (must have k = config.k blocks) without
+/// re-coarsening. Uses the refinement knobs of \p config.
+[[nodiscard]] RepartitionResult repartition(const StaticGraph& graph,
+                                            const Partition& current,
+                                            const Config& config);
+
+}  // namespace kappa

@@ -1,0 +1,274 @@
+#include "generators/delaunay.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+
+#include "graph/graph_builder.hpp"
+
+namespace kappa {
+
+namespace {
+
+/// Geometric predicates in extended precision. For random points in the
+/// unit square, long double (80-bit on x86) leaves ample margin; the
+/// library is not meant as a robust CGAL replacement.
+long double orient2d(const Point2D& a, const Point2D& b, const Point2D& c) {
+  const long double abx = static_cast<long double>(b.x) - a.x;
+  const long double aby = static_cast<long double>(b.y) - a.y;
+  const long double acx = static_cast<long double>(c.x) - a.x;
+  const long double acy = static_cast<long double>(c.y) - a.y;
+  return abx * acy - aby * acx;
+}
+
+/// > 0 iff d lies strictly inside the circumcircle of CCW triangle (a,b,c).
+long double incircle(const Point2D& a, const Point2D& b, const Point2D& c,
+                     const Point2D& d) {
+  const long double adx = static_cast<long double>(a.x) - d.x;
+  const long double ady = static_cast<long double>(a.y) - d.y;
+  const long double bdx = static_cast<long double>(b.x) - d.x;
+  const long double bdy = static_cast<long double>(b.y) - d.y;
+  const long double cdx = static_cast<long double>(c.x) - d.x;
+  const long double cdy = static_cast<long double>(c.y) - d.y;
+  const long double ad2 = adx * adx + ady * ady;
+  const long double bd2 = bdx * bdx + bdy * bdy;
+  const long double cd2 = cdx * cdx + cdy * cdy;
+  return adx * (bdy * cd2 - cdy * bd2) - ady * (bdx * cd2 - cdx * bd2) +
+         ad2 * (bdx * cdy - cdx * bdy);
+}
+
+/// Internal triangle record with adjacency. nbr[i] is the triangle across
+/// the edge opposite vertex v[i] (kNoTri at the hull).
+struct Tri {
+  std::array<NodeID, 3> v;
+  std::array<std::uint32_t, 3> nbr;
+  bool alive = true;
+};
+
+constexpr std::uint32_t kNoTri = 0xffffffffu;
+
+class BowyerWatson {
+ public:
+  explicit BowyerWatson(std::vector<Point2D> points)
+      : points_(std::move(points)), base_n_(points_.size()) {
+    // Enclosing super-triangle, far outside the data's bounding box.
+    double min_x = 0, max_x = 1, min_y = 0, max_y = 1;
+    for (const Point2D& p : points_) {
+      min_x = std::min(min_x, p.x);
+      max_x = std::max(max_x, p.x);
+      min_y = std::min(min_y, p.y);
+      max_y = std::max(max_y, p.y);
+    }
+    const double span =
+        std::max(max_x - min_x, max_y - min_y) * 16.0 + 16.0;
+    const double cx = (min_x + max_x) / 2;
+    const double cy = (min_y + max_y) / 2;
+    points_.push_back({cx - span, cy - span});
+    points_.push_back({cx + span, cy - span});
+    points_.push_back({cx, cy + span});
+    const NodeID s0 = static_cast<NodeID>(base_n_);
+    tris_.push_back({{s0, s0 + 1, s0 + 2}, {kNoTri, kNoTri, kNoTri}, true});
+  }
+
+  void run() {
+    // Insert in spatially sorted (grid snake) order so the walking point
+    // location only crosses O(1) triangles per insertion on average.
+    std::vector<NodeID> order(base_n_);
+    std::iota(order.begin(), order.end(), NodeID{0});
+    const int cells = std::max(
+        1, static_cast<int>(std::sqrt(static_cast<double>(base_n_) / 4.0)));
+    auto snake_key = [&](NodeID i) {
+      const int gx = std::min(cells - 1,
+                              static_cast<int>(points_[i].x * cells));
+      const int gy = std::min(cells - 1,
+                              static_cast<int>(points_[i].y * cells));
+      // Boustrophedon: even rows left-to-right, odd rows right-to-left.
+      return gy * cells + (gy % 2 == 0 ? gx : cells - 1 - gx);
+    };
+    std::stable_sort(order.begin(), order.end(),
+                     [&](NodeID a, NodeID b) {
+                       return snake_key(a) < snake_key(b);
+                     });
+    for (const NodeID p : order) insert(p);
+  }
+
+  /// Emits all triangles not touching the super-triangle.
+  [[nodiscard]] std::vector<Triangle> triangles() const {
+    std::vector<Triangle> result;
+    for (const Tri& t : tris_) {
+      if (!t.alive) continue;
+      if (t.v[0] >= base_n_ || t.v[1] >= base_n_ || t.v[2] >= base_n_) {
+        continue;
+      }
+      result.push_back({t.v});
+    }
+    return result;
+  }
+
+ private:
+  /// Walking point location from the most recently created triangle.
+  std::uint32_t locate(const Point2D& p) const {
+    std::uint32_t t = last_;
+    std::size_t steps = 0;
+    const std::size_t max_steps = tris_.size() + 16;
+    while (steps++ < max_steps) {
+      const Tri& tri = tris_[t];
+      bool outside = false;
+      for (int i = 0; i < 3; ++i) {
+        // Edge opposite v[i] runs v[i+1] -> v[i+2] (CCW).
+        const NodeID a = tri.v[(i + 1) % 3];
+        const NodeID b = tri.v[(i + 2) % 3];
+        if (orient2d(points_[a], points_[b], p) < 0) {
+          if (tri.nbr[i] == kNoTri) break;  // numeric fringe: stay
+          t = tri.nbr[i];
+          outside = true;
+          break;
+        }
+      }
+      if (!outside) return t;
+    }
+    // Fallback (degenerate walks are vanishingly rare with random data):
+    // linear scan.
+    for (std::uint32_t i = 0; i < tris_.size(); ++i) {
+      if (!tris_[i].alive) continue;
+      const Tri& tri = tris_[i];
+      bool inside = true;
+      for (int j = 0; j < 3 && inside; ++j) {
+        inside = orient2d(points_[tri.v[(j + 1) % 3]],
+                          points_[tri.v[(j + 2) % 3]], p) >= 0;
+      }
+      if (inside) return i;
+    }
+    return last_;
+  }
+
+  void insert(NodeID p) {
+    const std::uint32_t seed = locate(points_[p]);
+
+    // Grow the cavity: all triangles whose circumcircle contains p.
+    cavity_.clear();
+    stack_.assign(1, seed);
+    tris_[seed].alive = false;
+    cavity_.push_back(seed);
+    while (!stack_.empty()) {
+      const std::uint32_t t = stack_.back();
+      stack_.pop_back();
+      for (const std::uint32_t nb : tris_[t].nbr) {
+        if (nb == kNoTri || !tris_[nb].alive) continue;
+        const Tri& tri = tris_[nb];
+        if (incircle(points_[tri.v[0]], points_[tri.v[1]],
+                     points_[tri.v[2]], points_[p]) > 0) {
+          tris_[nb].alive = false;
+          cavity_.push_back(nb);
+          stack_.push_back(nb);
+        }
+      }
+    }
+
+    // Collect the cavity boundary: edges of dead triangles whose opposite
+    // neighbor is alive (or the hull). Edges are directed so that
+    // (p, a, b) is CCW.
+    boundary_.clear();
+    for (const std::uint32_t t : cavity_) {
+      const Tri& tri = tris_[t];
+      for (int i = 0; i < 3; ++i) {
+        const std::uint32_t nb = tri.nbr[i];
+        if (nb != kNoTri && !tris_[nb].alive) continue;
+        boundary_.push_back(
+            {tri.v[(i + 1) % 3], tri.v[(i + 2) % 3], nb});
+      }
+    }
+
+    // Re-triangulate the star-shaped cavity: one new triangle (p, a, b)
+    // per boundary edge; stitch neighbors via a map from the ray (p, x).
+    fan_.clear();
+    const std::uint32_t first_new = static_cast<std::uint32_t>(tris_.size());
+    for (const auto& edge : boundary_) {
+      const std::uint32_t t = static_cast<std::uint32_t>(tris_.size());
+      tris_.push_back({{p, edge.a, edge.b}, {edge.outside, kNoTri, kNoTri},
+                       true});
+      // Fix the outside triangle's back-pointer.
+      if (edge.outside != kNoTri) {
+        Tri& out = tris_[edge.outside];
+        for (int i = 0; i < 3; ++i) {
+          if (out.nbr[i] != kNoTri && !tris_[out.nbr[i]].alive) {
+            // Only replace the pointer crossing exactly this edge.
+            const NodeID oa = out.v[(i + 1) % 3];
+            const NodeID ob = out.v[(i + 2) % 3];
+            if ((oa == edge.b && ob == edge.a) ||
+                (oa == edge.a && ob == edge.b)) {
+              out.nbr[i] = t;
+            }
+          }
+        }
+      }
+      // Stitch fan edges (p, a) and (p, b) between consecutive new
+      // triangles: nbr[1] is opposite v[1]=a i.e. across edge (b, p);
+      // nbr[2] is across edge (p, a).
+      stitch(edge.a, t, /*slot=*/2);
+      stitch(edge.b, t, /*slot=*/1);
+    }
+    last_ = first_new;
+  }
+
+  /// Pairs up the two new triangles sharing ray (p, x).
+  void stitch(NodeID x, std::uint32_t t, int slot) {
+    auto [it, inserted] = fan_.try_emplace(x, std::pair<std::uint32_t, int>{t, slot});
+    if (!inserted) {
+      const auto [other_t, other_slot] = it->second;
+      tris_[t].nbr[slot] = other_t;
+      tris_[other_t].nbr[other_slot] = t;
+      fan_.erase(it);
+    }
+  }
+
+  std::vector<Point2D> points_;
+  std::size_t base_n_;
+  std::vector<Tri> tris_;
+  std::uint32_t last_ = 0;
+
+  // Reused scratch.
+  std::vector<std::uint32_t> cavity_;
+  std::vector<std::uint32_t> stack_;
+  std::unordered_map<NodeID, std::pair<std::uint32_t, int>> fan_;
+
+  struct BoundaryEdge {
+    NodeID a;
+    NodeID b;               ///< directed so that (p, a, b) is CCW
+    std::uint32_t outside;  ///< alive neighbor across the edge (or kNoTri)
+  };
+  std::vector<BoundaryEdge> boundary_;
+};
+
+}  // namespace
+
+std::vector<Triangle> delaunay_triangulate(
+    const std::vector<Point2D>& points) {
+  BowyerWatson bw(points);
+  bw.run();
+  return bw.triangles();
+}
+
+StaticGraph delaunay_graph(const std::vector<Point2D>& points) {
+  const std::vector<Triangle> tris = delaunay_triangulate(points);
+  GraphBuilder builder(static_cast<NodeID>(points.size()));
+  for (NodeID i = 0; i < points.size(); ++i) {
+    builder.set_coordinate(i, points[i]);
+  }
+  for (const Triangle& t : tris) {
+    builder.add_edge(t.v[0], t.v[1]);
+    builder.add_edge(t.v[1], t.v[2]);
+    builder.add_edge(t.v[2], t.v[0]);
+  }
+  return builder.finalize();
+}
+
+StaticGraph delaunay_graph(NodeID n, Rng& rng) {
+  std::vector<Point2D> points(n);
+  for (auto& p : points) p = {rng.uniform(), rng.uniform()};
+  return delaunay_graph(points);
+}
+
+}  // namespace kappa

@@ -1,0 +1,37 @@
+/// \file delaunay.hpp
+/// \brief Delaunay triangulation of points in the plane (Bowyer–Watson).
+///
+/// The paper's DelaunayX instances are Delaunay triangulations of 2^X
+/// random points in the unit square. We implement the full randomized
+/// incremental Bowyer–Watson algorithm with walking point location and
+/// spatial insertion order, O(n log n) in practice.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "graph/static_graph.hpp"
+#include "util/random.hpp"
+#include "util/types.hpp"
+
+namespace kappa {
+
+/// One triangle of a triangulation, by point indices.
+struct Triangle {
+  std::array<NodeID, 3> v;
+};
+
+/// Computes the Delaunay triangulation of \p points (must be pairwise
+/// distinct and in general position with overwhelming probability, as is
+/// the case for random doubles). Returns the triangle list.
+[[nodiscard]] std::vector<Triangle> delaunay_triangulate(
+    const std::vector<Point2D>& points);
+
+/// The paper's DelaunayX instance: triangulation of n random points in the
+/// unit square, as a graph with coordinates.
+[[nodiscard]] StaticGraph delaunay_graph(NodeID n, Rng& rng);
+
+/// Triangulation of explicit points, as a graph with coordinates.
+[[nodiscard]] StaticGraph delaunay_graph(const std::vector<Point2D>& points);
+
+}  // namespace kappa

@@ -1,0 +1,321 @@
+#include "generators/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "generators/delaunay.hpp"
+#include "graph/graph_builder.hpp"
+#include "graph/validation.hpp"
+
+namespace kappa {
+
+StaticGraph random_geometric_graph(NodeID n, Rng& rng) {
+  const double dn = static_cast<double>(n);
+  return random_geometric_graph(n, 0.55 * std::sqrt(std::log(dn) / dn), rng);
+}
+
+StaticGraph random_geometric_graph(NodeID n, double radius, Rng& rng) {
+  std::vector<Point2D> points(n);
+  for (auto& p : points) p = {rng.uniform(), rng.uniform()};
+
+  // Bucket grid with cell size >= radius: neighbors live in the 3x3
+  // surrounding cells, making the sweep O(n + m) in expectation.
+  const int cells = std::max(1, static_cast<int>(1.0 / radius));
+  const double cell_size = 1.0 / cells;
+  std::vector<std::vector<NodeID>> grid(
+      static_cast<std::size_t>(cells) * cells);
+  auto cell_of = [&](const Point2D& p) {
+    const int cx = std::min(cells - 1, static_cast<int>(p.x / cell_size));
+    const int cy = std::min(cells - 1, static_cast<int>(p.y / cell_size));
+    return std::pair<int, int>{cx, cy};
+  };
+  for (NodeID u = 0; u < n; ++u) {
+    const auto [cx, cy] = cell_of(points[u]);
+    grid[static_cast<std::size_t>(cy) * cells + cx].push_back(u);
+  }
+
+  GraphBuilder builder(n);
+  const double r2 = radius * radius;
+  for (NodeID u = 0; u < n; ++u) {
+    const auto [cx, cy] = cell_of(points[u]);
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        const int nxc = cx + dx;
+        const int nyc = cy + dy;
+        if (nxc < 0 || nyc < 0 || nxc >= cells || nyc >= cells) continue;
+        for (const NodeID v :
+             grid[static_cast<std::size_t>(nyc) * cells + nxc]) {
+          if (v <= u) continue;  // each pair once
+          const double ddx = points[u].x - points[v].x;
+          const double ddy = points[u].y - points[v].y;
+          if (ddx * ddx + ddy * ddy < r2) builder.add_edge(u, v);
+        }
+      }
+    }
+    builder.set_coordinate(u, points[u]);
+  }
+  return builder.finalize();
+}
+
+StaticGraph grid_graph(NodeID nx, NodeID ny) {
+  GraphBuilder builder(nx * ny);
+  for (NodeID y = 0; y < ny; ++y) {
+    for (NodeID x = 0; x < nx; ++x) {
+      const NodeID u = y * nx + x;
+      if (x + 1 < nx) builder.add_edge(u, u + 1);
+      if (y + 1 < ny) builder.add_edge(u, u + nx);
+      builder.set_coordinate(
+          u, {static_cast<double>(x), static_cast<double>(y)});
+    }
+  }
+  return builder.finalize();
+}
+
+StaticGraph torus_graph(NodeID nx, NodeID ny) {
+  GraphBuilder builder(nx * ny);
+  for (NodeID y = 0; y < ny; ++y) {
+    for (NodeID x = 0; x < nx; ++x) {
+      const NodeID u = y * nx + x;
+      builder.add_edge(u, y * nx + (x + 1) % nx);
+      builder.add_edge(u, ((y + 1) % ny) * nx + x);
+    }
+  }
+  return builder.finalize();
+}
+
+StaticGraph grid3d_graph(NodeID nx, NodeID ny, NodeID nz) {
+  GraphBuilder builder(nx * ny * nz);
+  auto id = [&](NodeID x, NodeID y, NodeID z) {
+    return (z * ny + y) * nx + x;
+  };
+  for (NodeID z = 0; z < nz; ++z) {
+    for (NodeID y = 0; y < ny; ++y) {
+      for (NodeID x = 0; x < nx; ++x) {
+        const NodeID u = id(x, y, z);
+        if (x + 1 < nx) builder.add_edge(u, id(x + 1, y, z));
+        if (y + 1 < ny) builder.add_edge(u, id(x, y + 1, z));
+        if (z + 1 < nz) builder.add_edge(u, id(x, y, z + 1));
+      }
+    }
+  }
+  return builder.finalize();
+}
+
+StaticGraph annulus_mesh(NodeID rings, NodeID sectors, double inner_radius,
+                         double outer_radius) {
+  // Nodes on rings+1 circles x sectors angular positions; quads split into
+  // triangles by one diagonal (the classic structured FEM discretization).
+  const NodeID n = (rings + 1) * sectors;
+  GraphBuilder builder(n);
+  auto id = [&](NodeID r, NodeID s) { return r * sectors + s % sectors; };
+  for (NodeID r = 0; r <= rings; ++r) {
+    const double radius =
+        inner_radius + (outer_radius - inner_radius) *
+                           static_cast<double>(r) /
+                           static_cast<double>(rings);
+    for (NodeID s = 0; s < sectors; ++s) {
+      const double angle =
+          2.0 * 3.14159265358979323846 * static_cast<double>(s) /
+          static_cast<double>(sectors);
+      builder.set_coordinate(id(r, s), {radius * std::cos(angle),
+                                        radius * std::sin(angle)});
+      builder.add_edge(id(r, s), id(r, s + 1));  // circumferential
+      if (r < rings) {
+        builder.add_edge(id(r, s), id(r + 1, s));      // radial
+        builder.add_edge(id(r, s), id(r + 1, s + 1));  // diagonal
+      }
+    }
+  }
+  return builder.finalize();
+}
+
+StaticGraph road_network(NodeID approx_n, Rng& rng) {
+  // A jittered sqrt(n) x sqrt(n) street lattice...
+  const NodeID side = std::max<NodeID>(
+      4, static_cast<NodeID>(std::sqrt(static_cast<double>(approx_n))));
+  const NodeID n = side * side;
+  GraphBuilder builder(n);
+  auto id = [&](NodeID x, NodeID y) { return y * side + x; };
+
+  std::vector<Point2D> points(n);
+  for (NodeID y = 0; y < side; ++y) {
+    for (NodeID x = 0; x < side; ++x) {
+      points[id(x, y)] = {
+          (static_cast<double>(x) + 0.4 * (rng.uniform() - 0.5)) /
+              static_cast<double>(side),
+          (static_cast<double>(y) + 0.4 * (rng.uniform() - 0.5)) /
+              static_cast<double>(side)};
+      builder.set_coordinate(id(x, y), points[id(x, y)]);
+    }
+  }
+
+  // ... with river-like obstacles: horizontal and vertical bands crossed
+  // only by sparse bridges (this produces the strong natural cuts of real
+  // road networks, which Metis famously failed to find on eur, §6.2).
+  const int num_rivers = std::max(1, static_cast<int>(side) / 24);
+  std::vector<NodeID> river_rows;
+  std::vector<NodeID> river_cols;
+  for (int i = 1; i <= num_rivers; ++i) {
+    river_rows.push_back(side * i / (num_rivers + 1));
+    river_cols.push_back(side * i / (num_rivers + 1) + side / (4 * (num_rivers + 1)));
+  }
+  const NodeID bridge_every = std::max<NodeID>(8, side / 8);
+
+  auto crosses_river = [&](NodeID ax, NodeID ay, NodeID bx, NodeID by) {
+    for (const NodeID row : river_rows) {
+      if (ay < row && by >= row) {
+        return ax % bridge_every != bridge_every / 2;  // keep rare bridges
+      }
+    }
+    for (const NodeID col : river_cols) {
+      if (ax < col && bx >= col) {
+        return ay % bridge_every != bridge_every / 2;
+      }
+    }
+    return false;
+  };
+
+  // Union-find tracks connectivity during construction so the final
+  // repair pass can guarantee a connected network (as real road networks
+  // are) without recomputing components.
+  std::vector<NodeID> parent(n);
+  for (NodeID u = 0; u < n; ++u) parent[u] = u;
+  auto find = [&](NodeID u) {
+    while (parent[u] != u) {
+      parent[u] = parent[parent[u]];
+      u = parent[u];
+    }
+    return u;
+  };
+  auto add_street = [&](NodeID u, NodeID v) {
+    builder.add_edge(u, v);
+    parent[find(u)] = find(v);
+  };
+
+  for (NodeID y = 0; y < side; ++y) {
+    for (NodeID x = 0; x < side; ++x) {
+      // Local streets, randomly pruned (dead ends exist in real networks)
+      // but never on the lattice boundary.
+      if (x + 1 < side && !crosses_river(x, y, x + 1, y)) {
+        const bool prune = rng.uniform() < 0.08 && y > 0 && y + 1 < side;
+        if (!prune) add_street(id(x, y), id(x + 1, y));
+      }
+      if (y + 1 < side && !crosses_river(x, y, x, y + 1)) {
+        const bool prune = rng.uniform() < 0.08 && x > 0 && x + 1 < side;
+        if (!prune) add_street(id(x, y), id(x, y + 1));
+      }
+    }
+  }
+
+  // Connectivity repair: sweep the lattice edges once more and re-open any
+  // street that still bridges two components (these act as extra bridges
+  // or un-pruned streets; a handful suffices).
+  for (NodeID y = 0; y < side; ++y) {
+    for (NodeID x = 0; x < side; ++x) {
+      if (x + 1 < side && find(id(x, y)) != find(id(x + 1, y))) {
+        add_street(id(x, y), id(x + 1, y));
+      }
+      if (y + 1 < side && find(id(x, y)) != find(id(x, y + 1))) {
+        add_street(id(x, y), id(x, y + 1));
+      }
+    }
+  }
+  return builder.finalize();
+}
+
+StaticGraph rmat_graph(int scale, double avg_degree, double a, double b,
+                       double c, Rng& rng) {
+  const NodeID n = NodeID{1} << scale;
+  const std::size_t target_edges =
+      static_cast<std::size_t>(avg_degree * static_cast<double>(n) / 2.0);
+  GraphBuilder builder(n);
+  for (std::size_t i = 0; i < target_edges; ++i) {
+    NodeID u = 0;
+    NodeID v = 0;
+    for (int bit = 0; bit < scale; ++bit) {
+      const double p = rng.uniform();
+      // Quadrant choice: a (0,0), b (0,1), c (1,0), d (1,1).
+      if (p < a) {
+        // top-left: nothing set
+      } else if (p < a + b) {
+        v |= NodeID{1} << bit;
+      } else if (p < a + b + c) {
+        u |= NodeID{1} << bit;
+      } else {
+        u |= NodeID{1} << bit;
+        v |= NodeID{1} << bit;
+      }
+    }
+    if (u != v) builder.add_edge(u, v);
+  }
+  return builder.finalize();
+}
+
+StaticGraph barabasi_albert(NodeID n, NodeID attach, Rng& rng) {
+  GraphBuilder builder(n);
+  // endpoint pool: each inserted edge contributes both endpoints, so
+  // sampling uniformly from the pool is degree-proportional sampling.
+  std::vector<NodeID> pool;
+  pool.reserve(2 * static_cast<std::size_t>(n) * attach);
+  const NodeID clique = std::max<NodeID>(attach + 1, 2);
+  for (NodeID u = 0; u < clique && u < n; ++u) {
+    for (NodeID v = u + 1; v < clique && v < n; ++v) {
+      builder.add_edge(u, v);
+      pool.push_back(u);
+      pool.push_back(v);
+    }
+  }
+  for (NodeID u = clique; u < n; ++u) {
+    for (NodeID i = 0; i < attach; ++i) {
+      const NodeID v = pool[rng.bounded(pool.size())];
+      if (v == u) continue;
+      builder.add_edge(u, v);
+      pool.push_back(u);
+      pool.push_back(v);
+    }
+  }
+  return builder.finalize();
+}
+
+StaticGraph make_instance(const std::string& name, std::uint64_t seed) {
+  Rng rng(seed);
+  // Geometric family (the paper's rggX / DelaunayX, scaled down).
+  if (name.rfind("rgg", 0) == 0) {
+    const int scale = std::stoi(name.substr(3));
+    return random_geometric_graph(NodeID{1} << scale, rng);
+  }
+  if (name.rfind("delaunay", 0) == 0) {
+    const int scale = std::stoi(name.substr(8));
+    return delaunay_graph(NodeID{1} << scale, rng);
+  }
+  // FEM-like family (stands in for fetooth/598a/feocean/144/wave/m14b/auto).
+  if (name == "grid_s") return grid_graph(64, 64);
+  if (name == "grid_m") return grid_graph(128, 128);
+  if (name == "grid_l") return grid_graph(256, 256);
+  if (name == "grid3d_s") return grid3d_graph(16, 16, 16);
+  if (name == "grid3d_m") return grid3d_graph(24, 24, 24);
+  if (name == "torus_m") return torus_graph(128, 128);
+  if (name == "annulus_m") return annulus_mesh(96, 256);
+  if (name == "annulus_l") return annulus_mesh(160, 448);
+  // Road family (stands in for bel/nld/deu/eur).
+  if (name == "road_s") return road_network(16'000, rng);
+  if (name == "road_m") return road_network(65'000, rng);
+  if (name == "road_l") return road_network(260'000, rng);
+  // Social family (stands in for coAuthorsDBLP / citationCiteseer).
+  if (name.rfind("rmat", 0) == 0) {
+    const int scale = std::stoi(name.substr(5));
+    return rmat_graph(scale, 8.0, 0.45, 0.2, 0.2, rng);
+  }
+  if (name == "ba_m") return barabasi_albert(50'000, 4, rng);
+  throw std::runtime_error("unknown instance: " + name);
+}
+
+std::vector<std::string> instance_names() {
+  return {"rgg14",    "rgg15",    "delaunay14", "delaunay15", "grid_s",
+          "grid_m",   "grid_l",   "grid3d_s",   "grid3d_m",   "torus_m",
+          "annulus_m", "annulus_l", "road_s",    "road_m",     "road_l",
+          "rmat_14",  "rmat_15",  "ba_m"};
+}
+
+}  // namespace kappa

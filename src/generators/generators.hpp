@@ -1,0 +1,82 @@
+/// \file generators.hpp
+/// \brief Synthetic instance generators standing in for the paper's
+/// benchmark families (Table 1).
+///
+/// * rggX — random geometric graph: 2^X random points in the unit square,
+///   connected below Euclidean distance 0.55*sqrt(ln n / n). This is
+///   exactly the paper's recipe ("This threshold was chosen in order to
+///   ensure that the graph is almost connected").
+/// * DelaunayX — Delaunay triangulation of 2^X random points in the unit
+///   square (see delaunay.hpp), again exactly the paper's recipe.
+/// * grid / torus / annulus — FEM-mesh-like instances (substitute for the
+///   Walshaw FEM graphs: near-planar, low uniform degree).
+/// * road network — hierarchical jittered lattice with sparse "bridges"
+///   over river-like obstacles (substitute for bel/nld/deu/eur: near
+///   planar, low degree, strong natural cuts along geography).
+/// * R-MAT / Barabási–Albert — skewed-degree social-network-like graphs
+///   (substitute for coAuthorsDBLP / citationCiteseer).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/static_graph.hpp"
+#include "util/random.hpp"
+#include "util/types.hpp"
+
+namespace kappa {
+
+/// Random geometric graph with n nodes (paper's rggX with n = 2^X) and
+/// radius 0.55 * sqrt(ln n / n). Coordinates are attached.
+[[nodiscard]] StaticGraph random_geometric_graph(NodeID n, Rng& rng);
+
+/// Same with an explicit radius (for radius-sweep tests).
+[[nodiscard]] StaticGraph random_geometric_graph(NodeID n, double radius,
+                                                 Rng& rng);
+
+/// nx x ny grid mesh (4-neighborhood). Coordinates attached.
+[[nodiscard]] StaticGraph grid_graph(NodeID nx, NodeID ny);
+
+/// nx x ny torus (grid with wrap-around edges); no coordinates (a torus
+/// has no planar embedding, geometric prepartitioning would mislead).
+[[nodiscard]] StaticGraph torus_graph(NodeID nx, NodeID ny);
+
+/// nx x ny x nz grid mesh (6-neighborhood), FEM-3D-like. No coordinates
+/// (the library's geometric tools are 2D).
+[[nodiscard]] StaticGraph grid3d_graph(NodeID nx, NodeID ny, NodeID nz);
+
+/// Annulus FEM mesh: rings x sectors quadrilaterals split into triangles —
+/// the structure of a 2D rotor/disc finite element discretization.
+/// Coordinates attached.
+[[nodiscard]] StaticGraph annulus_mesh(NodeID rings, NodeID sectors,
+                                       double inner_radius = 0.3,
+                                       double outer_radius = 1.0);
+
+/// Road-network-like graph: a jittered lattice with randomly pruned local
+/// streets and river-like obstacles crossed only by sparse bridges. The
+/// result is near-planar, has maximum degree <= 4 + bridges, and exhibits
+/// the strong natural cuts that made eur so hard for Metis (§6.2).
+/// Coordinates attached; the graph is connected.
+[[nodiscard]] StaticGraph road_network(NodeID approx_n, Rng& rng);
+
+/// R-MAT graph (Chakrabarti et al.): 2^scale nodes, approximately
+/// avg_degree * n / 2 distinct edges, partition probabilities a,b,c,d.
+/// Skewed degrees, no locality — social-network-like.
+[[nodiscard]] StaticGraph rmat_graph(int scale, double avg_degree, double a,
+                                     double b, double c, Rng& rng);
+
+/// Barabási–Albert preferential attachment: each new node attaches to
+/// \p attach existing nodes sampled proportional to degree.
+[[nodiscard]] StaticGraph barabasi_albert(NodeID n, NodeID attach, Rng& rng);
+
+/// A named instance registry used by the benchmark harness; names follow
+/// the paper (rgg15, delaunay15, road_m, rmat_16, ...). Throws on unknown
+/// names. Sizes are scaled to laptop single-core budgets; EXPERIMENTS.md
+/// records the mapping to the paper's instances.
+[[nodiscard]] StaticGraph make_instance(const std::string& name,
+                                        std::uint64_t seed = 12345);
+
+/// The names served by make_instance().
+[[nodiscard]] std::vector<std::string> instance_names();
+
+}  // namespace kappa

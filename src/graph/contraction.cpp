@@ -1,0 +1,113 @@
+#include "graph/contraction.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace kappa {
+
+ContractionResult contract(const StaticGraph& graph,
+                           const std::vector<NodeID>& partner) {
+  const NodeID n = graph.num_nodes();
+  assert(partner.size() == n);
+
+  // Assign coarse ids: each matched pair and each unmatched node gets one.
+  std::vector<NodeID> fine_to_coarse(n, kInvalidNode);
+  NodeID coarse_n = 0;
+  for (NodeID u = 0; u < n; ++u) {
+    if (fine_to_coarse[u] != kInvalidNode) continue;
+    const NodeID v = partner[u];
+    assert(v == u || partner[v] == u);  // symmetry of the matching
+    fine_to_coarse[u] = coarse_n;
+    if (v != u) fine_to_coarse[v] = coarse_n;
+    ++coarse_n;
+  }
+
+  // Coarse node weights (and centroids if coordinates exist).
+  std::vector<NodeWeight> coarse_vwgt(coarse_n, 0);
+  const bool with_coords = graph.has_coordinates();
+  std::vector<Point2D> centroid_sum;
+  std::vector<double> weight_sum;
+  if (with_coords) {
+    centroid_sum.assign(coarse_n, Point2D{});
+    weight_sum.assign(coarse_n, 0.0);
+  }
+  for (NodeID u = 0; u < n; ++u) {
+    const NodeID cu = fine_to_coarse[u];
+    coarse_vwgt[cu] += graph.node_weight(u);
+    if (with_coords) {
+      const double w = static_cast<double>(std::max<NodeWeight>(
+          graph.node_weight(u), 1));
+      centroid_sum[cu].x += w * graph.coordinate(u).x;
+      centroid_sum[cu].y += w * graph.coordinate(u).y;
+      weight_sum[cu] += w;
+    }
+  }
+
+  // Build coarse adjacency: bucket fine arcs by coarse source, merge
+  // duplicate coarse targets with a timestamped scatter array (classic
+  // O(m) multilevel contraction).
+  std::vector<EdgeID> coarse_xadj(coarse_n + 1, 0);
+  std::vector<NodeID> coarse_adj;
+  std::vector<EdgeWeight> coarse_ewgt;
+  coarse_adj.reserve(graph.num_arcs());
+  coarse_ewgt.reserve(graph.num_arcs());
+
+  // For each coarse node, list its fine constituents.
+  std::vector<NodeID> members(n);
+  std::vector<EdgeID> member_start(coarse_n + 1, 0);
+  for (NodeID u = 0; u < n; ++u) ++member_start[fine_to_coarse[u] + 1];
+  for (NodeID c = 0; c < coarse_n; ++c) member_start[c + 1] += member_start[c];
+  {
+    std::vector<EdgeID> cursor(member_start.begin(), member_start.end() - 1);
+    for (NodeID u = 0; u < n; ++u) members[cursor[fine_to_coarse[u]]++] = u;
+  }
+
+  std::vector<NodeID> seen_at(coarse_n, kInvalidNode);  // timestamp array
+  std::vector<EdgeID> slot_of(coarse_n, 0);
+  for (NodeID c = 0; c < coarse_n; ++c) {
+    const EdgeID row_begin = coarse_adj.size();
+    for (EdgeID i = member_start[c]; i < member_start[c + 1]; ++i) {
+      const NodeID u = members[i];
+      for (EdgeID e = graph.first_arc(u); e < graph.last_arc(u); ++e) {
+        const NodeID cv = fine_to_coarse[graph.arc_target(e)];
+        if (cv == c) continue;  // contracted edge or internal edge: drop
+        if (seen_at[cv] == c) {
+          coarse_ewgt[slot_of[cv]] += graph.arc_weight(e);
+        } else {
+          seen_at[cv] = c;
+          slot_of[cv] = coarse_adj.size();
+          coarse_adj.push_back(cv);
+          coarse_ewgt.push_back(graph.arc_weight(e));
+        }
+      }
+    }
+    (void)row_begin;
+    coarse_xadj[c + 1] = coarse_adj.size();
+  }
+
+  StaticGraph coarse(std::move(coarse_xadj), std::move(coarse_adj),
+                     std::move(coarse_ewgt), std::move(coarse_vwgt));
+  if (with_coords) {
+    std::vector<Point2D> coarse_coords(coarse_n);
+    for (NodeID c = 0; c < coarse_n; ++c) {
+      coarse_coords[c] = {centroid_sum[c].x / weight_sum[c],
+                          centroid_sum[c].y / weight_sum[c]};
+    }
+    coarse.set_coordinates(std::move(coarse_coords));
+  }
+  return {std::move(coarse), std::move(fine_to_coarse)};
+}
+
+Partition project_partition(const StaticGraph& fine_graph,
+                            const std::vector<NodeID>& fine_to_coarse,
+                            const Partition& coarse_partition) {
+  const NodeID n = fine_graph.num_nodes();
+  assert(fine_to_coarse.size() == n);
+  std::vector<BlockID> assignment(n);
+  for (NodeID u = 0; u < n; ++u) {
+    assignment[u] = coarse_partition.block(fine_to_coarse[u]);
+  }
+  return Partition(fine_graph, std::move(assignment), coarse_partition.k());
+}
+
+}  // namespace kappa

@@ -1,0 +1,39 @@
+/// \file contraction.hpp
+/// \brief Matching contraction and partition projection (un-contraction).
+#pragma once
+
+#include <vector>
+
+#include "graph/partition.hpp"
+#include "graph/static_graph.hpp"
+#include "util/types.hpp"
+
+namespace kappa {
+
+/// Result of contracting a matching: the coarse graph plus the surjective
+/// mapping fine node -> coarse node needed to later project partitions back
+/// (uncoarsening, §2).
+struct ContractionResult {
+  StaticGraph coarse_graph;
+  std::vector<NodeID> fine_to_coarse;
+};
+
+/// Contracts every matched edge of \p graph. \p partner encodes a matching:
+/// partner[u] == v iff {u, v} is matched (symmetric), partner[u] == u for
+/// unmatched nodes.
+///
+/// Per the paper (§2): the contracted node x of edge {u,v} gets
+/// c(x) = c(u) + c(v); parallel edges arising from common neighbors are
+/// merged with summed weight; self-loops vanish. If the fine graph carries
+/// coordinates, coarse nodes get the weighted centroid of their fine nodes
+/// so that geometric pre-partitioning still works on coarse levels.
+[[nodiscard]] ContractionResult contract(const StaticGraph& graph,
+                                         const std::vector<NodeID>& partner);
+
+/// Projects a partition of the coarse graph back onto the fine graph:
+/// every fine node inherits the block of its coarse representative.
+[[nodiscard]] Partition project_partition(
+    const StaticGraph& fine_graph, const std::vector<NodeID>& fine_to_coarse,
+    const Partition& coarse_partition);
+
+}  // namespace kappa

@@ -1,0 +1,73 @@
+#include "graph/dynamic_overlay.hpp"
+
+#include <numeric>
+
+namespace kappa {
+
+DynamicOverlay::DynamicOverlay(const StaticGraph& core,
+                               std::vector<NodeID> core_to_global)
+    : core_(&core), core_to_global_(std::move(core_to_global)) {
+  if (core_to_global_.empty()) {
+    core_to_global_.resize(core.num_nodes());
+    std::iota(core_to_global_.begin(), core_to_global_.end(), NodeID{0});
+  }
+  assert(core_to_global_.size() == core.num_nodes());
+  global_to_core_.reserve(core.num_nodes());
+  for (NodeID local = 0; local < core.num_nodes(); ++local) {
+    global_to_core_.emplace(core_to_global_[local], local);
+  }
+}
+
+void DynamicOverlay::add_migrated_node(NodeID global_id, NodeWeight weight) {
+  assert(!contains(global_id));
+  migrated_.emplace(global_id, MigratedNode{weight, kNoEdge, 0});
+}
+
+void DynamicOverlay::add_migrated_edge(NodeID from_global, NodeID to_global,
+                                       EdgeWeight weight) {
+  auto it = migrated_.find(from_global);
+  assert(it != migrated_.end() &&
+         "edges may only be attached to registered migrated nodes");
+  overlay_edges_.push_back({to_global, weight, it->second.first_edge});
+  it->second.first_edge = overlay_edges_.size() - 1;
+  ++it->second.degree;
+}
+
+bool DynamicOverlay::contains(NodeID global_id) const {
+  return global_to_core_.count(global_id) > 0 ||
+         migrated_.count(global_id) > 0;
+}
+
+bool DynamicOverlay::is_migrated(NodeID global_id) const {
+  return migrated_.count(global_id) > 0;
+}
+
+NodeWeight DynamicOverlay::node_weight(NodeID global_id) const {
+  const auto core_it = global_to_core_.find(global_id);
+  if (core_it != global_to_core_.end()) {
+    return core_->node_weight(core_it->second);
+  }
+  const auto mig_it = migrated_.find(global_id);
+  assert(mig_it != migrated_.end());
+  return mig_it->second.weight;
+}
+
+NodeID DynamicOverlay::degree(NodeID global_id) const {
+  NodeID degree = 0;
+  const auto core_it = global_to_core_.find(global_id);
+  if (core_it != global_to_core_.end()) {
+    degree += core_->degree(core_it->second);
+  }
+  const auto mig_it = migrated_.find(global_id);
+  if (mig_it != migrated_.end()) {
+    degree += mig_it->second.degree;
+  }
+  return degree;
+}
+
+void DynamicOverlay::clear_migrated() {
+  migrated_.clear();
+  overlay_edges_.clear();
+}
+
+}  // namespace kappa

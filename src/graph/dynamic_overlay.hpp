@@ -1,0 +1,113 @@
+/// \file dynamic_overlay.hpp
+/// \brief Hybrid static/dynamic graph view (§5.2).
+///
+/// "We use a hybrid between a static and a dynamic graph data structure.
+/// Immediately after uncontracting a matching, every PE stores the
+/// partition it is responsible for in a static adjacency array
+/// representation ... In addition, we use a hash table to store migrated
+/// nodes and a second edge array for the corresponding edges."
+///
+/// A DynamicOverlay wraps an immutable local CSR graph and accepts
+/// migrated nodes (received from a partner PE before a pairwise local
+/// search) in an append-only secondary edge array, addressed through a
+/// hash table. Queries see the union; the overlay can be cleared in O(#
+/// migrated) after the search, leaving the static core untouched.
+#pragma once
+
+#include <cassert>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/static_graph.hpp"
+#include "util/types.hpp"
+
+namespace kappa {
+
+/// Node ids of the overlay live in a *global* id space: the static core
+/// covers a subset (with a mapping), migrated nodes are added under their
+/// global ids.
+class DynamicOverlay {
+ public:
+  /// Wraps \p core; \p core_to_global maps the core's local node ids to
+  /// global ids (identity if empty).
+  explicit DynamicOverlay(const StaticGraph& core,
+                          std::vector<NodeID> core_to_global = {});
+
+  /// Registers a migrated node with its weight. Edges are added
+  /// separately with add_migrated_edge(). Re-registering is an error.
+  void add_migrated_node(NodeID global_id, NodeWeight weight);
+
+  /// Adds an edge incident to a migrated node (directed entry; call for
+  /// each direction you need visible). The endpoint may be a core node
+  /// or another migrated node.
+  void add_migrated_edge(NodeID from_global, NodeID to_global,
+                         EdgeWeight weight);
+
+  /// Whether the id is known (core or migrated).
+  [[nodiscard]] bool contains(NodeID global_id) const;
+
+  /// Whether the id is a migrated (non-core) node.
+  [[nodiscard]] bool is_migrated(NodeID global_id) const;
+
+  /// Node weight lookup across both storages.
+  [[nodiscard]] NodeWeight node_weight(NodeID global_id) const;
+
+  /// Degree across both storages. For core nodes this counts core edges
+  /// plus overlay edges attached to them.
+  [[nodiscard]] NodeID degree(NodeID global_id) const;
+
+  /// Visits all (neighbor_global_id, edge_weight) pairs of a node.
+  template <typename Visitor>
+  void for_each_neighbor(NodeID global_id, Visitor&& visit) const {
+    const auto core_it = global_to_core_.find(global_id);
+    if (core_it != global_to_core_.end()) {
+      const NodeID local = core_it->second;
+      for (EdgeID e = core_->first_arc(local); e < core_->last_arc(local);
+           ++e) {
+        visit(core_to_global_[core_->arc_target(e)], core_->arc_weight(e));
+      }
+    }
+    const auto mig_it = migrated_.find(global_id);
+    if (mig_it != migrated_.end()) {
+      for (std::size_t i = mig_it->second.first_edge;
+           i != kNoEdge; i = overlay_edges_[i].next) {
+        visit(overlay_edges_[i].target, overlay_edges_[i].weight);
+      }
+    }
+  }
+
+  /// Number of migrated nodes currently stored.
+  [[nodiscard]] std::size_t num_migrated() const { return migrated_.size(); }
+
+  /// Number of overlay edge entries.
+  [[nodiscard]] std::size_t num_overlay_edges() const {
+    return overlay_edges_.size();
+  }
+
+  /// Drops all migrated state in O(#migrated + #overlay edges); the
+  /// static core stays valid (called after a pairwise search returns its
+  /// results to the partner PE).
+  void clear_migrated();
+
+ private:
+  struct OverlayEdge {
+    NodeID target;
+    EdgeWeight weight;
+    std::size_t next;  ///< intrusive list per node
+  };
+  struct MigratedNode {
+    NodeWeight weight;
+    std::size_t first_edge;
+    NodeID degree;
+  };
+  static constexpr std::size_t kNoEdge = static_cast<std::size_t>(-1);
+
+  const StaticGraph* core_;
+  std::vector<NodeID> core_to_global_;
+  std::unordered_map<NodeID, NodeID> global_to_core_;
+  std::unordered_map<NodeID, MigratedNode> migrated_;
+  std::vector<OverlayEdge> overlay_edges_;
+};
+
+}  // namespace kappa

@@ -1,0 +1,75 @@
+#include "graph/graph_builder.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace kappa {
+
+GraphBuilder::GraphBuilder(NodeID num_nodes)
+    : node_weights_(num_nodes, 1), coords_(num_nodes) {}
+
+void GraphBuilder::add_edge(NodeID u, NodeID v, EdgeWeight w) {
+  assert(u < num_nodes() && v < num_nodes());
+  if (u == v) return;  // self-loops never contribute to a cut
+  edges_.push_back({u, v, w});
+}
+
+void GraphBuilder::set_node_weight(NodeID u, NodeWeight w) {
+  assert(u < num_nodes());
+  node_weights_[u] = w;
+}
+
+void GraphBuilder::set_coordinate(NodeID u, Point2D p) {
+  assert(u < num_nodes());
+  coords_[u] = p;
+  has_coords_ = true;
+}
+
+StaticGraph GraphBuilder::finalize() {
+  const NodeID n = num_nodes();
+
+  // Symmetrize: every undirected edge becomes two arcs.
+  std::vector<RawEdge> arcs;
+  arcs.reserve(2 * edges_.size());
+  for (const RawEdge& e : edges_) {
+    arcs.push_back({e.u, e.v, e.w});
+    arcs.push_back({e.v, e.u, e.w});
+  }
+  edges_.clear();
+  edges_.shrink_to_fit();
+
+  std::sort(arcs.begin(), arcs.end(), [](const RawEdge& a, const RawEdge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+
+  // Merge parallel arcs by summing weights.
+  std::vector<EdgeID> xadj(n + 1, 0);
+  std::vector<NodeID> adj;
+  std::vector<EdgeWeight> ewgt;
+  adj.reserve(arcs.size());
+  ewgt.reserve(arcs.size());
+  std::size_t i = 0;
+  for (NodeID u = 0; u < n; ++u) {
+    while (i < arcs.size() && arcs[i].u == u) {
+      const NodeID v = arcs[i].v;
+      EdgeWeight w = 0;
+      while (i < arcs.size() && arcs[i].u == u && arcs[i].v == v) {
+        w += arcs[i].w;
+        ++i;
+      }
+      adj.push_back(v);
+      ewgt.push_back(w);
+    }
+    xadj[u + 1] = adj.size();
+  }
+
+  StaticGraph graph(std::move(xadj), std::move(adj), std::move(ewgt),
+                    std::move(node_weights_));
+  if (has_coords_) graph.set_coordinates(std::move(coords_));
+  node_weights_.assign(0, 0);
+  coords_.clear();
+  has_coords_ = false;
+  return graph;
+}
+
+}  // namespace kappa

@@ -1,0 +1,55 @@
+/// \file graph_builder.hpp
+/// \brief Incremental construction of StaticGraph from edge lists.
+#pragma once
+
+#include <vector>
+
+#include "graph/static_graph.hpp"
+#include "util/types.hpp"
+
+namespace kappa {
+
+/// Collects undirected edges and node weights, then produces a clean CSR
+/// graph: self-loops are dropped and parallel edges are merged by summing
+/// their weights (the same rule contraction uses, §2).
+class GraphBuilder {
+ public:
+  /// Creates a builder for a graph with \p num_nodes nodes, all of weight 1.
+  explicit GraphBuilder(NodeID num_nodes);
+
+  /// Adds an undirected edge {u, v} of weight \p w. Order of endpoints is
+  /// irrelevant; duplicates accumulate weight at finalize() time.
+  void add_edge(NodeID u, NodeID v, EdgeWeight w = 1);
+
+  /// Overrides the weight of node \p u (default 1).
+  void set_node_weight(NodeID u, NodeWeight w);
+
+  /// Attaches a coordinate to node \p u (enables geometric algorithms).
+  void set_coordinate(NodeID u, Point2D p);
+
+  [[nodiscard]] NodeID num_nodes() const {
+    return static_cast<NodeID>(node_weights_.size());
+  }
+
+  /// Number of edge insertions so far (before dedup).
+  [[nodiscard]] std::size_t num_inserted_edges() const {
+    return edges_.size();
+  }
+
+  /// Builds the CSR graph. The builder is left empty afterwards.
+  [[nodiscard]] StaticGraph finalize();
+
+ private:
+  struct RawEdge {
+    NodeID u;
+    NodeID v;
+    EdgeWeight w;
+  };
+
+  std::vector<RawEdge> edges_;
+  std::vector<NodeWeight> node_weights_;
+  std::vector<Point2D> coords_;
+  bool has_coords_ = false;
+};
+
+}  // namespace kappa

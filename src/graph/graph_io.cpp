@@ -1,0 +1,130 @@
+#include "graph/graph_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/graph_builder.hpp"
+
+namespace kappa {
+
+namespace {
+
+/// Reads the next non-comment line; returns false at EOF.
+bool next_data_line(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+StaticGraph read_metis_graph(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open graph file: " + path);
+
+  std::string line;
+  if (!next_data_line(in, line)) {
+    throw std::runtime_error("empty graph file: " + path);
+  }
+  std::istringstream header(line);
+  std::uint64_t n = 0;
+  std::uint64_t m = 0;
+  std::string fmt = "000";
+  header >> n >> m;
+  if (header >> fmt) {
+    while (fmt.size() < 3) fmt.insert(fmt.begin(), '0');
+  }
+  const bool has_edge_weights = fmt[fmt.size() - 1] == '1';
+  const bool has_node_weights = fmt[fmt.size() - 2] == '1';
+
+  GraphBuilder builder(static_cast<NodeID>(n));
+  for (NodeID u = 0; u < n; ++u) {
+    if (!next_data_line(in, line)) {
+      throw std::runtime_error("unexpected EOF in graph file: " + path);
+    }
+    std::istringstream row(line);
+    if (has_node_weights) {
+      NodeWeight w = 1;
+      row >> w;
+      builder.set_node_weight(u, w);
+    }
+    std::uint64_t v1 = 0;
+    while (row >> v1) {
+      EdgeWeight w = 1;
+      if (has_edge_weights && !(row >> w)) {
+        throw std::runtime_error("missing edge weight in: " + path);
+      }
+      if (v1 == 0 || v1 > n) {
+        throw std::runtime_error("neighbor id out of range in: " + path);
+      }
+      const NodeID v = static_cast<NodeID>(v1 - 1);
+      if (u < v) builder.add_edge(u, v, w);  // each edge appears twice
+    }
+  }
+  StaticGraph graph = builder.finalize();
+  if (graph.num_edges() != m) {
+    // Tolerate inconsistent headers (some archive files are off) but the
+    // graph itself is well-formed at this point.
+  }
+  return graph;
+}
+
+void write_metis_graph(const StaticGraph& graph, const std::string& path) {
+  bool weighted_nodes = false;
+  for (NodeID u = 0; u < graph.num_nodes(); ++u) {
+    if (graph.node_weight(u) != 1) weighted_nodes = true;
+  }
+  bool weighted_edges = false;
+  for (EdgeID e = 0; e < graph.num_arcs(); ++e) {
+    if (graph.arc_weight(e) != 1) weighted_edges = true;
+  }
+
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write graph file: " + path);
+  out << graph.num_nodes() << ' ' << graph.num_edges();
+  if (weighted_nodes || weighted_edges) {
+    out << ' ' << (weighted_nodes ? '1' : '0') << (weighted_edges ? '1' : '0');
+  }
+  out << '\n';
+  for (NodeID u = 0; u < graph.num_nodes(); ++u) {
+    bool first = true;
+    if (weighted_nodes) {
+      out << graph.node_weight(u);
+      first = false;
+    }
+    for (EdgeID e = graph.first_arc(u); e < graph.last_arc(u); ++e) {
+      if (!first) out << ' ';
+      first = false;
+      out << graph.arc_target(e) + 1;
+      if (weighted_edges) out << ' ' << graph.arc_weight(e);
+    }
+    out << '\n';
+  }
+}
+
+void write_partition(const Partition& partition, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write partition file: " + path);
+  for (NodeID u = 0; u < partition.num_nodes(); ++u) {
+    out << partition.block(u) << '\n';
+  }
+}
+
+Partition read_partition(const StaticGraph& graph, BlockID k,
+                         const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open partition file: " + path);
+  std::vector<BlockID> assignment(graph.num_nodes());
+  for (NodeID u = 0; u < graph.num_nodes(); ++u) {
+    std::uint64_t b = 0;
+    if (!(in >> b) || b >= k) {
+      throw std::runtime_error("bad partition file: " + path);
+    }
+    assignment[u] = static_cast<BlockID>(b);
+  }
+  return Partition(graph, std::move(assignment), k);
+}
+
+}  // namespace kappa

@@ -1,0 +1,75 @@
+#include "graph/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace kappa {
+
+EdgeWeight edge_cut(const StaticGraph& graph, const Partition& partition) {
+  EdgeWeight cut = 0;
+  for (NodeID u = 0; u < graph.num_nodes(); ++u) {
+    const BlockID bu = partition.block(u);
+    for (EdgeID e = graph.first_arc(u); e < graph.last_arc(u); ++e) {
+      const NodeID v = graph.arc_target(e);
+      if (u < v && partition.block(v) != bu) cut += graph.arc_weight(e);
+    }
+  }
+  return cut;
+}
+
+double balance(const StaticGraph& graph, const Partition& partition) {
+  const double avg = static_cast<double>(graph.total_node_weight()) /
+                     static_cast<double>(partition.k());
+  if (avg == 0.0) return 1.0;
+  return static_cast<double>(partition.max_block_weight()) / avg;
+}
+
+NodeWeight max_block_weight_bound(const StaticGraph& graph, BlockID k,
+                                  double eps) {
+  const double avg = static_cast<double>(graph.total_node_weight()) /
+                     static_cast<double>(k);
+  return static_cast<NodeWeight>((1.0 + eps) * avg) + graph.max_node_weight();
+}
+
+bool is_balanced(const StaticGraph& graph, const Partition& partition,
+                 double eps) {
+  const NodeWeight bound =
+      max_block_weight_bound(graph, partition.k(), eps);
+  for (BlockID b = 0; b < partition.k(); ++b) {
+    if (partition.block_weight(b) > bound) return false;
+  }
+  return true;
+}
+
+std::vector<NodeID> boundary_nodes(const StaticGraph& graph,
+                                   const Partition& partition) {
+  std::vector<NodeID> result;
+  for (NodeID u = 0; u < graph.num_nodes(); ++u) {
+    const BlockID bu = partition.block(u);
+    for (const NodeID v : graph.neighbors(u)) {
+      if (partition.block(v) != bu) {
+        result.push_back(u);
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<NodeID> pair_boundary_nodes(const StaticGraph& graph,
+                                        const Partition& partition, BlockID b,
+                                        BlockID other) {
+  std::vector<NodeID> result;
+  for (NodeID u = 0; u < graph.num_nodes(); ++u) {
+    if (partition.block(u) != b) continue;
+    for (const NodeID v : graph.neighbors(u)) {
+      if (partition.block(v) == other) {
+        result.push_back(u);
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace kappa

@@ -1,0 +1,44 @@
+/// \file metrics.hpp
+/// \brief Partition quality metrics: edge cut, balance, boundary.
+#pragma once
+
+#include <vector>
+
+#include "graph/partition.hpp"
+#include "graph/static_graph.hpp"
+#include "util/types.hpp"
+
+namespace kappa {
+
+/// Total weight of edges whose endpoints lie in different blocks
+/// (the objective the paper minimizes, §2).
+[[nodiscard]] EdgeWeight edge_cut(const StaticGraph& graph,
+                                  const Partition& partition);
+
+/// Balance of a partition: max_i c(V_i) / (c(V)/k). The paper reports this
+/// as "avg. balance" (e.g. 1.030 means the heaviest block is 3% over the
+/// average block weight).
+[[nodiscard]] double balance(const StaticGraph& graph,
+                             const Partition& partition);
+
+/// Maximum admissible block weight Lmax = (1+eps) * c(V)/k + max_v c(v)
+/// (§2). The additive max-node-weight term guarantees feasibility on
+/// coarse graphs with heavy nodes.
+[[nodiscard]] NodeWeight max_block_weight_bound(const StaticGraph& graph,
+                                                BlockID k, double eps);
+
+/// True iff every block obeys the Lmax bound.
+[[nodiscard]] bool is_balanced(const StaticGraph& graph,
+                               const Partition& partition, double eps);
+
+/// Nodes with at least one neighbor in a different block. These seed the
+/// FM priority queues and the band BFS (§5.2).
+[[nodiscard]] std::vector<NodeID> boundary_nodes(const StaticGraph& graph,
+                                                 const Partition& partition);
+
+/// Boundary nodes of block \p b that have a neighbor in block \p other.
+[[nodiscard]] std::vector<NodeID> pair_boundary_nodes(
+    const StaticGraph& graph, const Partition& partition, BlockID b,
+    BlockID other);
+
+}  // namespace kappa

@@ -1,0 +1,87 @@
+/// \file partition.hpp
+/// \brief Block assignment of nodes plus cached block weights.
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "graph/static_graph.hpp"
+#include "util/types.hpp"
+
+namespace kappa {
+
+/// A k-way partition V = V_1 ∪ ... ∪ V_k of the nodes of a graph.
+///
+/// Block weights c(V_i) are maintained incrementally so that the balance
+/// constraint c(V_i) <= Lmax := (1+eps) c(V)/k + max_v c(v) (§2) can be
+/// checked in O(1) during local search.
+class Partition {
+ public:
+  Partition() = default;
+
+  /// Creates an all-unassigned partition of \p num_nodes nodes into \p k
+  /// blocks.
+  Partition(NodeID num_nodes, BlockID k)
+      : block_of_(num_nodes, kInvalidBlock), block_weight_(k, 0), k_(k) {}
+
+  /// Creates a partition from an explicit assignment; computes block
+  /// weights from the graph.
+  Partition(const StaticGraph& graph, std::vector<BlockID> assignment,
+            BlockID k)
+      : block_of_(std::move(assignment)), block_weight_(k, 0), k_(k) {
+    assert(block_of_.size() == graph.num_nodes());
+    for (NodeID u = 0; u < graph.num_nodes(); ++u) {
+      assert(block_of_[u] < k_);
+      block_weight_[block_of_[u]] += graph.node_weight(u);
+    }
+  }
+
+  [[nodiscard]] BlockID k() const { return k_; }
+
+  [[nodiscard]] NodeID num_nodes() const {
+    return static_cast<NodeID>(block_of_.size());
+  }
+
+  /// Block of node u (kInvalidBlock if unassigned).
+  [[nodiscard]] BlockID block(NodeID u) const { return block_of_[u]; }
+
+  /// Current weight of block b.
+  [[nodiscard]] NodeWeight block_weight(BlockID b) const {
+    return block_weight_[b];
+  }
+
+  /// Assigns a previously *unassigned* node.
+  void assign(NodeID u, BlockID b, NodeWeight node_weight) {
+    assert(block_of_[u] == kInvalidBlock && b < k_);
+    block_of_[u] = b;
+    block_weight_[b] += node_weight;
+  }
+
+  /// Moves an assigned node to another block, updating block weights.
+  void move(NodeID u, BlockID to, NodeWeight node_weight) {
+    const BlockID from = block_of_[u];
+    assert(from < k_ && to < k_);
+    block_weight_[from] -= node_weight;
+    block_weight_[to] += node_weight;
+    block_of_[u] = to;
+  }
+
+  /// Raw assignment vector (read-only).
+  [[nodiscard]] const std::vector<BlockID>& assignment() const {
+    return block_of_;
+  }
+
+  /// Heaviest block weight.
+  [[nodiscard]] NodeWeight max_block_weight() const {
+    NodeWeight mx = 0;
+    for (NodeWeight w : block_weight_) mx = std::max(mx, w);
+    return mx;
+  }
+
+ private:
+  std::vector<BlockID> block_of_;
+  std::vector<NodeWeight> block_weight_;
+  BlockID k_ = 0;
+};
+
+}  // namespace kappa

@@ -1,0 +1,48 @@
+#include "graph/quotient_graph.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace kappa {
+
+QuotientGraph::QuotientGraph(const StaticGraph& graph,
+                             const Partition& partition)
+    : k_(partition.k()), incidence_(partition.k()) {
+  // One O(m) sweep: accumulate cut weight and boundary node lists per
+  // unordered block pair.
+  std::map<std::pair<BlockID, BlockID>, std::size_t> index_of;
+  for (NodeID u = 0; u < graph.num_nodes(); ++u) {
+    const BlockID bu = partition.block(u);
+    for (EdgeID e = graph.first_arc(u); e < graph.last_arc(u); ++e) {
+      const NodeID v = graph.arc_target(e);
+      const BlockID bv = partition.block(v);
+      if (bu == bv) continue;
+      const auto key = std::minmax(bu, bv);
+      auto [it, inserted] =
+          index_of.try_emplace({key.first, key.second}, edges_.size());
+      if (inserted) {
+        edges_.push_back({key.first, key.second, 0, {}});
+      }
+      QuotientEdge& edge = edges_[it->second];
+      // Each cut edge is visited from both endpoints; count weight once.
+      if (bu < bv) edge.cut_weight += graph.arc_weight(e);
+      edge.boundary.push_back(u);  // u sees the other block: it is boundary
+    }
+  }
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    auto& boundary = edges_[i].boundary;
+    std::sort(boundary.begin(), boundary.end());
+    boundary.erase(std::unique(boundary.begin(), boundary.end()),
+                   boundary.end());
+    incidence_[edges_[i].a].push_back(i);
+    incidence_[edges_[i].b].push_back(i);
+  }
+}
+
+std::size_t QuotientGraph::max_degree() const {
+  std::size_t degree = 0;
+  for (const auto& inc : incidence_) degree = std::max(degree, inc.size());
+  return degree;
+}
+
+}  // namespace kappa

@@ -1,0 +1,60 @@
+/// \file quotient_graph.hpp
+/// \brief Quotient graph Q of a partition (§5, Figure 1).
+///
+/// Nodes of Q are the blocks of the current partition; an edge {A, B}
+/// exists iff the underlying graph has at least one edge between blocks A
+/// and B. Pairwise refinement is scheduled on matchings of Q obtained from
+/// an edge coloring, so that all pairs of one color can be refined
+/// concurrently by independent PEs.
+#pragma once
+
+#include <vector>
+
+#include "graph/partition.hpp"
+#include "graph/static_graph.hpp"
+#include "util/types.hpp"
+
+namespace kappa {
+
+/// One edge of the quotient graph: an unordered pair of adjacent blocks
+/// together with the total weight of underlying cut edges between them and
+/// the boundary nodes of the pair (seeds for the band BFS, §5.2).
+struct QuotientEdge {
+  BlockID a;
+  BlockID b;
+  EdgeWeight cut_weight;
+  std::vector<NodeID> boundary;  ///< nodes of a adjacent to b and vice versa
+};
+
+/// The quotient graph of a partition.
+class QuotientGraph {
+ public:
+  QuotientGraph() = default;
+
+  /// Builds Q from the current partition in O(m).
+  QuotientGraph(const StaticGraph& graph, const Partition& partition);
+
+  /// Number of blocks (= nodes of Q).
+  [[nodiscard]] BlockID num_blocks() const { return k_; }
+
+  /// All quotient edges, each listed once with a < b.
+  [[nodiscard]] const std::vector<QuotientEdge>& edges() const {
+    return edges_;
+  }
+
+  /// Indices (into edges()) of the quotient edges incident to block \p b.
+  [[nodiscard]] const std::vector<std::size_t>& incident(BlockID b) const {
+    return incidence_[b];
+  }
+
+  /// Maximum degree of Q; an optimal edge coloring needs at least this many
+  /// colors, the paper's distributed algorithm at most twice as many.
+  [[nodiscard]] std::size_t max_degree() const;
+
+ private:
+  BlockID k_ = 0;
+  std::vector<QuotientEdge> edges_;
+  std::vector<std::vector<std::size_t>> incidence_;
+};
+
+}  // namespace kappa

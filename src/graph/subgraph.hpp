@@ -1,0 +1,28 @@
+/// \file subgraph.hpp
+/// \brief Induced subgraph extraction with node mappings.
+///
+/// Used by the parallel matching phase (each PE matches the subgraph
+/// induced by its local nodes, §3.3) and by pairwise refinement (the
+/// two-block band subgraph, §5.2).
+#pragma once
+
+#include <vector>
+
+#include "graph/static_graph.hpp"
+#include "util/types.hpp"
+
+namespace kappa {
+
+/// An induced subgraph plus the bidirectional node mapping.
+struct Subgraph {
+  StaticGraph graph;
+  std::vector<NodeID> local_to_global;  ///< size = subgraph nodes
+  std::vector<NodeID> global_to_local;  ///< kInvalidNode for outside nodes
+};
+
+/// Extracts the subgraph induced by \p nodes (must be duplicate-free).
+/// Edges leaving the node set are dropped; weights are preserved.
+[[nodiscard]] Subgraph induced_subgraph(const StaticGraph& graph,
+                                        const std::vector<NodeID>& nodes);
+
+}  // namespace kappa

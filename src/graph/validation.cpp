@@ -1,0 +1,99 @@
+#include "graph/validation.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace kappa {
+
+std::string validate_graph(const StaticGraph& graph) {
+  const NodeID n = graph.num_nodes();
+  std::map<std::pair<NodeID, NodeID>, EdgeWeight> forward;
+  for (NodeID u = 0; u < n; ++u) {
+    NodeID prev = kInvalidNode;
+    for (EdgeID e = graph.first_arc(u); e < graph.last_arc(u); ++e) {
+      const NodeID v = graph.arc_target(e);
+      if (v >= n) return "arc target out of range";
+      if (v == u) return "self-loop at node " + std::to_string(u);
+      if (graph.arc_weight(e) <= 0) return "non-positive edge weight";
+      if (v == prev) return "parallel arc at node " + std::to_string(u);
+      prev = v;
+      forward[{u, v}] = graph.arc_weight(e);
+    }
+    if (graph.node_weight(u) < 0) return "negative node weight";
+  }
+  for (const auto& [arc, w] : forward) {
+    auto it = forward.find({arc.second, arc.first});
+    if (it == forward.end()) {
+      std::ostringstream msg;
+      msg << "asymmetric arc " << arc.first << "->" << arc.second;
+      return msg.str();
+    }
+    if (it->second != w) {
+      std::ostringstream msg;
+      msg << "asymmetric weight on edge {" << arc.first << "," << arc.second
+          << "}";
+      return msg.str();
+    }
+  }
+  return {};
+}
+
+std::string validate_matching(const StaticGraph& graph,
+                              const std::vector<NodeID>& partner) {
+  if (partner.size() != graph.num_nodes()) return "partner array size";
+  for (NodeID u = 0; u < graph.num_nodes(); ++u) {
+    const NodeID v = partner[u];
+    if (v == u) continue;
+    if (v >= graph.num_nodes()) return "partner out of range";
+    if (partner[v] != u) return "asymmetric matching";
+    const auto nbrs = graph.neighbors(u);
+    if (std::find(nbrs.begin(), nbrs.end(), v) == nbrs.end()) {
+      return "matched pair is not an edge";
+    }
+  }
+  return {};
+}
+
+std::string validate_partition(const StaticGraph& graph,
+                               const Partition& partition) {
+  if (partition.num_nodes() != graph.num_nodes()) return "size mismatch";
+  std::vector<NodeWeight> weights(partition.k(), 0);
+  for (NodeID u = 0; u < graph.num_nodes(); ++u) {
+    const BlockID b = partition.block(u);
+    if (b >= partition.k()) return "block id out of range";
+    weights[b] += graph.node_weight(u);
+  }
+  for (BlockID b = 0; b < partition.k(); ++b) {
+    if (weights[b] != partition.block_weight(b)) {
+      return "cached block weight mismatch for block " + std::to_string(b);
+    }
+  }
+  return {};
+}
+
+NodeID count_components(const StaticGraph& graph) {
+  const NodeID n = graph.num_nodes();
+  std::vector<bool> visited(n, false);
+  std::vector<NodeID> stack;
+  NodeID components = 0;
+  for (NodeID s = 0; s < n; ++s) {
+    if (visited[s]) continue;
+    ++components;
+    visited[s] = true;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const NodeID u = stack.back();
+      stack.pop_back();
+      for (const NodeID v : graph.neighbors(u)) {
+        if (!visited[v]) {
+          visited[v] = true;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+}  // namespace kappa

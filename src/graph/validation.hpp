@@ -1,0 +1,35 @@
+/// \file validation.hpp
+/// \brief Structural invariants checked by tests and debug assertions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/partition.hpp"
+#include "graph/static_graph.hpp"
+#include "util/types.hpp"
+
+namespace kappa {
+
+/// Checks CSR well-formedness: symmetric adjacency with equal weights in
+/// both directions, no self-loops, no parallel arcs, positive edge weights,
+/// non-negative node weights. Returns an empty string if valid, otherwise
+/// a human-readable description of the first violation.
+[[nodiscard]] std::string validate_graph(const StaticGraph& graph);
+
+/// Checks that \p partner is a valid matching of \p graph: symmetric,
+/// partner[u] == u or {u, partner[u]} is an edge of the graph.
+[[nodiscard]] std::string validate_matching(const StaticGraph& graph,
+                                            const std::vector<NodeID>& partner);
+
+/// Checks that every node has a block in [0, k) and the cached block
+/// weights equal the recomputed ones.
+[[nodiscard]] std::string validate_partition(const StaticGraph& graph,
+                                             const Partition& partition);
+
+/// Number of connected components (generators promise connectivity of
+/// most instances; disconnected graphs are still handled but tested
+/// explicitly).
+[[nodiscard]] NodeID count_components(const StaticGraph& graph);
+
+}  // namespace kappa

@@ -1,0 +1,153 @@
+#include "initial/bipartition.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "coarsening/hierarchy.hpp"
+#include "graph/contraction.hpp"
+#include "graph/metrics.hpp"
+#include "graph/partition.hpp"
+#include "refinement/twoway_fm.hpp"
+#include "util/addressable_pq.hpp"
+
+namespace kappa {
+
+namespace {
+
+/// All nodes are eligible in initial-partitioning FM: the graphs are small
+/// (coarsest level), so no band restriction is needed.
+std::vector<NodeID> all_nodes(NodeID n) {
+  std::vector<NodeID> nodes(n);
+  std::iota(nodes.begin(), nodes.end(), NodeID{0});
+  return nodes;
+}
+
+/// Per-side balance bounds for a (possibly unequal) bisection.
+void side_bounds(const StaticGraph& graph, double fraction_a, double eps,
+                 NodeWeight& bound_a, NodeWeight& bound_b) {
+  const double total = static_cast<double>(graph.total_node_weight());
+  bound_a = static_cast<NodeWeight>((1.0 + eps) * fraction_a * total) +
+            graph.max_node_weight();
+  bound_b =
+      static_cast<NodeWeight>((1.0 + eps) * (1.0 - fraction_a) * total) +
+      graph.max_node_weight();
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> greedy_growing_bisection(const StaticGraph& graph,
+                                                   NodeWeight target_a,
+                                                   Rng& rng) {
+  const NodeID n = graph.num_nodes();
+  std::vector<std::uint8_t> side(n, 1);
+  if (n == 0) return side;
+
+  // Grow side 0 from a random seed; absorb the frontier node with maximal
+  // connectivity gain (weight to region minus weight to the outside).
+  AddressablePQ<NodeID, EdgeWeight> frontier(n);
+  std::vector<std::uint8_t> grown(n, 0);
+
+  NodeWeight grown_weight = 0;
+  NodeID next_seed = static_cast<NodeID>(rng.bounded(n));
+  while (grown_weight < target_a) {
+    if (frontier.empty()) {
+      // Start (or restart, for disconnected graphs) from an ungrown seed.
+      while (grown[next_seed]) next_seed = (next_seed + 1) % n;
+      frontier.push(next_seed, 0);
+    }
+    const NodeID u = frontier.pop();
+    if (grown[u]) continue;
+    grown[u] = 1;
+    side[u] = 0;
+    grown_weight += graph.node_weight(u);
+    for (EdgeID e = graph.first_arc(u); e < graph.last_arc(u); ++e) {
+      const NodeID v = graph.arc_target(e);
+      if (grown[v]) continue;
+      // Connectivity of v to the region increases by w(u,v).
+      const EdgeWeight delta = graph.arc_weight(e);
+      if (frontier.contains(v)) {
+        frontier.update_key(v, frontier.key(v) + delta);
+      } else {
+        frontier.push(v, delta);
+      }
+    }
+  }
+  return side;
+}
+
+std::vector<std::uint8_t> multilevel_bisection(const StaticGraph& graph,
+                                               const BisectionOptions& options,
+                                               Rng& rng) {
+  // --- Coarsen. ---
+  CoarseningOptions coarsening;
+  coarsening.rating = options.rating;
+  coarsening.matcher = options.matcher;
+  coarsening.contraction_limit = options.coarsest_size;
+  const Hierarchy hierarchy = build_hierarchy(graph, coarsening, rng);
+
+  // --- Initial bisection on the coarsest graph: best of several greedy
+  // growing attempts. ---
+  const StaticGraph& coarsest = hierarchy.coarsest();
+  const NodeWeight target_a = static_cast<NodeWeight>(
+      options.fraction_a * static_cast<double>(graph.total_node_weight()));
+
+  NodeWeight bound_a = 0;
+  NodeWeight bound_b = 0;
+  side_bounds(graph, options.fraction_a, options.eps, bound_a, bound_b);
+
+  TwoWayFMOptions fm;
+  fm.queue_selection = QueueSelection::kTopGain;
+  fm.patience_alpha = options.fm_alpha;
+  fm.max_block_weight = bound_a;
+  fm.max_block_weight_b = bound_b;
+
+  Partition best;
+  EdgeWeight best_cut = 0;
+  NodeWeight best_imbalance = 0;
+  for (int attempt = 0; attempt < std::max(options.growing_attempts, 1);
+       ++attempt) {
+    Rng attempt_rng = rng.fork(7000 + attempt);
+    std::vector<std::uint8_t> side =
+        greedy_growing_bisection(coarsest, target_a, attempt_rng);
+    std::vector<BlockID> assignment(side.begin(), side.end());
+    Partition candidate(coarsest, std::move(assignment), 2);
+    // Polish the attempt immediately so the comparison is meaningful.
+    for (int round = 0; round < options.fm_rounds; ++round) {
+      Rng fm_rng = attempt_rng.fork(round);
+      (void)twoway_fm(coarsest, candidate, 0, 1,
+                      all_nodes(coarsest.num_nodes()), fm, fm_rng);
+    }
+    const EdgeWeight cut = edge_cut(coarsest, candidate);
+    const NodeWeight imbalance = std::max<NodeWeight>(
+        0, std::max(candidate.block_weight(0) - bound_a,
+                    candidate.block_weight(1) - bound_b));
+    if (attempt == 0 || imbalance < best_imbalance ||
+        (imbalance == best_imbalance && cut < best_cut)) {
+      best = candidate;
+      best_cut = cut;
+      best_imbalance = imbalance;
+    }
+  }
+
+  // --- Uncoarsen with FM refinement per level. ---
+  Partition current = std::move(best);
+  for (std::size_t level = hierarchy.num_levels() - 1; level > 0; --level) {
+    const StaticGraph& fine = hierarchy.graph(level - 1);
+    current = project_partition(fine, hierarchy.map(level - 1), current);
+    for (int round = 0; round < options.fm_rounds; ++round) {
+      Rng fm_rng = rng.fork(9000 + level * 31 + round);
+      const TwoWayFMResult result = twoway_fm(
+          fine, current, 0, 1, all_nodes(fine.num_nodes()), fm, fm_rng);
+      if (result.cut_gain == 0 && result.imbalance_gain == 0) break;
+    }
+  }
+
+  std::vector<std::uint8_t> side(graph.num_nodes());
+  for (NodeID u = 0; u < graph.num_nodes(); ++u) {
+    side[u] = static_cast<std::uint8_t>(current.block(u));
+  }
+  return side;
+}
+
+}  // namespace kappa

@@ -1,0 +1,51 @@
+/// \file bipartition.hpp
+/// \brief Multilevel 2-way partitioning (building block of recursive
+/// bisection and of the Scotch-like baseline).
+///
+/// A bisection separates a graph into two sides with prescribed target
+/// weights (unequal targets occur for non-power-of-two k). The multilevel
+/// variant coarsens, seeds the coarsest graph with greedy graph growing
+/// and refines every level with two-way FM on the full boundary.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/static_graph.hpp"
+#include "matching/matchers.hpp"
+#include "util/random.hpp"
+#include "util/types.hpp"
+
+namespace kappa {
+
+/// Parameters of one multilevel bisection.
+struct BisectionOptions {
+  /// Fraction of the total node weight that side 0 should receive.
+  double fraction_a = 0.5;
+  /// Allowed relative imbalance per side.
+  double eps = 0.03;
+  EdgeRating rating = EdgeRating::kExpansionStar2;
+  MatcherAlgo matcher = MatcherAlgo::kGPA;
+  /// Coarsening stops below this many nodes.
+  NodeID coarsest_size = 80;
+  /// Greedy-growing attempts on the coarsest graph (best one kept).
+  int growing_attempts = 4;
+  /// FM repetitions per level.
+  int fm_rounds = 2;
+  /// FM patience fraction.
+  double fm_alpha = 0.2;
+};
+
+/// Greedy graph growing (region growing): starting from a random seed,
+/// repeatedly absorb the frontier node with the highest connectivity to
+/// the grown region until side 0 reaches its target weight. Classic
+/// initial bipartitioner of multilevel systems.
+[[nodiscard]] std::vector<std::uint8_t> greedy_growing_bisection(
+    const StaticGraph& graph, NodeWeight target_a, Rng& rng);
+
+/// Full multilevel bisection: coarsen, grow, refine. Returns the side
+/// (0/1) of every node.
+[[nodiscard]] std::vector<std::uint8_t> multilevel_bisection(
+    const StaticGraph& graph, const BisectionOptions& options, Rng& rng);
+
+}  // namespace kappa

@@ -1,0 +1,36 @@
+#include "initial/initial_partitioner.hpp"
+
+#include "graph/metrics.hpp"
+
+namespace kappa {
+
+Partition initial_partition(const StaticGraph& graph, BlockID k,
+                            const InitialPartitionOptions& options, Rng& rng) {
+  RecursiveBisectionOptions rb;
+  rb.eps = options.eps;
+
+  const NodeWeight bound = max_block_weight_bound(graph, k, options.eps);
+
+  Partition best;
+  EdgeWeight best_cut = 0;
+  NodeWeight best_overload = 0;
+  for (int attempt = 0; attempt < std::max(options.repeats, 1); ++attempt) {
+    Rng attempt_rng = rng.fork(attempt);
+    Partition candidate = recursive_bisection(graph, k, rb, attempt_rng);
+    const EdgeWeight cut = edge_cut(graph, candidate);
+    NodeWeight overload = 0;
+    for (BlockID b = 0; b < k; ++b) {
+      overload += std::max<NodeWeight>(0, candidate.block_weight(b) - bound);
+    }
+    // Feasibility first, then cut — "the best solution is broadcast".
+    if (attempt == 0 || overload < best_overload ||
+        (overload == best_overload && cut < best_cut)) {
+      best = std::move(candidate);
+      best_cut = cut;
+      best_overload = overload;
+    }
+  }
+  return best;
+}
+
+}  // namespace kappa

@@ -1,0 +1,33 @@
+/// \file initial_partitioner.hpp
+/// \brief Initial partitioning of the coarsest graph (§4).
+///
+/// "We use the sequential algorithms and run them simultaneously on all
+/// PEs, each with a different seed for the random number generator. Since
+/// initial partitioning is very fast, it is also repeated several times.
+/// The best solution is then broadcast to all PEs." The repetitions knob is
+/// Table 2's "init. repeats" (1 / 3 / 5).
+#pragma once
+
+#include "graph/partition.hpp"
+#include "graph/static_graph.hpp"
+#include "initial/recursive_bisection.hpp"
+#include "util/random.hpp"
+#include "util/types.hpp"
+
+namespace kappa {
+
+/// Options of the initial partitioning phase.
+struct InitialPartitionOptions {
+  double eps = 0.03;
+  /// Independent attempts (different seeds); the best result wins.
+  /// Emulates "repeats x PEs" of the paper with repeats attempts.
+  int repeats = 3;
+};
+
+/// Partitions the (coarsest) graph into k blocks: several independent
+/// recursive-bisection runs, keeping the best by (feasible-first, cut).
+[[nodiscard]] Partition initial_partition(const StaticGraph& graph, BlockID k,
+                                          const InitialPartitionOptions& options,
+                                          Rng& rng);
+
+}  // namespace kappa

@@ -1,0 +1,67 @@
+#include "initial/recursive_bisection.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "graph/subgraph.hpp"
+
+namespace kappa {
+
+namespace {
+
+/// Recursively assigns blocks [first_block, first_block + parts) to the
+/// subgraph induced by \p nodes.
+void bisect_recursive(const StaticGraph& graph,
+                      const std::vector<NodeID>& nodes, BlockID first_block,
+                      BlockID parts, const RecursiveBisectionOptions& options,
+                      Rng& rng, std::vector<BlockID>& result) {
+  if (parts == 1) {
+    for (const NodeID u : nodes) result[u] = first_block;
+    return;
+  }
+
+  const Subgraph sub = induced_subgraph(graph, nodes);
+  const BlockID left_parts = (parts + 1) / 2;
+  const BlockID right_parts = parts - left_parts;
+
+  BisectionOptions bisection = options.bisection;
+  bisection.fraction_a =
+      static_cast<double>(left_parts) / static_cast<double>(parts);
+  // Imbalance accumulates multiplicatively over the ~log2(parts) nested
+  // splits below this one: a side that is (1+d) over its target spreads
+  // that surplus over all its blocks. Budget the global eps across the
+  // remaining depth: (1+eps_inner)^depth <= 1+eps.
+  const double depth = std::ceil(std::log2(std::max<double>(parts, 2)));
+  bisection.eps =
+      std::max(0.002, std::pow(1.0 + options.eps, 1.0 / (depth + 1)) - 1.0);
+
+  Rng split_rng = rng.fork(first_block * 2654435761u + parts);
+  const std::vector<std::uint8_t> side =
+      multilevel_bisection(sub.graph, bisection, split_rng);
+
+  std::vector<NodeID> left;
+  std::vector<NodeID> right;
+  for (NodeID local = 0; local < sub.graph.num_nodes(); ++local) {
+    (side[local] == 0 ? left : right).push_back(sub.local_to_global[local]);
+  }
+  bisect_recursive(graph, left, first_block, left_parts, options, rng,
+                   result);
+  bisect_recursive(graph, right, first_block + left_parts, right_parts,
+                   options, rng, result);
+}
+
+}  // namespace
+
+Partition recursive_bisection(const StaticGraph& graph, BlockID k,
+                              const RecursiveBisectionOptions& options,
+                              Rng& rng) {
+  assert(k >= 1);
+  std::vector<NodeID> all(graph.num_nodes());
+  std::iota(all.begin(), all.end(), NodeID{0});
+  std::vector<BlockID> assignment(graph.num_nodes(), 0);
+  bisect_recursive(graph, all, 0, k, options, rng, assignment);
+  return Partition(graph, std::move(assignment), k);
+}
+
+}  // namespace kappa

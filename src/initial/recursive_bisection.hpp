@@ -1,0 +1,29 @@
+/// \file recursive_bisection.hpp
+/// \brief k-way partitioning by recursive bisection.
+///
+/// Splits k into ceil(k/2) + floor(k/2) with proportional weight targets,
+/// bisects, and recurses on the induced subgraphs. With multilevel
+/// bisections this is the algorithmic core of Scotch; KaPPa uses it as
+/// the initial partitioner on the coarsest graph (§4).
+#pragma once
+
+#include "graph/partition.hpp"
+#include "graph/static_graph.hpp"
+#include "initial/bipartition.hpp"
+#include "util/random.hpp"
+#include "util/types.hpp"
+
+namespace kappa {
+
+/// Options of a recursive bisection run.
+struct RecursiveBisectionOptions {
+  double eps = 0.03;
+  BisectionOptions bisection;  ///< fraction_a/eps are overwritten per split
+};
+
+/// Partitions \p graph into \p k blocks by recursive multilevel bisection.
+[[nodiscard]] Partition recursive_bisection(
+    const StaticGraph& graph, BlockID k,
+    const RecursiveBisectionOptions& options, Rng& rng);
+
+}  // namespace kappa

@@ -1,0 +1,320 @@
+#include "matching/matchers.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <numeric>
+
+namespace kappa {
+
+namespace {
+
+/// Union-find over nodes used by GPA to track which path a node belongs to.
+class UnionFind {
+ public:
+  explicit UnionFind(NodeID n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), NodeID{0});
+  }
+
+  NodeID find(NodeID u) {
+    while (parent_[u] != u) {
+      parent_[u] = parent_[parent_[u]];
+      u = parent_[u];
+    }
+    return u;
+  }
+
+  /// Merges the components of a and b; returns the new root.
+  NodeID unite(NodeID a, NodeID b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent_[b] = a;
+    return a;
+  }
+
+ private:
+  std::vector<NodeID> parent_;
+};
+
+/// Sorts rated edges by descending rating with randomized tie-breaking
+/// (shuffle first, then stable sort).
+void sort_edges_by_rating(std::vector<RatedEdge>& edges, Rng& rng) {
+  rng.shuffle(edges);
+  std::stable_sort(edges.begin(), edges.end(),
+                   [](const RatedEdge& a, const RatedEdge& b) {
+                     return a.rating > b.rating;
+                   });
+}
+
+/// Removes edges whose combined endpoint weight exceeds the bound.
+std::vector<RatedEdge> admissible_edges(const StaticGraph& graph,
+                                        const MatchingOptions& options) {
+  std::vector<RatedEdge> edges = collect_rated_edges(graph, options.rating);
+  if (options.max_pair_weight != std::numeric_limits<NodeWeight>::max()) {
+    std::erase_if(edges, [&](const RatedEdge& e) {
+      return graph.node_weight(e.u) + graph.node_weight(e.v) >
+             options.max_pair_weight;
+    });
+  }
+  return edges;
+}
+
+/// SHEM (§3.2): scan nodes by increasing degree; match each scanned node to
+/// its best-rated still-unmatched neighbor.
+std::vector<NodeID> shem_matching(const StaticGraph& graph,
+                                  const MatchingOptions& options, Rng& rng) {
+  const NodeID n = graph.num_nodes();
+  std::vector<NodeID> partner(n);
+  std::iota(partner.begin(), partner.end(), NodeID{0});
+
+  std::vector<NodeID> order = rng.permutation(n);
+  std::stable_sort(order.begin(), order.end(), [&](NodeID a, NodeID b) {
+    return graph.degree(a) < graph.degree(b);
+  });
+
+  std::vector<EdgeWeight> out;
+  if (options.rating == EdgeRating::kInnerOuter) {
+    out.resize(n);
+    for (NodeID u = 0; u < n; ++u) out[u] = graph.weighted_degree(u);
+  }
+
+  for (const NodeID v : order) {
+    if (partner[v] != v) continue;
+    NodeID best = kInvalidNode;
+    double best_rating = -1.0;
+    for (EdgeID e = graph.first_arc(v); e < graph.last_arc(v); ++e) {
+      const NodeID u = graph.arc_target(e);
+      if (partner[u] != u) continue;
+      if (graph.node_weight(u) + graph.node_weight(v) >
+          options.max_pair_weight) {
+        continue;
+      }
+      const EdgeWeight ou = out.empty() ? 0 : out[u];
+      const EdgeWeight ov = out.empty() ? 0 : out[v];
+      const double r = rate_edge(options.rating, graph.arc_weight(e),
+                                 graph.node_weight(u), graph.node_weight(v),
+                                 ou, ov);
+      if (r > best_rating) {
+        best_rating = r;
+        best = u;
+      }
+    }
+    if (best != kInvalidNode) {
+      partner[v] = best;
+      partner[best] = v;
+    }
+  }
+  return partner;
+}
+
+/// Greedy (§3.2): edges in rating order; match whenever both ends are free.
+/// Guarantees a 1/2-approximation of the maximum rating matching.
+std::vector<NodeID> greedy_matching(const StaticGraph& graph,
+                                    const MatchingOptions& options, Rng& rng) {
+  std::vector<RatedEdge> edges = admissible_edges(graph, options);
+  sort_edges_by_rating(edges, rng);
+
+  std::vector<NodeID> partner(graph.num_nodes());
+  std::iota(partner.begin(), partner.end(), NodeID{0});
+  for (const RatedEdge& e : edges) {
+    if (partner[e.u] == e.u && partner[e.v] == e.v) {
+      partner[e.u] = e.v;
+      partner[e.v] = e.u;
+    }
+  }
+  return partner;
+}
+
+/// Maximum-rating matching of a path given as an ordered edge sequence;
+/// classic O(L) dynamic program. Appends chosen indices of \p path_edges
+/// (which index into \p edges) to \p chosen.
+void path_dp(const std::vector<RatedEdge>& edges,
+             const std::vector<std::size_t>& path_edges, std::size_t begin,
+             std::size_t end, std::vector<std::size_t>& chosen) {
+  if (begin >= end) return;
+  const std::size_t len = end - begin;
+  // best[i]: best matching rating among the first i edges of the range.
+  std::vector<double> best(len + 1, 0.0);
+  best[1] = edges[path_edges[begin]].rating;
+  for (std::size_t i = 2; i <= len; ++i) {
+    const double take =
+        best[i - 2] + edges[path_edges[begin + i - 1]].rating;
+    best[i] = std::max(best[i - 1], take);
+  }
+  std::size_t i = len;
+  while (i >= 1) {
+    if (best[i] == best[i - 1]) {
+      --i;
+    } else {
+      chosen.push_back(path_edges[begin + i - 1]);
+      if (i < 2) break;
+      i -= 2;
+    }
+  }
+}
+
+/// Maximum-rating matching of an even cycle: either drop the closing edge
+/// (path on the rest) or force it in (and drop both its neighbors).
+void cycle_dp(const std::vector<RatedEdge>& edges,
+              const std::vector<std::size_t>& cycle_edges,
+              std::vector<std::size_t>& chosen) {
+  const std::size_t len = cycle_edges.size();
+  assert(len >= 2);
+  // Option A: exclude the last edge.
+  std::vector<std::size_t> a;
+  path_dp(edges, cycle_edges, 0, len - 1, a);
+  double value_a = 0.0;
+  for (std::size_t idx : a) value_a += edges[idx].rating;
+  // Option B: include the last edge, excluding its two cycle neighbors.
+  std::vector<std::size_t> b;
+  if (len >= 3) path_dp(edges, cycle_edges, 1, len - 2, b);
+  double value_b = edges[cycle_edges[len - 1]].rating;
+  for (std::size_t idx : b) value_b += edges[idx].rating;
+  b.push_back(cycle_edges[len - 1]);
+
+  const std::vector<std::size_t>& winner = value_b > value_a ? b : a;
+  chosen.insert(chosen.end(), winner.begin(), winner.end());
+}
+
+}  // namespace
+
+namespace detail {
+
+void gpa_match_edges(NodeID num_nodes, const std::vector<RatedEdge>& edges,
+                     std::vector<NodeID>& partner) {
+  // Phase 1: grow a collection of paths and even cycles (§3.2). An edge is
+  // applicable iff both endpoints have degree <= 1 in the collection and it
+  // either connects two different paths or closes a path with an odd number
+  // of edges into an even cycle.
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::vector<std::uint8_t> deg(num_nodes, 0);
+  std::vector<std::array<std::size_t, 2>> incident(num_nodes,
+                                                   {kNone, kNone});
+  UnionFind uf(num_nodes);
+  std::vector<NodeID> path_edge_count(num_nodes, 0);  // indexed by root
+  std::vector<std::uint8_t> is_cycle(num_nodes, 0);
+
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const RatedEdge& e = edges[i];
+    if (deg[e.u] >= 2 || deg[e.v] >= 2) continue;
+    const NodeID ru = uf.find(e.u);
+    const NodeID rv = uf.find(e.v);
+    if (ru == rv) {
+      // Same path: closing it yields a cycle with path_edge_count+1 edges;
+      // only even cycles admit a perfect alternation, so require an odd
+      // number of path edges.
+      if (is_cycle[ru] || path_edge_count[ru] % 2 == 0) continue;
+      is_cycle[ru] = 1;
+      path_edge_count[ru] += 1;
+    } else {
+      const NodeID r = uf.unite(ru, rv);
+      path_edge_count[r] =
+          path_edge_count[ru] + path_edge_count[rv] + 1;
+    }
+    incident[e.u][deg[e.u]++] = i;
+    incident[e.v][deg[e.v]++] = i;
+  }
+
+  // Phase 2: solve every path / cycle optimally by dynamic programming.
+  std::vector<std::uint8_t> edge_visited(edges.size(), 0);
+  std::vector<std::size_t> sequence;
+  std::vector<std::size_t> chosen;
+
+  auto walk_from = [&](NodeID start, std::size_t first_edge) {
+    sequence.clear();
+    NodeID cur = start;
+    std::size_t eidx = first_edge;
+    while (true) {
+      edge_visited[eidx] = 1;
+      sequence.push_back(eidx);
+      const RatedEdge& e = edges[eidx];
+      const NodeID nxt = (e.u == cur) ? e.v : e.u;
+      std::size_t next_edge = kNone;
+      for (const std::size_t cand : incident[nxt]) {
+        if (cand != kNone && !edge_visited[cand]) next_edge = cand;
+      }
+      if (next_edge == kNone) break;
+      cur = nxt;
+      eidx = next_edge;
+    }
+  };
+
+  // Paths: start the walk at degree-1 endpoints.
+  for (NodeID u = 0; u < num_nodes; ++u) {
+    if (deg[u] != 1) continue;
+    const std::size_t first = incident[u][0];
+    if (edge_visited[first]) continue;
+    walk_from(u, first);
+    path_dp(edges, sequence, 0, sequence.size(), chosen);
+  }
+  // Cycles: whatever degree-2 structure is left.
+  for (NodeID u = 0; u < num_nodes; ++u) {
+    if (deg[u] != 2) continue;
+    const std::size_t first = incident[u][0];
+    if (edge_visited[first]) continue;
+    walk_from(u, first);
+    cycle_dp(edges, sequence, chosen);
+  }
+
+  for (const std::size_t idx : chosen) {
+    const RatedEdge& e = edges[idx];
+    assert(partner[e.u] == e.u && partner[e.v] == e.v);
+    partner[e.u] = e.v;
+    partner[e.v] = e.u;
+  }
+}
+
+}  // namespace detail
+
+const char* matcher_name(MatcherAlgo algo) {
+  switch (algo) {
+    case MatcherAlgo::kSHEM:
+      return "shem";
+    case MatcherAlgo::kGreedy:
+      return "greedy";
+    case MatcherAlgo::kGPA:
+      return "gpa";
+  }
+  return "?";
+}
+
+std::vector<NodeID> compute_matching(const StaticGraph& graph,
+                                     MatcherAlgo algo,
+                                     const MatchingOptions& options,
+                                     Rng& rng) {
+  switch (algo) {
+    case MatcherAlgo::kSHEM:
+      return shem_matching(graph, options, rng);
+    case MatcherAlgo::kGreedy:
+      return greedy_matching(graph, options, rng);
+    case MatcherAlgo::kGPA: {
+      std::vector<RatedEdge> edges = admissible_edges(graph, options);
+      sort_edges_by_rating(edges, rng);
+      std::vector<NodeID> partner(graph.num_nodes());
+      std::iota(partner.begin(), partner.end(), NodeID{0});
+      detail::gpa_match_edges(graph.num_nodes(), edges, partner);
+      return partner;
+    }
+  }
+  return {};
+}
+
+double matching_rating(const StaticGraph& graph,
+                       const std::vector<NodeID>& partner, EdgeRating rating) {
+  std::vector<RatedEdge> edges = collect_rated_edges(graph, rating);
+  double total = 0.0;
+  for (const RatedEdge& e : edges) {
+    if (partner[e.u] == e.v) total += e.rating;
+  }
+  return total;
+}
+
+NodeID matching_size(const std::vector<NodeID>& partner) {
+  NodeID matched = 0;
+  for (NodeID u = 0; u < partner.size(); ++u) {
+    if (partner[u] != u) ++matched;
+  }
+  return matched / 2;
+}
+
+}  // namespace kappa

@@ -1,0 +1,64 @@
+/// \file matchers.hpp
+/// \brief Sequential matching algorithms: SHEM, Greedy, GPA (§3.2).
+///
+/// All three run in (near) linear time and guarantee (Greedy, GPA) a
+/// 1/2-approximation of the maximum rating matching. Matchings are
+/// represented as a symmetric partner array: partner[u] == v iff {u,v} is
+/// matched, partner[u] == u iff u is unmatched.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "graph/static_graph.hpp"
+#include "matching/ratings.hpp"
+#include "util/random.hpp"
+#include "util/types.hpp"
+
+namespace kappa {
+
+/// The three sequential matching algorithms compared in Table 3.
+enum class MatcherAlgo {
+  kSHEM,    ///< Sorted Heavy Edge Matching (Metis): node scan by degree
+  kGreedy,  ///< edge scan in rating order, immediate matching
+  kGPA,     ///< Global Path Algorithm: paths/cycles + DP (the default)
+};
+
+/// Human-readable matcher name (for table output).
+[[nodiscard]] const char* matcher_name(MatcherAlgo algo);
+
+/// Options shared by all matchers.
+struct MatchingOptions {
+  EdgeRating rating = EdgeRating::kExpansionStar2;
+  /// Pairs with c(u) + c(v) above this bound are never matched; keeps
+  /// coarse node weights below the balance bound so initial partitioning
+  /// stays feasible.
+  NodeWeight max_pair_weight = std::numeric_limits<NodeWeight>::max();
+};
+
+/// Computes a matching of \p graph with the chosen algorithm. \p rng breaks
+/// ties / randomizes scan order where the algorithm allows it.
+[[nodiscard]] std::vector<NodeID> compute_matching(const StaticGraph& graph,
+                                                   MatcherAlgo algo,
+                                                   const MatchingOptions& options,
+                                                   Rng& rng);
+
+/// Total rating of a matching (what the approximation guarantee is about).
+[[nodiscard]] double matching_rating(const StaticGraph& graph,
+                                     const std::vector<NodeID>& partner,
+                                     EdgeRating rating);
+
+/// Number of matched pairs.
+[[nodiscard]] NodeID matching_size(const std::vector<NodeID>& partner);
+
+namespace detail {
+
+/// Runs the GPA path/cycle dynamic program on an explicit rated edge list
+/// (already filtered + sorted by descending rating). Exposed for the
+/// parallel matcher and for white-box tests.
+void gpa_match_edges(NodeID num_nodes, const std::vector<RatedEdge>& edges,
+                     std::vector<NodeID>& partner);
+
+}  // namespace detail
+
+}  // namespace kappa

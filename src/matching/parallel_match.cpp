@@ -1,0 +1,143 @@
+#include "matching/parallel_match.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "graph/subgraph.hpp"
+
+namespace kappa {
+
+std::vector<NodeID> parallel_matching(const StaticGraph& graph,
+                                      const std::vector<BlockID>& node_to_pe,
+                                      BlockID num_pes, MatcherAlgo algo,
+                                      const MatchingOptions& options, Rng& rng,
+                                      ParallelMatchingStats* stats) {
+  const NodeID n = graph.num_nodes();
+  assert(node_to_pe.size() == n);
+
+  std::vector<NodeID> partner(n);
+  std::iota(partner.begin(), partner.end(), NodeID{0});
+
+  // --- Phase 1: sequential matching on each PE's induced subgraph. ---
+  std::vector<std::vector<NodeID>> pe_nodes(num_pes);
+  for (NodeID u = 0; u < n; ++u) pe_nodes[node_to_pe[u]].push_back(u);
+
+  for (BlockID pe = 0; pe < num_pes; ++pe) {
+    if (pe_nodes[pe].empty()) continue;
+    const Subgraph sub = induced_subgraph(graph, pe_nodes[pe]);
+    Rng pe_rng = rng.fork(pe);
+    const std::vector<NodeID> local =
+        compute_matching(sub.graph, algo, options, pe_rng);
+    for (NodeID lu = 0; lu < local.size(); ++lu) {
+      const NodeID lv = local[lu];
+      if (lv <= lu) continue;  // handle each pair once, skip unmatched
+      const NodeID u = sub.local_to_global[lu];
+      const NodeID v = sub.local_to_global[lv];
+      partner[u] = v;
+      partner[v] = u;
+    }
+  }
+  if (stats != nullptr) stats->local_pairs = matching_size(partner);
+
+  // Rating of the locally matched edge at each node (0 if unmatched).
+  std::vector<EdgeWeight> out;
+  if (options.rating == EdgeRating::kInnerOuter) {
+    out.resize(n);
+    for (NodeID u = 0; u < n; ++u) out[u] = graph.weighted_degree(u);
+  }
+  auto arc_rating = [&](NodeID u, NodeID v, EdgeWeight w) {
+    const EdgeWeight ou = out.empty() ? 0 : out[u];
+    const EdgeWeight ov = out.empty() ? 0 : out[v];
+    return rate_edge(options.rating, w, graph.node_weight(u),
+                     graph.node_weight(v), ou, ov);
+  };
+  std::vector<double> local_match_rating(n, 0.0);
+  for (NodeID u = 0; u < n; ++u) {
+    const NodeID v = partner[u];
+    if (v == u) continue;
+    for (EdgeID e = graph.first_arc(u); e < graph.last_arc(u); ++e) {
+      if (graph.arc_target(e) == v) {
+        local_match_rating[u] = arc_rating(u, v, graph.arc_weight(e));
+        break;
+      }
+    }
+  }
+
+  // --- Phase 2: gap graph (§3.3). ---
+  std::vector<RatedEdge> gap;
+  for (NodeID u = 0; u < n; ++u) {
+    for (EdgeID e = graph.first_arc(u); e < graph.last_arc(u); ++e) {
+      const NodeID v = graph.arc_target(e);
+      if (u >= v || node_to_pe[u] == node_to_pe[v]) continue;
+      const EdgeWeight w = graph.arc_weight(e);
+      if (options.max_pair_weight !=
+              std::numeric_limits<NodeWeight>::max() &&
+          graph.node_weight(u) + graph.node_weight(v) >
+              options.max_pair_weight) {
+        continue;
+      }
+      const double r = arc_rating(u, v, w);
+      if (r > local_match_rating[u] && r > local_match_rating[v]) {
+        gap.push_back({u, v, w, r});
+      }
+    }
+  }
+  if (stats != nullptr) stats->gap_edges = gap.size();
+
+  // Iterated locally-heaviest matching: in every round each endpoint
+  // nominates its best remaining gap edge; an edge that is nominated by
+  // both endpoints is matched, dissolving tentative local matches.
+  std::vector<std::uint8_t> gap_alive(gap.size(), 1);
+  std::vector<std::uint8_t> node_taken(n, 0);
+  std::size_t rounds = 0;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    ++rounds;
+    // best remaining gap edge per node (index into gap, by rating then
+    // lower index for determinism).
+    std::vector<std::size_t> best(n, gap.size());
+    for (std::size_t i = 0; i < gap.size(); ++i) {
+      if (!gap_alive[i]) continue;
+      for (const NodeID x : {gap[i].u, gap[i].v}) {
+        if (node_taken[x]) continue;
+        std::size_t& b = best[x];
+        if (b == gap.size() || gap[i].rating > gap[b].rating ||
+            (gap[i].rating == gap[b].rating && i < b)) {
+          b = i;
+        }
+      }
+    }
+    for (std::size_t i = 0; i < gap.size(); ++i) {
+      if (!gap_alive[i]) continue;
+      const NodeID u = gap[i].u;
+      const NodeID v = gap[i].v;
+      if (node_taken[u] || node_taken[v]) {
+        gap_alive[i] = 0;
+        continue;
+      }
+      if (best[u] == i && best[v] == i) {
+        // Dissolve tentative local matches of u and v.
+        for (const NodeID x : {u, v}) {
+          const NodeID p = partner[x];
+          if (p != x) {
+            partner[p] = p;
+            local_match_rating[p] = 0.0;
+          }
+        }
+        partner[u] = v;
+        partner[v] = u;
+        node_taken[u] = 1;
+        node_taken[v] = 1;
+        gap_alive[i] = 0;
+        progress = true;
+        if (stats != nullptr) ++stats->gap_pairs;
+      }
+    }
+  }
+  if (stats != nullptr) stats->gap_rounds = rounds;
+  return partner;
+}
+
+}  // namespace kappa

@@ -1,0 +1,78 @@
+#include "matching/ratings.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace kappa {
+
+const char* rating_name(EdgeRating rating) {
+  switch (rating) {
+    case EdgeRating::kWeight:
+      return "weight";
+    case EdgeRating::kExpansion:
+      return "expansion";
+    case EdgeRating::kExpansionStar:
+      return "expansion*";
+    case EdgeRating::kExpansionStar2:
+      return "expansion*2";
+    case EdgeRating::kInnerOuter:
+      return "innerOuter";
+  }
+  return "?";
+}
+
+double rate_edge(EdgeRating rating, EdgeWeight w, NodeWeight cu, NodeWeight cv,
+                 EdgeWeight out_u, EdgeWeight out_v) {
+  const double dw = static_cast<double>(w);
+  // Node weights are >= 1 for any graph produced by GraphBuilder or
+  // contract(); clamp defensively so ratings stay finite.
+  const double du = static_cast<double>(std::max<NodeWeight>(cu, 1));
+  const double dv = static_cast<double>(std::max<NodeWeight>(cv, 1));
+  switch (rating) {
+    case EdgeRating::kWeight:
+      return dw;
+    case EdgeRating::kExpansion:
+      return dw / (du + dv);
+    case EdgeRating::kExpansionStar:
+      return dw / (du * dv);
+    case EdgeRating::kExpansionStar2:
+      return dw * dw / (du * dv);
+    case EdgeRating::kInnerOuter: {
+      // Out(u) + Out(v) - 2 omega(e) counts the weight of edges leaving the
+      // would-be cluster {u, v}; an isolated pair has no outer edges and
+      // gets the maximal finite rating.
+      const double outer =
+          static_cast<double>(out_u) + static_cast<double>(out_v) - 2.0 * dw;
+      return outer <= 0.0 ? dw * 1e12 : dw / outer;
+    }
+  }
+  return 0.0;
+}
+
+std::vector<RatedEdge> collect_rated_edges(const StaticGraph& graph,
+                                           EdgeRating rating) {
+  const NodeID n = graph.num_nodes();
+  std::vector<EdgeWeight> out;
+  if (rating == EdgeRating::kInnerOuter) {
+    out.resize(n);
+    for (NodeID u = 0; u < n; ++u) out[u] = graph.weighted_degree(u);
+  }
+  std::vector<RatedEdge> edges;
+  edges.reserve(graph.num_edges());
+  for (NodeID u = 0; u < n; ++u) {
+    for (EdgeID e = graph.first_arc(u); e < graph.last_arc(u); ++e) {
+      const NodeID v = graph.arc_target(e);
+      if (u >= v) continue;
+      const EdgeWeight w = graph.arc_weight(e);
+      const EdgeWeight ou = out.empty() ? 0 : out[u];
+      const EdgeWeight ov = out.empty() ? 0 : out[v];
+      edges.push_back(
+          {u, v, w,
+           rate_edge(rating, w, graph.node_weight(u), graph.node_weight(v), ou,
+                     ov)});
+    }
+  }
+  return edges;
+}
+
+}  // namespace kappa

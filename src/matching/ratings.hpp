@@ -1,0 +1,49 @@
+/// \file ratings.hpp
+/// \brief Edge rating functions for contraction (§3.1).
+///
+/// The paper's key coarsening insight: rate edges not only by weight but by
+/// functions that also *discourage heavy end nodes*, keeping node weights
+/// uniform across contraction levels. The plain weight rating is up to
+/// 8.8% worse than the alternatives (Table 3).
+#pragma once
+
+#include <vector>
+
+#include "graph/static_graph.hpp"
+#include "util/types.hpp"
+
+namespace kappa {
+
+/// The five edge ratings evaluated in the paper.
+enum class EdgeRating {
+  kWeight,          ///< omega(e) — the classic rating, worst performer
+  kExpansion,       ///< omega(e) / (c(u) + c(v))
+  kExpansionStar,   ///< omega(e) / (c(u) * c(v))
+  kExpansionStar2,  ///< omega(e)^2 / (c(u) * c(v)) — the paper's default
+  kInnerOuter,      ///< omega(e) / (Out(u) + Out(v) - 2 omega(e))
+};
+
+/// Human-readable rating name (for table output).
+[[nodiscard]] const char* rating_name(EdgeRating rating);
+
+/// An undirected edge with its rating, as consumed by Greedy and GPA.
+struct RatedEdge {
+  NodeID u;
+  NodeID v;
+  EdgeWeight weight;  ///< original omega(e), kept for reporting
+  double rating;      ///< rating value; matchers maximize total rating
+};
+
+/// Rates a single edge {u, v} of weight w.
+/// \p out_u, \p out_v are the weighted degrees Out(u), Out(v), used only by
+/// innerOuter (pass 0 otherwise).
+[[nodiscard]] double rate_edge(EdgeRating rating, EdgeWeight w, NodeWeight cu,
+                               NodeWeight cv, EdgeWeight out_u,
+                               EdgeWeight out_v);
+
+/// Collects every undirected edge of \p graph with its rating.
+/// Weighted degrees are precomputed once so the whole pass is O(m).
+[[nodiscard]] std::vector<RatedEdge> collect_rated_edges(
+    const StaticGraph& graph, EdgeRating rating);
+
+}  // namespace kappa

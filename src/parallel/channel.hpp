@@ -1,0 +1,80 @@
+/// \file channel.hpp
+/// \brief Blocking message channels between PE threads.
+///
+/// The PE runtime (pe_runtime.hpp) replaces MPI point-to-point messaging:
+/// every PE owns one mailbox; send() enqueues a tagged word buffer,
+/// receive() blocks until a message from the requested source arrives.
+/// Payloads are flat 64-bit word vectors — the same "serialize everything
+/// into buffers" discipline an MPI implementation enforces, which keeps
+/// the algorithms honest about what they would really communicate.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace kappa {
+
+/// A message: source rank plus flat payload.
+struct Message {
+  int source = -1;
+  std::vector<std::uint64_t> payload;
+};
+
+/// One PE's mailbox. Thread-safe multi-producer, single-consumer.
+class Mailbox {
+ public:
+  /// Enqueues a message (called by any sending PE thread).
+  void push(Message message) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push_back(std::move(message));
+    }
+    available_.notify_all();
+  }
+
+  /// Blocks until a message from \p source arrives, then removes and
+  /// returns it. Pass -1 to accept any source.
+  Message pop(int source) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (true) {
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (source == -1 || it->source == source) {
+          Message msg = std::move(*it);
+          queue_.erase(it);
+          return msg;
+        }
+      }
+      available_.wait(lock);
+    }
+  }
+
+  /// Non-blocking variant; empty optional if no matching message queued.
+  std::optional<Message> try_pop(int source) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (source == -1 || it->source == source) {
+        Message msg = std::move(*it);
+        queue_.erase(it);
+        return msg;
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// Number of queued messages (for tests).
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable available_;
+  std::deque<Message> queue_;
+};
+
+}  // namespace kappa

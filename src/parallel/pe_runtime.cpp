@@ -1,0 +1,98 @@
+#include "parallel/pe_runtime.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace kappa {
+
+PEContext::PEContext(PERuntime& runtime, int rank, std::uint64_t seed)
+    : runtime_(runtime), rank_(rank), rng_(Rng(seed).fork(rank)) {}
+
+int PEContext::size() const { return runtime_.num_pes_; }
+
+void PEContext::send(int dest, std::vector<std::uint64_t> payload) {
+  ++stats_.messages_sent;
+  stats_.words_sent += payload.size();
+  runtime_.mailboxes_[dest].push({rank_, std::move(payload)});
+}
+
+Message PEContext::receive(int source) {
+  return runtime_.mailboxes_[rank_].pop(source);
+}
+
+std::optional<Message> PEContext::try_receive(int source) {
+  return runtime_.mailboxes_[rank_].try_pop(source);
+}
+
+void PEContext::barrier() {
+  ++stats_.barriers;
+  runtime_.barrier_->arrive_and_wait();
+}
+
+std::uint64_t PEContext::all_reduce_sum(std::uint64_t value) {
+  std::uint64_t sum = 0;
+  for (const std::uint64_t v : all_gather(value)) sum += v;
+  return sum;
+}
+
+std::uint64_t PEContext::all_reduce_max(std::uint64_t value) {
+  std::uint64_t result = 0;
+  for (const std::uint64_t v : all_gather(value)) {
+    result = std::max(result, v);
+  }
+  return result;
+}
+
+std::vector<std::uint64_t> PEContext::all_gather(std::uint64_t value) {
+  // Write phase and read phase are separated by barriers, so the shared
+  // scratch is data-race free (distinct ranks write distinct slots).
+  runtime_.collective_scratch_[rank_] = value;
+  barrier();
+  std::vector<std::uint64_t> result = runtime_.collective_scratch_;
+  barrier();
+  stats_.words_sent += 1;  // each PE contributes one word to the wire
+  return result;
+}
+
+std::vector<std::uint64_t> PEContext::broadcast(
+    const std::vector<std::uint64_t>& payload, int root) {
+  if (rank_ == root) {
+    runtime_.broadcast_scratch_ = payload;
+    stats_.words_sent += payload.size();
+  }
+  barrier();
+  std::vector<std::uint64_t> result = runtime_.broadcast_scratch_;
+  barrier();
+  return result;
+}
+
+PERuntime::PERuntime(int num_pes, std::uint64_t seed)
+    : num_pes_(num_pes),
+      seed_(seed),
+      mailboxes_(num_pes),
+      barrier_(std::make_unique<std::barrier<>>(num_pes)),
+      collective_scratch_(num_pes, 0) {}
+
+CommStats PERuntime::run(const std::function<void(PEContext&)>& program) {
+  std::vector<CommStats> stats(num_pes_);
+  std::vector<std::thread> threads;
+  threads.reserve(num_pes_);
+  for (int rank = 0; rank < num_pes_; ++rank) {
+    threads.emplace_back([this, &program, &stats, rank]() {
+      PEContext context(*this, rank, seed_);
+      program(context);
+      stats[rank] = context.stats();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  CommStats total;
+  for (const CommStats& s : stats) {
+    total.messages_sent += s.messages_sent;
+    total.words_sent += s.words_sent;
+    total.barriers = std::max(total.barriers, s.barriers);
+  }
+  return total;
+}
+
+}  // namespace kappa

@@ -1,0 +1,111 @@
+/// \file pe_runtime.hpp
+/// \brief SPMD runtime: threads as PEs, channels as the interconnect.
+///
+/// This module substitutes the paper's MPI layer (200-node InfiniBand
+/// cluster) on a single machine: an SPMD program is a function executed by
+/// p threads, each with a rank, a seeded private RNG stream, blocking
+/// point-to-point messaging, a barrier, and the collectives KaPPa needs
+/// (all-reduce, broadcast, all-gather). Communication volume counters
+/// stand in for the wire so scalability experiments can report the
+/// machine-independent communication shape alongside wall time.
+#pragma once
+
+#include <atomic>
+#include <barrier>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "parallel/channel.hpp"
+#include "util/random.hpp"
+
+namespace kappa {
+
+class PERuntime;
+
+/// Per-PE communication statistics.
+struct CommStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t words_sent = 0;
+  std::uint64_t barriers = 0;
+};
+
+/// Handle a PE's code receives: identifies the PE and mediates all
+/// communication. Mirrors the shape of an MPI communicator + rank.
+class PEContext {
+ public:
+  PEContext(PERuntime& runtime, int rank, std::uint64_t seed);
+
+  /// This PE's rank in [0, size()).
+  [[nodiscard]] int rank() const { return rank_; }
+
+  /// Number of PEs.
+  [[nodiscard]] int size() const;
+
+  /// Private, deterministic RNG stream ("each with a different seed for
+  /// the random number generator", §4).
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+  /// Sends a word buffer to \p dest (non-blocking, buffered).
+  void send(int dest, std::vector<std::uint64_t> payload);
+
+  /// Blocks until a message from \p source arrives (-1: any source).
+  [[nodiscard]] Message receive(int source = -1);
+
+  /// Non-blocking receive.
+  [[nodiscard]] std::optional<Message> try_receive(int source = -1);
+
+  /// Synchronizes all PEs.
+  void barrier();
+
+  /// Sum of one value over all PEs (returned on every PE).
+  [[nodiscard]] std::uint64_t all_reduce_sum(std::uint64_t value);
+
+  /// Maximum of one value over all PEs.
+  [[nodiscard]] std::uint64_t all_reduce_max(std::uint64_t value);
+
+  /// Every PE contributes one value; all PEs receive the full vector.
+  [[nodiscard]] std::vector<std::uint64_t> all_gather(std::uint64_t value);
+
+  /// Root's buffer is distributed to every PE.
+  [[nodiscard]] std::vector<std::uint64_t> broadcast(
+      const std::vector<std::uint64_t>& payload, int root);
+
+  /// Communication counters of this PE.
+  [[nodiscard]] const CommStats& stats() const { return stats_; }
+
+ private:
+  PERuntime& runtime_;
+  int rank_;
+  Rng rng_;
+  CommStats stats_;
+};
+
+/// Owns the PE threads and their mailboxes; runs SPMD programs.
+class PERuntime {
+ public:
+  /// Creates a runtime with \p num_pes PEs. \p seed derives the per-PE
+  /// RNG streams.
+  explicit PERuntime(int num_pes, std::uint64_t seed = 1);
+
+  /// Executes \p program on every PE (one thread each) and joins.
+  /// Returns the aggregated communication statistics.
+  CommStats run(const std::function<void(PEContext&)>& program);
+
+  [[nodiscard]] int num_pes() const { return num_pes_; }
+
+ private:
+  friend class PEContext;
+
+  int num_pes_;
+  std::uint64_t seed_;
+  std::vector<Mailbox> mailboxes_;
+  std::unique_ptr<std::barrier<>> barrier_;
+  // Scratch used by the collectives (indexed by rank; data-race free
+  // because writes are separated from reads by barriers).
+  std::vector<std::uint64_t> collective_scratch_;
+  std::vector<std::uint64_t> broadcast_scratch_;
+};
+
+}  // namespace kappa

@@ -1,0 +1,70 @@
+#include "refinement/band.hpp"
+
+#include <cstdint>
+
+namespace kappa {
+
+std::vector<NodeID> boundary_band_from_seeds(const StaticGraph& graph,
+                                             const Partition& partition,
+                                             BlockID a, BlockID b,
+                                             const std::vector<NodeID>& seeds,
+                                             int depth) {
+  // Per-thread scratch to avoid O(n) allocations per pair (the band is
+  // typically a small fraction of the graph).
+  thread_local std::vector<std::uint32_t> stamp;
+  thread_local std::uint32_t epoch = 0;
+  if (stamp.size() < graph.num_nodes()) {
+    stamp.assign(graph.num_nodes(), 0);
+    epoch = 0;
+  }
+  ++epoch;
+
+  std::vector<NodeID> band;
+  std::vector<NodeID> frontier;
+  for (const NodeID u : seeds) {
+    const BlockID bu = partition.block(u);
+    if (bu != a && bu != b) continue;  // seed may be stale after moves
+    if (stamp[u] == epoch) continue;
+    stamp[u] = epoch;
+    band.push_back(u);
+    frontier.push_back(u);
+  }
+
+  // Bounded BFS inside the two blocks.
+  std::vector<NodeID> next;
+  for (int level = 1; level < depth && !frontier.empty(); ++level) {
+    next.clear();
+    for (const NodeID u : frontier) {
+      for (const NodeID v : graph.neighbors(u)) {
+        if (stamp[v] == epoch) continue;
+        const BlockID bv = partition.block(v);
+        if (bv != a && bv != b) continue;
+        stamp[v] = epoch;
+        band.push_back(v);
+        next.push_back(v);
+      }
+    }
+    frontier.swap(next);
+  }
+  return band;
+}
+
+std::vector<NodeID> boundary_band(const StaticGraph& graph,
+                                  const Partition& partition, BlockID a,
+                                  BlockID b, int depth) {
+  std::vector<NodeID> seeds;
+  for (NodeID u = 0; u < graph.num_nodes(); ++u) {
+    const BlockID bu = partition.block(u);
+    if (bu != a && bu != b) continue;
+    const BlockID other = bu == a ? b : a;
+    for (const NodeID v : graph.neighbors(u)) {
+      if (partition.block(v) == other) {
+        seeds.push_back(u);
+        break;
+      }
+    }
+  }
+  return boundary_band_from_seeds(graph, partition, a, b, seeds, depth);
+}
+
+}  // namespace kappa

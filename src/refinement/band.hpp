@@ -1,0 +1,36 @@
+/// \file band.hpp
+/// \brief Boundary band extraction by bounded BFS (§5.2).
+///
+/// "Before a local search operation, we perform a bounded breadth first
+/// search starting from the boundary of each block, and send copies of
+/// this boundary array to the partner PE ... The local search is then
+/// limited to this boundary area. This way, for large graphs, only a small
+/// fraction of each block has to be communicated." If a search would
+/// profit from leaving the band, it can do so in a later outer iteration.
+#pragma once
+
+#include <vector>
+
+#include "graph/partition.hpp"
+#include "graph/static_graph.hpp"
+#include "util/types.hpp"
+
+namespace kappa {
+
+/// Returns the band of blocks \p a and \p b: all nodes of these two blocks
+/// reachable within \p depth BFS hops from the pair boundary (nodes of a
+/// adjacent to b and vice versa), staying inside the two blocks. depth = 1
+/// returns exactly the boundary nodes.
+[[nodiscard]] std::vector<NodeID> boundary_band(const StaticGraph& graph,
+                                                const Partition& partition,
+                                                BlockID a, BlockID b,
+                                                int depth);
+
+/// Same, but seeded with a precomputed boundary list (as collected per
+/// quotient edge during QuotientGraph construction) instead of scanning
+/// all nodes. Seeds that left the pair since collection are skipped.
+[[nodiscard]] std::vector<NodeID> boundary_band_from_seeds(
+    const StaticGraph& graph, const Partition& partition, BlockID a,
+    BlockID b, const std::vector<NodeID>& seeds, int depth);
+
+}  // namespace kappa

@@ -1,0 +1,116 @@
+#include "refinement/edge_coloring.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace kappa {
+
+namespace {
+
+/// Smallest color unused at both endpoints — min(L ∩ L') of the protocol.
+int min_free_color(const std::vector<bool>& used_a,
+                   const std::vector<bool>& used_b) {
+  for (int c = 0;; ++c) {
+    const bool a_used =
+        c < static_cast<int>(used_a.size()) && used_a[c];
+    const bool b_used =
+        c < static_cast<int>(used_b.size()) && used_b[c];
+    if (!a_used && !b_used) return c;
+  }
+}
+
+void mark_used(std::vector<bool>& used, int color) {
+  if (static_cast<std::size_t>(color) >= used.size()) {
+    used.resize(color + 1, false);
+  }
+  used[color] = true;
+}
+
+}  // namespace
+
+EdgeColoring color_quotient_edges(const QuotientGraph& quotient, Rng& rng) {
+  const BlockID k = quotient.num_blocks();
+  const std::size_t num_edges = quotient.edges().size();
+
+  EdgeColoring coloring;
+  coloring.color_of_edge.assign(num_edges, -1);
+
+  // L(b): colors already used on edges incident to block b.
+  std::vector<std::vector<bool>> used(k);
+  // Uncolored incident edges per block, with lazy deletion.
+  std::vector<std::vector<std::size_t>> pending(k);
+  for (BlockID b = 0; b < k; ++b) {
+    pending[b] = quotient.incident(b);
+  }
+
+  std::size_t colored = 0;
+  while (colored < num_edges) {
+    // --- Coin flips: active or passive this round. ---
+    std::vector<bool> active(k);
+    for (BlockID b = 0; b < k; ++b) active[b] = rng.coin();
+
+    // --- Active PEs each nominate one random uncolored incident edge. ---
+    struct Request {
+      BlockID from;
+      std::size_t edge;
+    };
+    std::vector<std::vector<Request>> inbox(k);
+    for (BlockID b = 0; b < k; ++b) {
+      if (!active[b]) continue;
+      auto& list = pending[b];
+      // Lazy deletion of already-colored edges.
+      std::erase_if(list, [&](std::size_t e) {
+        return coloring.color_of_edge[e] != -1;
+      });
+      if (list.empty()) continue;
+      const std::size_t e = list[rng.bounded(list.size())];
+      const QuotientEdge& edge = quotient.edges()[e];
+      const BlockID other = edge.a == b ? edge.b : edge.a;
+      if (!active[other]) {
+        // Requests to other active PEs are rejected (§5.1).
+        inbox[other].push_back({b, e});
+      }
+    }
+
+    // --- Passive PEs answer with min(L ∩ L'). ---
+    for (BlockID v = 0; v < k; ++v) {
+      if (active[v]) continue;
+      for (const Request& req : inbox[v]) {
+        if (coloring.color_of_edge[req.edge] != -1) continue;
+        const int c = min_free_color(used[req.from], used[v]);
+        coloring.color_of_edge[req.edge] = c;
+        mark_used(used[req.from], c);
+        mark_used(used[v], c);
+        coloring.num_colors = std::max(coloring.num_colors, c + 1);
+        ++colored;
+      }
+    }
+  }
+  return coloring;
+}
+
+std::string validate_coloring(const QuotientGraph& quotient,
+                              const EdgeColoring& coloring) {
+  if (coloring.color_of_edge.size() != quotient.edges().size()) {
+    return "coloring size mismatch";
+  }
+  for (std::size_t i = 0; i < coloring.color_of_edge.size(); ++i) {
+    if (coloring.color_of_edge[i] < 0) {
+      return "uncolored edge " + std::to_string(i);
+    }
+  }
+  for (BlockID b = 0; b < quotient.num_blocks(); ++b) {
+    std::vector<int> seen;
+    for (const std::size_t e : quotient.incident(b)) {
+      seen.push_back(coloring.color_of_edge[e]);
+    }
+    std::sort(seen.begin(), seen.end());
+    if (std::adjacent_find(seen.begin(), seen.end()) != seen.end()) {
+      return "two incident edges of block " + std::to_string(b) +
+             " share a color";
+    }
+  }
+  return {};
+}
+
+}  // namespace kappa

@@ -1,0 +1,46 @@
+/// \file flow_refiner.hpp
+/// \brief Flow-based pairwise refinement (the paper's §8 future work,
+/// realized later in KaFFPa).
+///
+/// Within the pairwise framework, the cut between two blocks restricted
+/// to the boundary band is exactly a minimum s-t cut problem: anchor the
+/// band's inner rims to s and t, give band edges their weights as
+/// capacities, and the min cut is the best possible pair cut achievable
+/// by reassigning band nodes — a *global* optimum over the band, where FM
+/// only hill-climbs. The catch is balance: a min cut may shift too much
+/// weight, in which case the result is discarded (KaFFPa's adaptive
+/// band-scaling is approximated here by the caller retrying with a
+/// smaller depth).
+#pragma once
+
+#include <span>
+
+#include "graph/partition.hpp"
+#include "graph/static_graph.hpp"
+#include "util/types.hpp"
+
+namespace kappa {
+
+/// Balance bounds for the flow step (same semantics as TwoWayFMOptions).
+struct FlowRefineOptions {
+  NodeWeight max_block_weight = 0;
+  NodeWeight max_block_weight_b = 0;  ///< 0 = same as block a
+};
+
+/// Outcome of one flow step.
+struct FlowRefineResult {
+  EdgeWeight cut_gain = 0;  ///< improvement of the pair cut (0 if skipped)
+  bool applied = false;     ///< false if the min cut was infeasible/worse
+};
+
+/// Runs one min-cut pass on the pair (a, b) restricted to \p band.
+///
+/// Precondition: \p band contains every node of blocks a/b that is on the
+/// current pair boundary (bands from boundary_band*() satisfy this). The
+/// move is applied only if it strictly improves the pair cut and both
+/// blocks stay within their bounds; otherwise the partition is unchanged.
+[[nodiscard]] FlowRefineResult flow_refine_pair(
+    const StaticGraph& graph, Partition& partition, BlockID a, BlockID b,
+    std::span<const NodeID> band, const FlowRefineOptions& options);
+
+}  // namespace kappa

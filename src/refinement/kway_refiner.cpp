@@ -1,0 +1,68 @@
+#include "refinement/kway_refiner.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/metrics.hpp"
+
+namespace kappa {
+
+EdgeWeight kway_refine(const StaticGraph& graph, Partition& partition,
+                       const KWayRefinerOptions& options, Rng& rng) {
+  const BlockID k = partition.k();
+  EdgeWeight total_gain = 0;
+
+  // Scatter array: connectivity of the current node to each block.
+  std::vector<EdgeWeight> connectivity(k, 0);
+  std::vector<BlockID> touched;
+
+  for (int pass = 0; pass < options.passes; ++pass) {
+    std::vector<NodeID> order = boundary_nodes(graph, partition);
+    rng.shuffle(order);
+    EdgeWeight pass_gain = 0;
+
+    for (const NodeID u : order) {
+      const BlockID own = partition.block(u);
+      touched.clear();
+      for (EdgeID e = graph.first_arc(u); e < graph.last_arc(u); ++e) {
+        const BlockID b = partition.block(graph.arc_target(e));
+        if (connectivity[b] == 0) touched.push_back(b);
+        connectivity[b] += graph.arc_weight(e);
+      }
+
+      // Best admissible target block.
+      const NodeWeight w = graph.node_weight(u);
+      BlockID best = own;
+      EdgeWeight best_conn = connectivity[own];
+      for (const BlockID b : touched) {
+        if (b == own) continue;
+        const bool fits =
+            partition.block_weight(b) + w <= options.max_block_weight;
+        // Escaping an overloaded block is allowed into any lighter block.
+        const bool escape =
+            partition.block_weight(own) > options.max_block_weight &&
+            partition.block_weight(b) + w < partition.block_weight(own);
+        if (!fits && !escape) continue;
+        if (connectivity[b] > best_conn ||
+            (connectivity[b] == best_conn && b != best &&
+             options.zero_gain_balance_moves &&
+             partition.block_weight(b) + w < partition.block_weight(best))) {
+          best = b;
+          best_conn = connectivity[b];
+        }
+      }
+
+      if (best != own) {
+        pass_gain += connectivity[best] - connectivity[own];
+        partition.move(u, best, w);
+      }
+      for (const BlockID b : touched) connectivity[b] = 0;
+    }
+
+    total_gain += pass_gain;
+    if (pass_gain == 0) break;
+  }
+  return total_gain;
+}
+
+}  // namespace kappa

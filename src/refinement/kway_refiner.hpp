@@ -1,0 +1,34 @@
+/// \file kway_refiner.hpp
+/// \brief Greedy k-way boundary refinement (the Metis-style refiner used
+/// by the baseline partitioners).
+///
+/// Unlike KaPPa's pairwise FM this is a *global* greedy pass: boundary
+/// nodes are visited in random order and moved to the adjacent block with
+/// the largest positive gain if the balance constraint permits. It is fast
+/// but has no hill-climbing ability — exactly the quality/speed trade-off
+/// that separates kMetis/parMetis from KaPPa in the paper's tables.
+#pragma once
+
+#include "graph/partition.hpp"
+#include "graph/static_graph.hpp"
+#include "util/random.hpp"
+#include "util/types.hpp"
+
+namespace kappa {
+
+/// Options of the greedy k-way refiner.
+struct KWayRefinerOptions {
+  /// Maximum admissible block weight; moves that would exceed it are
+  /// rejected (unless they come from an even more overloaded block).
+  NodeWeight max_block_weight = 0;
+  /// Number of sweeps over the boundary.
+  int passes = 2;
+  /// Also accept zero-gain moves that strictly improve balance.
+  bool zero_gain_balance_moves = true;
+};
+
+/// Runs greedy refinement; returns the total cut improvement.
+EdgeWeight kway_refine(const StaticGraph& graph, Partition& partition,
+                       const KWayRefinerOptions& options, Rng& rng);
+
+}  // namespace kappa

@@ -1,0 +1,98 @@
+#include "refinement/max_flow.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace kappa {
+
+FlowNetwork::FlowNetwork(std::size_t num_nodes)
+    : head_(num_nodes), level_(num_nodes), iter_(num_nodes) {}
+
+void FlowNetwork::add_edge(std::size_t u, std::size_t v, Flow capacity) {
+  assert(u < head_.size() && v < head_.size() && u != v);
+  head_[u].push_back({static_cast<std::uint32_t>(v),
+                      static_cast<std::uint32_t>(head_[v].size()), capacity});
+  head_[v].push_back({static_cast<std::uint32_t>(u),
+                      static_cast<std::uint32_t>(head_[u].size() - 1), 0});
+}
+
+void FlowNetwork::add_undirected_edge(std::size_t u, std::size_t v,
+                                      Flow capacity) {
+  // Two antiparallel arcs sharing residual twins models an undirected
+  // edge: flow in either direction consumes the same physical capacity.
+  assert(u < head_.size() && v < head_.size() && u != v);
+  head_[u].push_back({static_cast<std::uint32_t>(v),
+                      static_cast<std::uint32_t>(head_[v].size()), capacity});
+  head_[v].push_back({static_cast<std::uint32_t>(u),
+                      static_cast<std::uint32_t>(head_[u].size() - 1),
+                      capacity});
+}
+
+bool FlowNetwork::bfs_levels(std::size_t s, std::size_t t) {
+  std::fill(level_.begin(), level_.end(), -1);
+  std::vector<std::size_t> queue;
+  queue.push_back(s);
+  level_[s] = 0;
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    const std::size_t u = queue[i];
+    for (const Arc& arc : head_[u]) {
+      if (arc.capacity > 0 && level_[arc.to] == -1) {
+        level_[arc.to] = level_[u] + 1;
+        queue.push_back(arc.to);
+      }
+    }
+  }
+  return level_[t] >= 0;
+}
+
+FlowNetwork::Flow FlowNetwork::dfs_blocking(std::size_t u, std::size_t t,
+                                            Flow limit) {
+  if (u == t) return limit;
+  for (std::size_t& i = iter_[u]; i < head_[u].size(); ++i) {
+    Arc& arc = head_[u][i];
+    if (arc.capacity <= 0 || level_[arc.to] != level_[u] + 1) continue;
+    const Flow pushed =
+        dfs_blocking(arc.to, t, std::min(limit, arc.capacity));
+    if (pushed > 0) {
+      arc.capacity -= pushed;
+      head_[arc.to][arc.rev].capacity += pushed;
+      return pushed;
+    }
+  }
+  return 0;
+}
+
+FlowNetwork::Flow FlowNetwork::max_flow(std::size_t s, std::size_t t) {
+  assert(s != t);
+  Flow total = 0;
+  while (bfs_levels(s, t)) {
+    std::fill(iter_.begin(), iter_.end(), 0);
+    while (true) {
+      const Flow pushed =
+          dfs_blocking(s, t, std::numeric_limits<Flow>::max());
+      if (pushed == 0) break;
+      total += pushed;
+    }
+  }
+  return total;
+}
+
+std::vector<bool> FlowNetwork::min_cut_source_side(std::size_t s) const {
+  std::vector<bool> reachable(head_.size(), false);
+  std::vector<std::size_t> stack{s};
+  reachable[s] = true;
+  while (!stack.empty()) {
+    const std::size_t u = stack.back();
+    stack.pop_back();
+    for (const Arc& arc : head_[u]) {
+      if (arc.capacity > 0 && !reachable[arc.to]) {
+        reachable[arc.to] = true;
+        stack.push_back(arc.to);
+      }
+    }
+  }
+  return reachable;
+}
+
+}  // namespace kappa

@@ -1,0 +1,59 @@
+/// \file max_flow.hpp
+/// \brief Dinic max-flow / min-cut on small explicit networks.
+///
+/// Substrate for the flow-based pairwise refinement the paper names as
+/// future work (§8: "Other refinement algorithms, e.g., based on flows or
+/// diffusion could be tried within our framework of pairwise
+/// refinement"). The networks are band-local and small, so a plain Dinic
+/// with adjacency lists is the right tool.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace kappa {
+
+/// A flow network over dense node ids. Arcs are added with capacities;
+/// add_edge() inserts the residual twin automatically.
+class FlowNetwork {
+ public:
+  using Flow = std::int64_t;
+
+  /// Creates a network with \p num_nodes nodes and no arcs.
+  explicit FlowNetwork(std::size_t num_nodes);
+
+  /// Adds a directed arc u -> v with capacity \p capacity (and the
+  /// residual reverse arc with capacity 0). For an undirected edge call
+  /// twice or use add_undirected_edge().
+  void add_edge(std::size_t u, std::size_t v, Flow capacity);
+
+  /// Adds an undirected edge of capacity \p capacity in both directions
+  /// (the standard reduction for undirected min cut).
+  void add_undirected_edge(std::size_t u, std::size_t v, Flow capacity);
+
+  /// Computes the maximum s-t flow (Dinic: BFS level graph + blocking
+  /// flows by DFS, O(V^2 E) worst case, far better on unit-ish networks).
+  Flow max_flow(std::size_t s, std::size_t t);
+
+  /// After max_flow(): true for nodes reachable from s in the residual
+  /// network — the source side of a minimum cut.
+  [[nodiscard]] std::vector<bool> min_cut_source_side(std::size_t s) const;
+
+  [[nodiscard]] std::size_t num_nodes() const { return head_.size(); }
+
+ private:
+  struct Arc {
+    std::uint32_t to;
+    std::uint32_t rev;  ///< index of the reverse arc in arcs_[to]
+    Flow capacity;
+  };
+
+  bool bfs_levels(std::size_t s, std::size_t t);
+  Flow dfs_blocking(std::size_t u, std::size_t t, Flow limit);
+
+  std::vector<std::vector<Arc>> head_;
+  std::vector<int> level_;
+  std::vector<std::size_t> iter_;
+};
+
+}  // namespace kappa

@@ -1,0 +1,67 @@
+/// \file pairwise_refiner.hpp
+/// \brief Parallel pairwise refinement scheduled by edge colorings (§5).
+///
+/// The driving loop of KaPPa's refinement: at any time each PE works on
+/// one pair of neighboring blocks, running two-way FM restricted to the
+/// boundary band. Pairs are scheduled color class by color class of an
+/// edge coloring of the quotient graph, so the pairs being refined at the
+/// same time are independent. The nested loop structure (innermost FM,
+/// local iterations, global iterations over all colors) and its
+/// termination rules ("no improvement" / "no improvement twice in a row" /
+/// iteration caps) follow §5 and Table 2.
+#pragma once
+
+#include "graph/partition.hpp"
+#include "graph/static_graph.hpp"
+#include "refinement/twoway_fm.hpp"
+#include "util/random.hpp"
+#include "util/types.hpp"
+
+namespace kappa {
+
+/// Knobs of the refinement phase (Table 2 rows).
+struct PairwiseRefinerOptions {
+  TwoWayFMOptions fm;
+  /// Depth of the bounded boundary BFS (Table 2: 1 / 5 / 20).
+  int bfs_depth = 5;
+  /// Local search repetitions per scheduled pair (Table 2: 1 / 3 / 5).
+  int local_iterations = 3;
+  /// Cap on global iterations over the quotient edge coloring
+  /// (Table 2: 1 / 15 / 15).
+  int max_global_iterations = 15;
+  /// Stop when this many consecutive global iterations brought no
+  /// improvement (fast: 1, strong: 2; ignored by the minimal preset whose
+  /// iteration cap is 1 anyway).
+  int stop_no_change = 1;
+  /// Threads executing independent pairs of one color class concurrently
+  /// (stands in for the PEs of the MPI implementation).
+  int num_threads = 1;
+  /// Both PEs of a matched pair search with different seeds and the better
+  /// result is adopted (§5: "both corresponding PEs will refine the
+  /// partitions u and v using different seeds ... the better partitioning
+  /// of the two blocks is adopted").
+  bool duplicate_search = false;
+  /// After the FM local iterations on a pair, run one min-cut pass on the
+  /// band (flow_refiner.hpp) — the §8 future-work refinement. The flow
+  /// move is only adopted when it strictly improves the pair cut without
+  /// increasing overload.
+  bool use_flow = false;
+};
+
+/// Aggregate outcome of a refinement run.
+struct PairwiseRefineReport {
+  EdgeWeight total_cut_gain = 0;
+  NodeWeight total_imbalance_gain = 0;
+  int global_iterations = 0;
+  int colors_last_iteration = 0;
+};
+
+/// Refines \p partition in place. Never worsens the lexicographic
+/// (imbalance, cut) objective of any pair, hence never the global cut at
+/// fixed balance.
+PairwiseRefineReport pairwise_refine(const StaticGraph& graph,
+                                     Partition& partition,
+                                     const PairwiseRefinerOptions& options,
+                                     Rng& rng);
+
+}  // namespace kappa

@@ -1,0 +1,78 @@
+/// \file twoway_fm.hpp
+/// \brief FM local search between two blocks (§5.2).
+///
+/// For each of the two blocks under consideration a priority queue of
+/// eligible nodes is kept, keyed by gain (cut decrease when moved to the
+/// other side). Every node moves at most once per search. Queues are
+/// initialized in random order with the pair's boundary nodes. Queue
+/// selection strategies (Table 4 left): Alternating, MaxLoad, TopGain
+/// (falling back to MaxLoad when a block is overloaded — the paper's
+/// "exception" that makes TopGain feasible), TopGainMaxLoad.
+///
+/// The search stops after alpha * min(|A|, |B|) fruitless moves and rolls
+/// back to the state with the lexicographically best
+/// (imbalance, cutValue), where imbalance =
+/// max(0, max(c(A) - Lmax, c(B) - Lmax)).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/partition.hpp"
+#include "graph/static_graph.hpp"
+#include "util/random.hpp"
+#include "util/types.hpp"
+
+namespace kappa {
+
+/// Queue selection strategies evaluated in Table 4 (left).
+enum class QueueSelection {
+  kTopGain,         ///< larger top gain wins; MaxLoad when overloaded
+  kMaxLoad,         ///< heavier block gives a node
+  kAlternate,       ///< strictly alternate between A and B
+  kTopGainMaxLoad,  ///< TopGain, ties broken by MaxLoad
+};
+
+/// Human-readable strategy name (for table output).
+[[nodiscard]] const char* queue_selection_name(QueueSelection s);
+
+/// Parameters of one two-way FM search.
+struct TwoWayFMOptions {
+  QueueSelection queue_selection = QueueSelection::kTopGain;
+  /// FM patience: abort after alpha * min(|A|,|B|) moves without
+  /// lexicographic improvement (Table 2: 1% / 5% / 20%; Walshaw mode 30%).
+  double patience_alpha = 0.05;
+  /// Balance bound Lmax for block a (see max_block_weight_bound()).
+  NodeWeight max_block_weight = 0;
+  /// Balance bound for block b; 0 means "same as block a". Unequal bounds
+  /// arise in recursive bisection with non-power-of-two k, where the two
+  /// sides have different target weights.
+  NodeWeight max_block_weight_b = 0;
+};
+
+/// Outcome of one search. The adopted state never worsens the
+/// lexicographic objective: either imbalance_gain > 0, or
+/// imbalance_gain == 0 and cut_gain >= 0. (cut_gain may be negative only
+/// when imbalance strictly improved.)
+struct TwoWayFMResult {
+  EdgeWeight cut_gain = 0;        ///< decrease of the total cut
+  NodeWeight imbalance_gain = 0;  ///< decrease of pairwise imbalance (>= 0)
+  NodeID moved_nodes = 0;         ///< nodes moved in the adopted state
+};
+
+/// Runs FM between blocks \p a and \p b of \p partition.
+///
+/// \param eligible nodes allowed to move — the band computed by
+///        bounded BFS from the pair boundary (§5.2); all must currently
+///        belong to block a or b.
+///
+/// Postcondition: the lexicographic objective
+/// (pair imbalance, total cut) never worsens.
+[[nodiscard]] TwoWayFMResult twoway_fm(const StaticGraph& graph,
+                                       Partition& partition, BlockID a,
+                                       BlockID b,
+                                       std::span<const NodeID> eligible,
+                                       const TwoWayFMOptions& options,
+                                       Rng& rng);
+
+}  // namespace kappa

@@ -1,0 +1,168 @@
+/// \file addressable_pq.hpp
+/// \brief Addressable max-priority queue on a binary heap.
+///
+/// The FM local search (§5.2) keeps one priority queue of boundary nodes
+/// per block, keyed by move gain, and must support decrease/increase-key
+/// when a neighbor of a queued node moves. The paper states "Priority
+/// queues for the local search are based on binary heaps"; this container
+/// reproduces that choice: an array-backed binary max-heap plus a
+/// position index from element id to heap slot.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace kappa {
+
+/// Max-heap over elements identified by dense ids in [0, capacity), each
+/// with a mutable integer key. All operations are O(log size) except
+/// contains/key/top which are O(1).
+///
+/// \tparam Id   dense unsigned element identifier
+/// \tparam Key  ordered key type (gain); largest key on top
+template <typename Id, typename Key>
+class AddressablePQ {
+ public:
+  AddressablePQ() = default;
+
+  /// Creates a queue able to hold ids in [0, capacity).
+  explicit AddressablePQ(std::size_t capacity) { reset(capacity); }
+
+  /// Clears the queue and resizes the id universe.
+  void reset(std::size_t capacity) {
+    heap_.clear();
+    pos_.assign(capacity, kFree);
+  }
+
+  /// Removes all elements, keeping the id universe.
+  void clear() {
+    for (const auto& entry : heap_) pos_[entry.id] = kFree;
+    heap_.clear();
+  }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  [[nodiscard]] bool contains(Id id) const { return pos_[id] != kFree; }
+
+  /// Key of a contained element.
+  [[nodiscard]] Key key(Id id) const {
+    assert(contains(id));
+    return heap_[pos_[id]].key;
+  }
+
+  /// Id with the maximum key.
+  [[nodiscard]] Id top() const {
+    assert(!empty());
+    return heap_.front().id;
+  }
+
+  /// Maximum key.
+  [[nodiscard]] Key top_key() const {
+    assert(!empty());
+    return heap_.front().key;
+  }
+
+  /// Inserts a new element. Precondition: !contains(id).
+  void push(Id id, Key key) {
+    assert(!contains(id));
+    pos_[id] = heap_.size();
+    heap_.push_back({id, key});
+    sift_up(heap_.size() - 1);
+  }
+
+  /// Removes the maximum element and returns its id.
+  Id pop() {
+    assert(!empty());
+    const Id id = heap_.front().id;
+    remove_at(0);
+    return id;
+  }
+
+  /// Removes an arbitrary contained element.
+  void erase(Id id) {
+    assert(contains(id));
+    remove_at(pos_[id]);
+  }
+
+  /// Changes the key of a contained element (either direction).
+  void update_key(Id id, Key key) {
+    assert(contains(id));
+    const std::size_t slot = pos_[id];
+    const Key old = heap_[slot].key;
+    heap_[slot].key = key;
+    if (key > old) {
+      sift_up(slot);
+    } else if (key < old) {
+      sift_down(slot);
+    }
+  }
+
+  /// Inserts or updates, whichever applies.
+  void push_or_update(Id id, Key key) {
+    if (contains(id)) {
+      update_key(id, key);
+    } else {
+      push(id, key);
+    }
+  }
+
+ private:
+  struct Entry {
+    Id id;
+    Key key;
+  };
+
+  static constexpr std::size_t kFree = static_cast<std::size_t>(-1);
+
+  void remove_at(std::size_t slot) {
+    pos_[heap_[slot].id] = kFree;
+    if (slot + 1 != heap_.size()) {
+      const Key removed_key = heap_[slot].key;
+      heap_[slot] = heap_.back();
+      pos_[heap_[slot].id] = slot;
+      heap_.pop_back();
+      if (heap_[slot].key > removed_key) {
+        sift_up(slot);
+      } else {
+        sift_down(slot);
+      }
+    } else {
+      heap_.pop_back();
+    }
+  }
+
+  void sift_up(std::size_t slot) {
+    Entry entry = heap_[slot];
+    while (slot > 0) {
+      const std::size_t parent = (slot - 1) / 2;
+      if (heap_[parent].key >= entry.key) break;
+      heap_[slot] = heap_[parent];
+      pos_[heap_[slot].id] = slot;
+      slot = parent;
+    }
+    heap_[slot] = entry;
+    pos_[entry.id] = slot;
+  }
+
+  void sift_down(std::size_t slot) {
+    Entry entry = heap_[slot];
+    const std::size_t n = heap_.size();
+    while (true) {
+      std::size_t child = 2 * slot + 1;
+      if (child >= n) break;
+      if (child + 1 < n && heap_[child + 1].key > heap_[child].key) ++child;
+      if (heap_[child].key <= entry.key) break;
+      heap_[slot] = heap_[child];
+      pos_[heap_[slot].id] = slot;
+      slot = child;
+    }
+    heap_[slot] = entry;
+    pos_[entry.id] = slot;
+  }
+
+  std::vector<Entry> heap_;
+  std::vector<std::size_t> pos_;
+};
+
+}  // namespace kappa

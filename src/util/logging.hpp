@@ -1,0 +1,39 @@
+/// \file logging.hpp
+/// \brief Minimal leveled logging used by the partitioners.
+///
+/// Verbosity is a process-global switch; the experiment binaries run with
+/// logging off so that table output stays machine-parseable.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace kappa {
+
+/// Global verbosity levels.
+enum class LogLevel { kSilent = 0, kInfo = 1, kDebug = 2 };
+
+/// Returns the mutable global log level (default: silent).
+inline LogLevel& log_level() {
+  static LogLevel level = LogLevel::kSilent;
+  return level;
+}
+
+namespace detail {
+inline void log_line(const std::string& tag, const std::string& message) {
+  std::cerr << "[kappa:" << tag << "] " << message << '\n';
+}
+}  // namespace detail
+
+/// Logs an informational message (progress of multilevel phases).
+inline void log_info(const std::string& message) {
+  if (log_level() >= LogLevel::kInfo) detail::log_line("info", message);
+}
+
+/// Logs a debug message (per-level statistics, matching sizes, ...).
+inline void log_debug(const std::string& message) {
+  if (log_level() >= LogLevel::kDebug) detail::log_line("debug", message);
+}
+
+}  // namespace kappa

@@ -1,0 +1,73 @@
+/// \file stats.hpp
+/// \brief Statistics accumulators used by the experiment harness.
+///
+/// The paper averages over multiple instances with the *geometric* mean "in
+/// order to give every instance the same influence on the final figure"
+/// (§6). GeometricMean reproduces that convention; Aggregate collects the
+/// per-run (cut, balance, time) triples that make up one table row.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace kappa {
+
+/// Accumulates the geometric mean of strictly positive samples.
+/// Computed in log-space for numerical robustness with large cut values.
+class GeometricMean {
+ public:
+  /// Adds one sample; values <= 0 are clamped to 1 (a zero cut would
+  /// otherwise annihilate the mean, matching common partitioning practice).
+  void add(double value) {
+    log_sum_ += std::log(std::max(value, 1.0));
+    ++count_;
+  }
+
+  /// The geometric mean of all samples added so far; 0 if empty.
+  [[nodiscard]] double value() const {
+    return count_ == 0 ? 0.0 : std::exp(log_sum_ / static_cast<double>(count_));
+  }
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+
+ private:
+  double log_sum_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+/// Per-configuration result aggregate: average cut, best cut, average
+/// balance and average runtime — exactly the columns of Tables 3-20.
+class RunAggregate {
+ public:
+  void add(double cut, double balance, double seconds) {
+    cut_sum_ += cut;
+    balance_sum_ += balance;
+    time_sum_ += seconds;
+    best_cut_ = std::min(best_cut_, cut);
+    ++count_;
+  }
+
+  [[nodiscard]] double avg_cut() const { return mean(cut_sum_); }
+  [[nodiscard]] double best_cut() const {
+    return count_ == 0 ? 0.0 : best_cut_;
+  }
+  [[nodiscard]] double avg_balance() const { return mean(balance_sum_); }
+  [[nodiscard]] double avg_time() const { return mean(time_sum_); }
+  [[nodiscard]] std::size_t count() const { return count_; }
+
+ private:
+  [[nodiscard]] double mean(double sum) const {
+    return count_ == 0 ? 0.0 : sum / static_cast<double>(count_);
+  }
+
+  double cut_sum_ = 0.0;
+  double balance_sum_ = 0.0;
+  double time_sum_ = 0.0;
+  double best_cut_ = std::numeric_limits<double>::max();
+  std::size_t count_ = 0;
+};
+
+}  // namespace kappa

@@ -1,0 +1,31 @@
+/// \file timer.hpp
+/// \brief Wall-clock timing utilities for experiments.
+#pragma once
+
+#include <chrono>
+
+namespace kappa {
+
+/// Simple monotonic wall-clock stopwatch. The benchmark harness reports
+/// seconds with the same granularity as the paper's "avg. runtime" columns.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last restart.
+  [[nodiscard]] double elapsed_s() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction / last restart.
+  [[nodiscard]] double elapsed_ms() const { return elapsed_s() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace kappa

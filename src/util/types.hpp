@@ -1,0 +1,44 @@
+/// \file types.hpp
+/// \brief Fundamental integer types used throughout the kappa library.
+///
+/// The library follows the conventions of the KaPPa paper (Holtgrewe,
+/// Sanders, Schulz: "Engineering a Scalable High Quality Graph
+/// Partitioner", IPDPS 2010): graphs are undirected with positive edge
+/// weights and non-negative node weights; both weights start out as 1 for
+/// unweighted inputs but become genuinely weighted during multilevel
+/// contraction.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace kappa {
+
+/// Identifier of a node (vertex). Dense, zero-based.
+using NodeID = std::uint32_t;
+
+/// Index into the CSR edge arrays. A graph with m undirected edges stores
+/// 2m directed arcs, so this is wider than NodeID.
+using EdgeID = std::uint64_t;
+
+/// Identifier of a block (partition part) or of a PE. The paper identifies
+/// blocks with PEs (one block per processing element).
+using BlockID = std::uint32_t;
+
+/// Weight of a node. Node weights grow by summation during contraction.
+using NodeWeight = std::int64_t;
+
+/// Weight of an edge. Parallel edges created by contraction are merged by
+/// summing their weights.
+using EdgeWeight = std::int64_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeID kInvalidNode = std::numeric_limits<NodeID>::max();
+
+/// Sentinel for "no edge".
+inline constexpr EdgeID kInvalidEdge = std::numeric_limits<EdgeID>::max();
+
+/// Sentinel for "no block" (used for yet-unassigned nodes).
+inline constexpr BlockID kInvalidBlock = std::numeric_limits<BlockID>::max();
+
+}  // namespace kappa

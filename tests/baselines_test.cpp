@@ -1,0 +1,122 @@
+/// \file baselines_test.cpp
+/// \brief Tests for the Scotch-like, kMetis-like and parMetis-like
+/// baselines and their expected quality ordering vs. KaPPa.
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.hpp"
+#include "core/kappa.hpp"
+#include "generators/generators.hpp"
+#include "graph/metrics.hpp"
+#include "graph/validation.hpp"
+
+namespace kappa {
+namespace {
+
+/// Every baseline must produce structurally valid partitions on every
+/// instance family.
+class BaselineValidity
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(BaselineValidity, ProducesValidPartition) {
+  const auto& [instance, which] = GetParam();
+  const StaticGraph g = make_instance(instance, 3);
+  const BlockID k = 8;
+  BaselineResult result;
+  switch (which) {
+    case 0:
+      result = scotch_partition(g, k, 0.03, 1);
+      break;
+    case 1:
+      result = kmetis_partition(g, k, 0.03, 1);
+      break;
+    default:
+      result = parmetis_partition(g, k, 0.03, 1);
+      break;
+  }
+  EXPECT_EQ(validate_partition(g, result.partition), "");
+  EXPECT_EQ(result.partition.k(), k);
+  EXPECT_GT(result.cut, 0);
+  for (BlockID b = 0; b < k; ++b) {
+    EXPECT_GT(result.partition.block_weight(b), 0) << "empty block " << b;
+  }
+  // The paper observes that "none of the other algorithms consistently
+  // complies with the balance constraint" (Table 5 shows Scotch at 1.037
+  // and parMetis at ~1.05 for eps = 3%); only KaPPa is strict. Hold the
+  // baselines to that documented slack, not to the strict bound.
+  if (which == 0) {
+    EXPECT_LT(result.balance, 1.08);
+  }
+  if (which == 2) {
+    // Road networks are the hard case: the paper shows kMetis at 1.070+
+    // on eur and parMetis up to ~1.07-1.15 depending on k; our road
+    // instances trigger the same failure mode.
+    EXPECT_LT(result.balance, instance == "road_s" ? 1.25 : 1.15);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    InstancesAndTools, BaselineValidity,
+    ::testing::Combine(::testing::Values("grid_s", "road_s", "annulus_m",
+                                         "rmat_14"),
+                       ::testing::Values(0, 1, 2)));
+
+TEST(BaselineOrdering, KappaBeatsKmetisBeatsParmetisOnMesh) {
+  // The paper's headline comparison (Table 4 right): KaPPa-strong produces
+  // the smallest cuts, parMetis the largest. Averaged over seeds to avoid
+  // flakiness from single runs.
+  const StaticGraph g = make_instance("grid_m", 5);
+  const BlockID k = 8;
+  double kappa_cut = 0;
+  double kmetis_cut = 0;
+  double parmetis_cut = 0;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    Config config = Config::preset(Preset::kStrong, k);
+    config.seed = seed;
+    kappa_cut += static_cast<double>(kappa_partition(g, config).cut);
+    kmetis_cut += static_cast<double>(kmetis_partition(g, k, 0.03, seed).cut);
+    parmetis_cut +=
+        static_cast<double>(parmetis_partition(g, k, 0.03, seed).cut);
+  }
+  EXPECT_LT(kappa_cut, kmetis_cut);
+  EXPECT_LT(kmetis_cut, parmetis_cut * 1.05);  // parMetis never clearly best
+}
+
+TEST(BaselineOrdering, ScotchCompetitiveWithKmetis) {
+  const StaticGraph g = make_instance("delaunay14", 5);
+  const BlockID k = 8;
+  double scotch_cut = 0;
+  double kmetis_cut = 0;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    scotch_cut += static_cast<double>(scotch_partition(g, k, 0.03, seed).cut);
+    kmetis_cut += static_cast<double>(kmetis_partition(g, k, 0.03, seed).cut);
+  }
+  // Scotch-class RB is at least in the same league (paper: ~10% better
+  // than kMetis on average). Allow generous slack for the reimplementation.
+  EXPECT_LT(scotch_cut, kmetis_cut * 1.2);
+}
+
+TEST(Baselines, DeterministicUnderSeed) {
+  const StaticGraph g = make_instance("grid_s", 7);
+  const BaselineResult a = kmetis_partition(g, 4, 0.03, 42);
+  const BaselineResult b = kmetis_partition(g, 4, 0.03, 42);
+  EXPECT_EQ(a.cut, b.cut);
+  for (NodeID u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_EQ(a.partition.block(u), b.partition.block(u));
+  }
+}
+
+TEST(Baselines, WorkForKTwo) {
+  const StaticGraph g = make_instance("grid_s", 9);
+  for (int which = 0; which < 3; ++which) {
+    const BaselineResult result =
+        which == 0   ? scotch_partition(g, 2, 0.03, 1)
+        : which == 1 ? kmetis_partition(g, 2, 0.03, 1)
+                     : parmetis_partition(g, 2, 0.03, 1);
+    EXPECT_EQ(validate_partition(g, result.partition), "");
+    // Optimal bisection of a 64x64 grid is 64.
+    EXPECT_LE(result.cut, 64 * 3) << "tool " << which;
+  }
+}
+
+}  // namespace
+}  // namespace kappa

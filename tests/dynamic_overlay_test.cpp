@@ -1,0 +1,133 @@
+/// \file dynamic_overlay_test.cpp
+/// \brief Tests for the §5.2 hybrid static/dynamic graph structure: a
+/// static CSR core plus hash-table-addressed migrated nodes with an
+/// append-only secondary edge array.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "graph/dynamic_overlay.hpp"
+#include "graph/graph_builder.hpp"
+#include "graph/subgraph.hpp"
+#include "generators/generators.hpp"
+#include "util/random.hpp"
+
+namespace kappa {
+namespace {
+
+StaticGraph triangle() {
+  GraphBuilder builder(3);
+  builder.add_edge(0, 1, 2);
+  builder.add_edge(1, 2, 3);
+  builder.add_edge(2, 0, 5);
+  return builder.finalize();
+}
+
+TEST(DynamicOverlay, CoreOnlyViewMatchesStaticGraph) {
+  const StaticGraph core = triangle();
+  const DynamicOverlay overlay(core);
+  EXPECT_TRUE(overlay.contains(0));
+  EXPECT_FALSE(overlay.is_migrated(0));
+  EXPECT_FALSE(overlay.contains(7));
+  EXPECT_EQ(overlay.node_weight(1), 1);
+  EXPECT_EQ(overlay.degree(2), 2u);
+  std::map<NodeID, EdgeWeight> neighbors;
+  overlay.for_each_neighbor(
+      0, [&](NodeID v, EdgeWeight w) { neighbors[v] = w; });
+  EXPECT_EQ(neighbors, (std::map<NodeID, EdgeWeight>{{1, 2}, {2, 5}}));
+}
+
+TEST(DynamicOverlay, MigratedNodesAndEdgesVisible) {
+  const StaticGraph core = triangle();
+  DynamicOverlay overlay(core);
+  // A partner PE sends node 10 (weight 4) with edges to core node 2 and
+  // to a second migrated node 11.
+  overlay.add_migrated_node(10, 4);
+  overlay.add_migrated_node(11, 1);
+  overlay.add_migrated_edge(10, 2, 7);
+  overlay.add_migrated_edge(10, 11, 2);
+  overlay.add_migrated_edge(11, 10, 2);
+
+  EXPECT_TRUE(overlay.contains(10));
+  EXPECT_TRUE(overlay.is_migrated(10));
+  EXPECT_EQ(overlay.node_weight(10), 4);
+  EXPECT_EQ(overlay.degree(10), 2u);
+  EXPECT_EQ(overlay.num_migrated(), 2u);
+  EXPECT_EQ(overlay.num_overlay_edges(), 3u);
+
+  std::map<NodeID, EdgeWeight> neighbors;
+  overlay.for_each_neighbor(
+      10, [&](NodeID v, EdgeWeight w) { neighbors[v] = w; });
+  EXPECT_EQ(neighbors, (std::map<NodeID, EdgeWeight>{{2, 7}, {11, 2}}));
+}
+
+TEST(DynamicOverlay, CoreNodesCanGainOverlayEdges) {
+  // The receiving side also records the reverse direction of edges from
+  // migrated nodes to its core — but only by registering the *migrated*
+  // endpoint; core adjacency stays immutable. Mixed iteration is the
+  // receiver's view of the union graph.
+  const StaticGraph core = triangle();
+  DynamicOverlay overlay(core);
+  overlay.add_migrated_node(10, 1);
+  overlay.add_migrated_edge(10, 0, 9);
+  // Core node 0 still reports its static neighbors only (the paper's
+  // second edge array belongs to the migrated side).
+  EXPECT_EQ(overlay.degree(0), 2u);
+  // The union view of the migrated node sees core node 0.
+  bool sees_core = false;
+  overlay.for_each_neighbor(10, [&](NodeID v, EdgeWeight w) {
+    sees_core |= (v == 0 && w == 9);
+  });
+  EXPECT_TRUE(sees_core);
+}
+
+TEST(DynamicOverlay, ClearMigratedRestoresCoreOnlyView) {
+  const StaticGraph core = triangle();
+  DynamicOverlay overlay(core);
+  overlay.add_migrated_node(10, 1);
+  overlay.add_migrated_edge(10, 0, 1);
+  overlay.clear_migrated();
+  EXPECT_EQ(overlay.num_migrated(), 0u);
+  EXPECT_EQ(overlay.num_overlay_edges(), 0u);
+  EXPECT_FALSE(overlay.contains(10));
+  EXPECT_TRUE(overlay.contains(0));
+}
+
+TEST(DynamicOverlay, GlobalIdMappingForLocalSubgraphs) {
+  // The intended deployment: a PE's block as an induced subgraph (local
+  // CSR) with its global ids, plus a migrated band from the partner.
+  Rng rng(3);
+  const StaticGraph g = random_geometric_graph(300, 0.12, rng);
+  std::vector<NodeID> mine;
+  for (NodeID u = 0; u < 150; ++u) mine.push_back(u);
+  const Subgraph local = induced_subgraph(g, mine);
+
+  DynamicOverlay overlay(local.graph, local.local_to_global);
+  // Simulate receiving the partner's band: global nodes 150..159 with
+  // their true cross edges.
+  for (NodeID u = 150; u < 160; ++u) {
+    overlay.add_migrated_node(u, g.node_weight(u));
+    for (EdgeID e = g.first_arc(u); e < g.last_arc(u); ++e) {
+      const NodeID v = g.arc_target(e);
+      if (v < 150 || (v >= 150 && v < 160)) {
+        overlay.add_migrated_edge(u, v, g.arc_weight(e));
+      }
+    }
+  }
+  // Every migrated node's union-view degree equals its true degree
+  // restricted to (core ∪ migrated).
+  for (NodeID u = 150; u < 160; ++u) {
+    NodeID expected = 0;
+    for (const NodeID v : g.neighbors(u)) {
+      if (v < 160) ++expected;
+    }
+    EXPECT_EQ(overlay.degree(u), expected) << "node " << u;
+  }
+  // Core nodes answer under their global ids.
+  EXPECT_TRUE(overlay.contains(0));
+  EXPECT_EQ(overlay.node_weight(0), g.node_weight(0));
+}
+
+}  // namespace
+}  // namespace kappa

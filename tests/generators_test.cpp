@@ -1,0 +1,211 @@
+/// \file generators_test.cpp
+/// \brief Tests for the synthetic instance generators, including the
+/// Delaunay triangulator's structural invariants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "generators/delaunay.hpp"
+#include "generators/generators.hpp"
+#include "graph/validation.hpp"
+
+namespace kappa {
+namespace {
+
+TEST(Generators, RggIsValidAndNearlyConnected) {
+  Rng rng(1);
+  const StaticGraph graph = random_geometric_graph(4096, rng);
+  EXPECT_EQ(validate_graph(graph), "");
+  EXPECT_TRUE(graph.has_coordinates());
+  // The paper's radius "ensures the graph is almost connected": a few
+  // stray isolated nodes are expected at this size, no fragmentation.
+  EXPECT_LE(count_components(graph), 32u);
+  // Giant component check: count nodes reachable from node 0's component.
+  {
+    std::vector<bool> visited(graph.num_nodes(), false);
+    std::vector<NodeID> stack{0};
+    visited[0] = true;
+    NodeID reached = 1;
+    while (!stack.empty()) {
+      const NodeID u = stack.back();
+      stack.pop_back();
+      for (const NodeID v : graph.neighbors(u)) {
+        if (!visited[v]) {
+          visited[v] = true;
+          ++reached;
+          stack.push_back(v);
+        }
+      }
+    }
+    EXPECT_GT(reached, graph.num_nodes() * 95 / 100);
+  }
+  // Expected average degree ~ pi * 0.3025 * ln n ~ 7.9 for n = 4096.
+  const double avg_degree = 2.0 * static_cast<double>(graph.num_edges()) /
+                            graph.num_nodes();
+  EXPECT_GT(avg_degree, 5.0);
+  EXPECT_LT(avg_degree, 12.0);
+}
+
+TEST(Generators, RggEdgesRespectRadius) {
+  Rng rng(7);
+  const double radius = 0.05;
+  const StaticGraph graph = random_geometric_graph(1000, radius, rng);
+  for (NodeID u = 0; u < graph.num_nodes(); ++u) {
+    for (const NodeID v : graph.neighbors(u)) {
+      const double dx = graph.coordinate(u).x - graph.coordinate(v).x;
+      const double dy = graph.coordinate(u).y - graph.coordinate(v).y;
+      EXPECT_LT(std::sqrt(dx * dx + dy * dy), radius);
+    }
+  }
+}
+
+TEST(Delaunay, TriangleCountMatchesEulerFormula) {
+  Rng rng(3);
+  std::vector<Point2D> points(2000);
+  for (auto& p : points) p = {rng.uniform(), rng.uniform()};
+  const std::vector<Triangle> tris = delaunay_triangulate(points);
+  // Euler: for n points with h on the hull, triangles = 2n - h - 2.
+  // h is small for random points (~ O(log n)); sanity-bound the count.
+  EXPECT_GT(tris.size(), 2 * points.size() - 200);
+  EXPECT_LE(tris.size(), 2 * points.size() - 2);
+}
+
+TEST(Delaunay, EmptyCircumcircleProperty) {
+  // The defining property, checked exhaustively on a small instance.
+  Rng rng(5);
+  std::vector<Point2D> points(120);
+  for (auto& p : points) p = {rng.uniform(), rng.uniform()};
+  const std::vector<Triangle> tris = delaunay_triangulate(points);
+
+  auto incircle = [&](const Triangle& t, const Point2D& d) {
+    const Point2D& a = points[t.v[0]];
+    const Point2D& b = points[t.v[1]];
+    const Point2D& c = points[t.v[2]];
+    const long double adx = a.x - d.x, ady = a.y - d.y;
+    const long double bdx = b.x - d.x, bdy = b.y - d.y;
+    const long double cdx = c.x - d.x, cdy = c.y - d.y;
+    const long double ad2 = adx * adx + ady * ady;
+    const long double bd2 = bdx * bdx + bdy * bdy;
+    const long double cd2 = cdx * cdx + cdy * cdy;
+    return adx * (bdy * cd2 - cdy * bd2) - ady * (bdx * cd2 - cdx * bd2) +
+           ad2 * (bdx * cdy - cdx * bdy);
+  };
+
+  for (const Triangle& t : tris) {
+    for (NodeID p = 0; p < points.size(); ++p) {
+      if (p == t.v[0] || p == t.v[1] || p == t.v[2]) continue;
+      // No point strictly inside any circumcircle (tolerance for the
+      // non-exact predicates).
+      EXPECT_LE(incircle(t, points[p]), 1e-12L)
+          << "point " << p << " violates the circle of triangle ("
+          << t.v[0] << "," << t.v[1] << "," << t.v[2] << ")";
+    }
+  }
+}
+
+TEST(Delaunay, GraphIsValidConnectedPlanar) {
+  Rng rng(11);
+  const StaticGraph graph = delaunay_graph(4096, rng);
+  EXPECT_EQ(validate_graph(graph), "");
+  EXPECT_EQ(count_components(graph), 1u);
+  // Planar: m <= 3n - 6.
+  EXPECT_LE(graph.num_edges(), 3 * graph.num_nodes() - 6);
+  // Triangulations are dense planar graphs: expect nearly 3n edges.
+  EXPECT_GT(graph.num_edges(), 2.8 * graph.num_nodes());
+}
+
+TEST(Generators, GridAndTorusStructure) {
+  const StaticGraph grid = grid_graph(10, 7);
+  EXPECT_EQ(grid.num_nodes(), 70u);
+  EXPECT_EQ(grid.num_edges(), 9u * 7 + 10 * 6);
+  EXPECT_EQ(validate_graph(grid), "");
+  EXPECT_EQ(count_components(grid), 1u);
+
+  const StaticGraph torus = torus_graph(10, 7);
+  EXPECT_EQ(torus.num_nodes(), 70u);
+  EXPECT_EQ(torus.num_edges(), 2u * 70);  // 4-regular
+  for (NodeID u = 0; u < torus.num_nodes(); ++u) {
+    EXPECT_EQ(torus.degree(u), 4u);
+  }
+}
+
+TEST(Generators, Grid3DStructure) {
+  const StaticGraph g = grid3d_graph(5, 4, 3);
+  EXPECT_EQ(g.num_nodes(), 60u);
+  EXPECT_EQ(g.num_edges(), 4u * 4 * 3 + 5 * 3 * 3 + 5 * 4 * 2);
+  EXPECT_EQ(count_components(g), 1u);
+}
+
+TEST(Generators, AnnulusMeshIsValidFEM) {
+  const StaticGraph mesh = annulus_mesh(16, 48);
+  EXPECT_EQ(validate_graph(mesh), "");
+  EXPECT_EQ(count_components(mesh), 1u);
+  EXPECT_TRUE(mesh.has_coordinates());
+}
+
+TEST(Generators, RoadNetworkIsConnectedLowDegree) {
+  Rng rng(2);
+  const StaticGraph road = road_network(10'000, rng);
+  EXPECT_EQ(validate_graph(road), "");
+  EXPECT_EQ(count_components(road), 1u);
+  NodeID max_degree = 0;
+  for (NodeID u = 0; u < road.num_nodes(); ++u) {
+    max_degree = std::max(max_degree, road.degree(u));
+  }
+  EXPECT_LE(max_degree, 4u);  // lattice streets
+  // Pruning and rivers leave the graph visibly sparser than the lattice.
+  EXPECT_LT(road.num_edges(), 2 * road.num_nodes());
+}
+
+TEST(Generators, RmatHasSkewedDegrees) {
+  Rng rng(4);
+  const StaticGraph g = rmat_graph(12, 8.0, 0.45, 0.2, 0.2, rng);
+  EXPECT_EQ(validate_graph(g), "");
+  NodeID max_degree = 0;
+  for (NodeID u = 0; u < g.num_nodes(); ++u) {
+    max_degree = std::max(max_degree, g.degree(u));
+  }
+  const double avg_degree =
+      2.0 * static_cast<double>(g.num_edges()) / g.num_nodes();
+  // Hubs dominate: the max degree is far above the average.
+  EXPECT_GT(static_cast<double>(max_degree), 8.0 * avg_degree);
+}
+
+TEST(Generators, BarabasiAlbertHubStructure) {
+  Rng rng(6);
+  const StaticGraph g = barabasi_albert(5000, 3, rng);
+  EXPECT_EQ(validate_graph(g), "");
+  EXPECT_EQ(count_components(g), 1u);  // attachment keeps it connected
+  NodeID max_degree = 0;
+  for (NodeID u = 0; u < g.num_nodes(); ++u) {
+    max_degree = std::max(max_degree, g.degree(u));
+  }
+  EXPECT_GT(max_degree, 50u);
+}
+
+TEST(Generators, InstanceRegistryServesAllNames) {
+  for (const std::string& name : instance_names()) {
+    if (name == "grid_l" || name == "road_l" || name == "rgg15" ||
+        name == "delaunay15" || name == "rmat_15" || name == "annulus_l") {
+      continue;  // big ones are exercised by the benches, not unit tests
+    }
+    const StaticGraph g = make_instance(name, 1);
+    EXPECT_GT(g.num_nodes(), 0u) << name;
+    EXPECT_GT(g.num_edges(), 0u) << name;
+  }
+  EXPECT_THROW(make_instance("no_such_instance"), std::runtime_error);
+}
+
+TEST(Generators, DeterministicUnderSeed) {
+  const StaticGraph a = make_instance("rgg14", 99);
+  const StaticGraph b = make_instance("rgg14", 99);
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (NodeID u = 0; u < a.num_nodes(); ++u) {
+    ASSERT_EQ(a.degree(u), b.degree(u));
+  }
+}
+
+}  // namespace
+}  // namespace kappa

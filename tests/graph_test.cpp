@@ -1,0 +1,231 @@
+/// \file graph_test.cpp
+/// \brief Tests for the CSR graph, builder, partition, metrics, subgraph
+/// and quotient graph.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/graph_builder.hpp"
+#include "graph/metrics.hpp"
+#include "graph/partition.hpp"
+#include "graph/quotient_graph.hpp"
+#include "graph/static_graph.hpp"
+#include "graph/subgraph.hpp"
+#include "graph/validation.hpp"
+#include "util/random.hpp"
+
+namespace kappa {
+namespace {
+
+/// Triangle + pendant: 0-1-2-0 plus 2-3.
+StaticGraph small_graph() {
+  GraphBuilder builder(4);
+  builder.add_edge(0, 1, 2);
+  builder.add_edge(1, 2, 3);
+  builder.add_edge(2, 0, 5);
+  builder.add_edge(2, 3, 1);
+  return builder.finalize();
+}
+
+// ------------------------------------------------------------ builder ----
+
+TEST(GraphBuilder, BuildsSymmetricCSR) {
+  const StaticGraph g = small_graph();
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.num_arcs(), 8u);
+  EXPECT_EQ(validate_graph(g), "");
+  EXPECT_EQ(g.degree(2), 3u);
+  EXPECT_EQ(g.degree(3), 1u);
+}
+
+TEST(GraphBuilder, MergesParallelEdges) {
+  GraphBuilder builder(3);
+  builder.add_edge(0, 1, 2);
+  builder.add_edge(1, 0, 3);  // same undirected edge, reversed
+  builder.add_edge(0, 1, 5);
+  const StaticGraph g = builder.finalize();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.arc_weight(g.first_arc(0)), 10);
+  EXPECT_EQ(validate_graph(g), "");
+}
+
+TEST(GraphBuilder, DropsSelfLoops) {
+  GraphBuilder builder(2);
+  builder.add_edge(0, 0, 7);
+  builder.add_edge(0, 1, 1);
+  const StaticGraph g = builder.finalize();
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(GraphBuilder, NodeWeightsAndCoordinates) {
+  GraphBuilder builder(2);
+  builder.add_edge(0, 1);
+  builder.set_node_weight(0, 5);
+  builder.set_coordinate(1, {3.0, 4.0});
+  const StaticGraph g = builder.finalize();
+  EXPECT_EQ(g.node_weight(0), 5);
+  EXPECT_EQ(g.node_weight(1), 1);
+  EXPECT_EQ(g.total_node_weight(), 6);
+  EXPECT_EQ(g.max_node_weight(), 5);
+  ASSERT_TRUE(g.has_coordinates());
+  EXPECT_EQ(g.coordinate(1).x, 3.0);
+}
+
+TEST(GraphBuilder, EmptyGraph) {
+  GraphBuilder builder(3);
+  const StaticGraph g = builder.finalize();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(count_components(g), 3u);
+}
+
+// -------------------------------------------------------- StaticGraph ----
+
+TEST(StaticGraph, WeightedDegreeAndTotals) {
+  const StaticGraph g = small_graph();
+  EXPECT_EQ(g.weighted_degree(0), 2 + 5);
+  EXPECT_EQ(g.weighted_degree(2), 3 + 5 + 1);
+  EXPECT_EQ(g.total_edge_weight(), 2 + 3 + 5 + 1);
+  EXPECT_EQ(g.total_node_weight(), 4);
+}
+
+TEST(StaticGraph, NeighborsSpan) {
+  const StaticGraph g = small_graph();
+  const auto nbrs = g.neighbors(2);
+  std::vector<NodeID> sorted(nbrs.begin(), nbrs.end());
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<NodeID>{0, 1, 3}));
+}
+
+// ----------------------------------------------------------- partition ----
+
+TEST(Partition, AssignMoveAndBlockWeights) {
+  const StaticGraph g = small_graph();
+  Partition p(g.num_nodes(), 2);
+  for (NodeID u = 0; u < 4; ++u) p.assign(u, u % 2, g.node_weight(u));
+  EXPECT_EQ(p.block_weight(0), 2);
+  EXPECT_EQ(p.block_weight(1), 2);
+  p.move(3, 0, g.node_weight(3));
+  EXPECT_EQ(p.block_weight(0), 3);
+  EXPECT_EQ(p.block_weight(1), 1);
+  EXPECT_EQ(p.block(3), 0u);
+  EXPECT_EQ(validate_partition(g, p), "");
+}
+
+// ------------------------------------------------------------- metrics ----
+
+TEST(Metrics, EdgeCutCountsWeightedCrossEdges) {
+  const StaticGraph g = small_graph();
+  Partition p(g, {0, 0, 1, 1}, 2);
+  // Cut edges: {1,2} w=3 and {0,2} w=5.
+  EXPECT_EQ(edge_cut(g, p), 8);
+}
+
+TEST(Metrics, ZeroCutForSingleBlock) {
+  const StaticGraph g = small_graph();
+  Partition p(g, {0, 0, 0, 0}, 1);
+  EXPECT_EQ(edge_cut(g, p), 0);
+  EXPECT_NEAR(balance(g, p), 1.0, 1e-12);
+}
+
+TEST(Metrics, BalanceAndBound) {
+  const StaticGraph g = small_graph();  // 4 unit nodes
+  Partition p(g, {0, 0, 0, 1}, 2);
+  EXPECT_NEAR(balance(g, p), 3.0 / 2.0, 1e-12);
+  // Lmax = (1+eps) * 4/2 + 1.
+  EXPECT_EQ(max_block_weight_bound(g, 2, 0.0), 3);
+  EXPECT_TRUE(is_balanced(g, p, 0.0));  // 3 <= 3 thanks to the +max term
+  Partition q(g, {0, 0, 0, 0}, 1);
+  EXPECT_TRUE(is_balanced(g, q, 0.0));
+}
+
+TEST(Metrics, BoundaryNodes) {
+  const StaticGraph g = small_graph();
+  Partition p(g, {0, 0, 1, 1}, 2);
+  const auto boundary = boundary_nodes(g, p);
+  EXPECT_EQ(boundary, (std::vector<NodeID>{0, 1, 2}));  // 3 is interior
+  const auto pair01 = pair_boundary_nodes(g, p, 0, 1);
+  EXPECT_EQ(pair01, (std::vector<NodeID>{0, 1}));
+}
+
+// ------------------------------------------------------------ subgraph ----
+
+TEST(Subgraph, InducedPreservesInternalEdges) {
+  const StaticGraph g = small_graph();
+  const Subgraph sub = induced_subgraph(g, {0, 1, 2});
+  EXPECT_EQ(sub.graph.num_nodes(), 3u);
+  EXPECT_EQ(sub.graph.num_edges(), 3u);  // the triangle; pendant dropped
+  EXPECT_EQ(validate_graph(sub.graph), "");
+  EXPECT_EQ(sub.global_to_local[3], kInvalidNode);
+  for (NodeID local = 0; local < 3; ++local) {
+    EXPECT_EQ(sub.global_to_local[sub.local_to_global[local]], local);
+  }
+}
+
+TEST(Subgraph, PreservesWeights) {
+  GraphBuilder builder(3);
+  builder.add_edge(0, 1, 9);
+  builder.set_node_weight(1, 4);
+  const StaticGraph g = builder.finalize();
+  const Subgraph sub = induced_subgraph(g, {1, 0});
+  EXPECT_EQ(sub.graph.node_weight(0), 4);  // node 1 became local 0
+  EXPECT_EQ(sub.graph.arc_weight(0), 9);
+}
+
+// ------------------------------------------------------ quotient graph ----
+
+TEST(QuotientGraph, EdgesAndCutWeights) {
+  const StaticGraph g = small_graph();
+  Partition p(g, {0, 0, 1, 2}, 3);
+  const QuotientGraph q(g, p);
+  EXPECT_EQ(q.num_blocks(), 3u);
+  ASSERT_EQ(q.edges().size(), 2u);  // {0,1} and {1,2}; blocks 0,2 not adjacent
+  for (const QuotientEdge& e : q.edges()) {
+    if (e.a == 0 && e.b == 1) {
+      EXPECT_EQ(e.cut_weight, 8);  // edges {0,2} + {1,2}
+    } else {
+      EXPECT_EQ(e.a, 1u);
+      EXPECT_EQ(e.b, 2u);
+      EXPECT_EQ(e.cut_weight, 1);
+    }
+  }
+  EXPECT_EQ(q.max_degree(), 2u);  // block 1 touches both others
+}
+
+TEST(QuotientGraph, BoundarySeedsArePairBoundary) {
+  const StaticGraph g = small_graph();
+  Partition p(g, {0, 0, 1, 1}, 2);
+  const QuotientGraph q(g, p);
+  ASSERT_EQ(q.edges().size(), 1u);
+  std::vector<NodeID> boundary = q.edges()[0].boundary;
+  std::sort(boundary.begin(), boundary.end());
+  EXPECT_EQ(boundary, (std::vector<NodeID>{0, 1, 2}));
+}
+
+// ---------------------------------------------------------- validation ----
+
+TEST(Validation, DetectsBrokenStructures) {
+  const StaticGraph g = small_graph();
+  EXPECT_EQ(validate_graph(g), "");
+
+  // A matching that is not symmetric.
+  std::vector<NodeID> partner = {1, 0, 2, 3};
+  EXPECT_EQ(validate_matching(g, partner), "");
+  partner = {1, 2, 1, 3};
+  EXPECT_NE(validate_matching(g, partner), "");
+  // A matched pair that is not an edge.
+  partner = {3, 1, 2, 0};
+  EXPECT_NE(validate_matching(g, partner), "");
+}
+
+TEST(Validation, CountComponents) {
+  GraphBuilder builder(5);
+  builder.add_edge(0, 1);
+  builder.add_edge(2, 3);
+  const StaticGraph g = builder.finalize();
+  EXPECT_EQ(count_components(g), 3u);
+}
+
+}  // namespace
+}  // namespace kappa

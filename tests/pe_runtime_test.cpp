@@ -1,0 +1,183 @@
+/// \file pe_runtime_test.cpp
+/// \brief Tests for the thread-based PE runtime (the MPI substitute) and
+/// the distributed edge-coloring protocol running on it.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "generators/generators.hpp"
+#include "graph/quotient_graph.hpp"
+#include "parallel/dist_coloring.hpp"
+#include "parallel/pe_runtime.hpp"
+#include "util/random.hpp"
+
+namespace kappa {
+namespace {
+
+TEST(PERuntime, RanksAreDistinctAndComplete) {
+  PERuntime runtime(6);
+  std::atomic<std::uint64_t> rank_mask{0};
+  runtime.run([&](PEContext& pe) {
+    rank_mask.fetch_or(std::uint64_t{1} << pe.rank());
+    EXPECT_EQ(pe.size(), 6);
+  });
+  EXPECT_EQ(rank_mask.load(), 0b111111u);
+}
+
+TEST(PERuntime, PingPong) {
+  PERuntime runtime(2);
+  runtime.run([&](PEContext& pe) {
+    if (pe.rank() == 0) {
+      pe.send(1, {42, 7});
+      const Message reply = pe.receive(1);
+      EXPECT_EQ(reply.payload, (std::vector<std::uint64_t>{43, 8}));
+    } else {
+      const Message msg = pe.receive(0);
+      EXPECT_EQ(msg.source, 0);
+      pe.send(0, {msg.payload[0] + 1, msg.payload[1] + 1});
+    }
+  });
+}
+
+TEST(PERuntime, FIFOPerSource) {
+  PERuntime runtime(2);
+  runtime.run([&](PEContext& pe) {
+    if (pe.rank() == 0) {
+      for (std::uint64_t i = 0; i < 100; ++i) pe.send(1, {i});
+    } else {
+      for (std::uint64_t i = 0; i < 100; ++i) {
+        EXPECT_EQ(pe.receive(0).payload[0], i);
+      }
+    }
+  });
+}
+
+TEST(PERuntime, ManyToOneGather) {
+  PERuntime runtime(8);
+  runtime.run([&](PEContext& pe) {
+    if (pe.rank() != 0) {
+      pe.send(0, {static_cast<std::uint64_t>(pe.rank())});
+    } else {
+      std::uint64_t sum = 0;
+      for (int i = 1; i < 8; ++i) sum += pe.receive(-1).payload[0];
+      EXPECT_EQ(sum, 1u + 2 + 3 + 4 + 5 + 6 + 7);
+    }
+  });
+}
+
+TEST(PERuntime, AllReduceSumAndMax) {
+  PERuntime runtime(5);
+  runtime.run([&](PEContext& pe) {
+    const std::uint64_t rank = static_cast<std::uint64_t>(pe.rank());
+    EXPECT_EQ(pe.all_reduce_sum(rank + 1), 15u);
+    EXPECT_EQ(pe.all_reduce_max(rank * 10), 40u);
+    // Repeated collectives stay consistent (barrier discipline).
+    EXPECT_EQ(pe.all_reduce_sum(1), 5u);
+  });
+}
+
+TEST(PERuntime, AllGatherOrdersByRank) {
+  PERuntime runtime(4);
+  runtime.run([&](PEContext& pe) {
+    const auto gathered =
+        pe.all_gather(static_cast<std::uint64_t>(pe.rank()) * 2);
+    EXPECT_EQ(gathered, (std::vector<std::uint64_t>{0, 2, 4, 6}));
+  });
+}
+
+TEST(PERuntime, BroadcastFromEveryRoot) {
+  PERuntime runtime(4);
+  runtime.run([&](PEContext& pe) {
+    for (int root = 0; root < 4; ++root) {
+      std::vector<std::uint64_t> payload;
+      if (pe.rank() == root) {
+        payload = {static_cast<std::uint64_t>(root), 99};
+      }
+      const auto result = pe.broadcast(payload, root);
+      EXPECT_EQ(result,
+                (std::vector<std::uint64_t>{static_cast<std::uint64_t>(root),
+                                            99}));
+    }
+  });
+}
+
+TEST(PERuntime, RngStreamsDifferAcrossPEsButReplayDeterministically) {
+  std::vector<std::uint64_t> first_run(4);
+  std::vector<std::uint64_t> second_run(4);
+  for (auto* out : {&first_run, &second_run}) {
+    PERuntime runtime(4, /*seed=*/99);
+    runtime.run([&](PEContext& pe) {
+      (*out)[pe.rank()] = pe.rng()();
+    });
+  }
+  EXPECT_EQ(first_run, second_run);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) {
+      EXPECT_NE(first_run[i], first_run[j]);
+    }
+  }
+}
+
+TEST(PERuntime, CommStatsCountTraffic) {
+  PERuntime runtime(3);
+  const CommStats stats = runtime.run([&](PEContext& pe) {
+    if (pe.rank() == 0) {
+      pe.send(1, {1, 2, 3});
+      pe.send(2, {4});
+    }
+    pe.barrier();
+    if (pe.rank() != 0) (void)pe.try_receive(-1);
+  });
+  EXPECT_EQ(stats.messages_sent, 2u);
+  EXPECT_EQ(stats.words_sent, 4u);
+  EXPECT_GE(stats.barriers, 1u);
+}
+
+// ----------------------------------------------- distributed coloring ----
+
+TEST(DistributedColoring, MatchesSequentialInvariants) {
+  const StaticGraph g = grid_graph(40, 10);
+  std::vector<BlockID> assignment(g.num_nodes());
+  for (NodeID u = 0; u < g.num_nodes(); ++u) {
+    assignment[u] = std::min<BlockID>((u % 40) / 5, 7);
+  }
+  const Partition p(g, std::move(assignment), 8);
+  const QuotientGraph q(g, p);
+
+  const DistributedColoringResult result =
+      distributed_color_quotient_edges(q, /*seed=*/5);
+  EXPECT_EQ(validate_coloring(q, result.coloring), "");
+  EXPECT_LE(result.coloring.num_colors,
+            2 * static_cast<int>(q.max_degree()));
+  EXPECT_GT(result.comm.messages_sent, 0u);
+  EXPECT_GT(result.rounds, 0u);
+}
+
+TEST(DistributedColoring, DenseQuotientGraph) {
+  // Random 10-way partition of an rgg: the quotient is near-complete.
+  Rng graph_rng(3);
+  const StaticGraph g = random_geometric_graph(900, 0.08, graph_rng);
+  std::vector<BlockID> assignment(g.num_nodes());
+  Rng arng(1);
+  for (auto& b : assignment) b = static_cast<BlockID>(arng.bounded(10));
+  const Partition p(g, std::move(assignment), 10);
+  const QuotientGraph q(g, p);
+  ASSERT_GT(q.edges().size(), 30u);
+
+  const DistributedColoringResult result =
+      distributed_color_quotient_edges(q, /*seed=*/7);
+  EXPECT_EQ(validate_coloring(q, result.coloring), "");
+}
+
+TEST(DistributedColoring, EmptyQuotient) {
+  const StaticGraph g = grid_graph(4, 1);
+  const Partition p(g, {0, 0, 0, 0}, 1);
+  const QuotientGraph q(g, p);
+  const DistributedColoringResult result =
+      distributed_color_quotient_edges(q, 1);
+  EXPECT_EQ(result.coloring.num_colors, 0);
+}
+
+}  // namespace
+}  // namespace kappa

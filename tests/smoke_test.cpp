@@ -1,0 +1,57 @@
+/// \file smoke_test.cpp
+/// \brief End-to-end smoke tests: the full KaPPa pipeline on small graphs.
+#include <gtest/gtest.h>
+
+#include "core/kappa.hpp"
+#include "graph/graph_builder.hpp"
+#include "graph/metrics.hpp"
+#include "graph/validation.hpp"
+
+namespace kappa {
+namespace {
+
+/// A 2D grid graph is the simplest mesh-like instance.
+StaticGraph grid_graph(NodeID nx, NodeID ny) {
+  GraphBuilder builder(nx * ny);
+  for (NodeID y = 0; y < ny; ++y) {
+    for (NodeID x = 0; x < nx; ++x) {
+      const NodeID u = y * nx + x;
+      if (x + 1 < nx) builder.add_edge(u, u + 1);
+      if (y + 1 < ny) builder.add_edge(u, u + nx);
+      builder.set_coordinate(u, {static_cast<double>(x),
+                                 static_cast<double>(y)});
+    }
+  }
+  return builder.finalize();
+}
+
+TEST(Smoke, FastPresetPartitionsGrid) {
+  const StaticGraph graph = grid_graph(32, 32);
+  ASSERT_EQ(validate_graph(graph), "");
+
+  Config config = Config::preset(Preset::kFast, /*k=*/4);
+  config.seed = 42;
+  const KappaResult result = kappa_partition(graph, config);
+
+  EXPECT_EQ(validate_partition(graph, result.partition), "");
+  EXPECT_TRUE(result.balanced) << "balance = " << result.balance;
+  EXPECT_GT(result.cut, 0);
+  // A 32x32 grid cut into 4 quadrants costs 64; accept anything within 2x.
+  EXPECT_LE(result.cut, 128);
+}
+
+TEST(Smoke, AllPresetsProduceValidPartitions) {
+  const StaticGraph graph = grid_graph(24, 24);
+  for (const Preset preset :
+       {Preset::kMinimal, Preset::kFast, Preset::kStrong}) {
+    Config config = Config::preset(preset, /*k=*/8);
+    config.seed = 7;
+    const KappaResult result = kappa_partition(graph, config);
+    EXPECT_EQ(validate_partition(graph, result.partition), "")
+        << preset_name(preset);
+    EXPECT_TRUE(result.balanced) << preset_name(preset);
+  }
+}
+
+}  // namespace
+}  // namespace kappa
