@@ -18,8 +18,9 @@ NodeID contraction_stop_threshold(NodeID n, BlockID k, double alpha) {
   return static_cast<NodeID>(std::min<double>(global, n));
 }
 
-Hierarchy build_hierarchy(const StaticGraph& graph,
-                          const CoarseningOptions& options, Rng& rng) {
+Hierarchy build_hierarchy_with(const StaticGraph& graph,
+                               const CoarseningOptions& options,
+                               const LevelMatcher& matcher) {
   Hierarchy hierarchy(graph);
 
   MatchingOptions match_options;
@@ -35,19 +36,7 @@ Hierarchy build_hierarchy(const StaticGraph& graph,
   std::size_t level = 0;
   while (hierarchy.coarsest().num_nodes() > options.contraction_limit) {
     const StaticGraph& current = hierarchy.coarsest();
-    Rng level_rng = rng.fork(level);
-
-    std::vector<NodeID> partner;
-    if (options.matching_pes > 1 &&
-        current.num_nodes() > 4 * options.matching_pes) {
-      const std::vector<BlockID> homes =
-          prepartition(current, options.matching_pes);
-      partner = parallel_matching(current, homes, options.matching_pes,
-                                  options.matcher, match_options, level_rng);
-    } else {
-      partner =
-          compute_matching(current, options.matcher, match_options, level_rng);
-    }
+    const std::vector<NodeID> partner = matcher(current, match_options, level);
 
     const NodeID pairs = matching_size(partner);
     if (pairs == 0) break;  // nothing contractible is left
@@ -68,6 +57,25 @@ Hierarchy build_hierarchy(const StaticGraph& graph,
     if (shrink < options.min_shrink_factor) break;
   }
   return hierarchy;
+}
+
+Hierarchy build_hierarchy(const StaticGraph& graph,
+                          const CoarseningOptions& options, Rng& rng) {
+  return build_hierarchy_with(
+      graph, options,
+      [&](const StaticGraph& current, const MatchingOptions& match_options,
+          std::size_t level) {
+        Rng level_rng = rng.fork(level);
+        if (options.matching_pes > 1 &&
+            current.num_nodes() > 4 * options.matching_pes) {
+          const std::vector<BlockID> homes =
+              prepartition(current, options.matching_pes);
+          return parallel_matching(current, homes, options.matching_pes,
+                                   options.matcher, match_options, level_rng);
+        }
+        return compute_matching(current, options.matcher, match_options,
+                                level_rng);
+      });
 }
 
 }  // namespace kappa

@@ -8,6 +8,7 @@
 /// (Table 2 fixes alpha = 60).
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "graph/contraction.hpp"
@@ -76,7 +77,23 @@ class Hierarchy {
   std::vector<std::vector<NodeID>> maps_;
 };
 
-/// Builds the hierarchy by iterated match-and-contract.
+/// Computes a matching of one hierarchy level. Implementations: the
+/// in-process dispatch inside build_hierarchy(), and the SPMD matcher of
+/// parallel/spmd_phases.cpp.
+using LevelMatcher = std::function<std::vector<NodeID>(
+    const StaticGraph& current, const MatchingOptions& options,
+    std::size_t level)>;
+
+/// Builds the hierarchy by iterated match-and-contract with a caller-
+/// supplied per-level matcher. Owns everything both the sequential and
+/// the SPMD coarsener must agree on: the max-pair-weight bound, the
+/// contraction-limit / zero-matching / minimum-shrink stop rules.
+[[nodiscard]] Hierarchy build_hierarchy_with(const StaticGraph& graph,
+                                             const CoarseningOptions& options,
+                                             const LevelMatcher& matcher);
+
+/// Builds the hierarchy with the in-process matchers (sequential, or the
+/// simulated two-phase parallel scheme when options.matching_pes > 1).
 [[nodiscard]] Hierarchy build_hierarchy(const StaticGraph& graph,
                                         const CoarseningOptions& options,
                                         Rng& rng);

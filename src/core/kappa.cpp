@@ -1,126 +1,16 @@
 #include "core/kappa.hpp"
 
-#include <algorithm>
-#include <sstream>
-
-#include "coarsening/hierarchy.hpp"
-#include "graph/contraction.hpp"
-#include "graph/metrics.hpp"
-#include "initial/initial_partitioner.hpp"
-#include "refinement/pairwise_refiner.hpp"
-#include "util/logging.hpp"
+#include "core/phases.hpp"
 #include "util/random.hpp"
-#include "util/timer.hpp"
 
 namespace kappa {
 
 KappaResult kappa_partition(const StaticGraph& graph, const Config& config) {
-  Timer total_timer;
-  Rng rng(config.seed);
-  KappaResult result;
-
-  // --- Phase 1: contraction (§3). ---
-  Timer phase_timer;
-  CoarseningOptions coarsening;
-  coarsening.rating = config.rating;
-  coarsening.matcher = config.matcher;
-  coarsening.contraction_limit = contraction_stop_threshold(
-      graph.num_nodes(), config.k, config.stop_alpha);
-  coarsening.matching_pes = config.matching_pes;
-  Rng coarsen_rng = rng.fork(1);
-  const Hierarchy hierarchy = build_hierarchy(graph, coarsening, coarsen_rng);
-  result.coarsening_time = phase_timer.elapsed_s();
-  result.hierarchy_levels = hierarchy.num_levels();
-  result.coarsest_nodes = hierarchy.coarsest().num_nodes();
-
-  // --- Phase 2: initial partitioning (§4). ---
-  phase_timer.restart();
-  InitialPartitionOptions initial;
-  initial.eps = config.eps;
-  initial.repeats = config.init_repeats;
-  Rng initial_rng = rng.fork(2);
-  Partition partition =
-      initial_partition(hierarchy.coarsest(), config.k, initial, initial_rng);
-  result.initial_time = phase_timer.elapsed_s();
-
-  // --- Phase 3: uncoarsening with pairwise refinement (§5). ---
-  phase_timer.restart();
-  Rng refine_rng = rng.fork(3);
-  // The balance target is the *input-level* Lmax. Coarse levels have a
-  // laxer intrinsic bound (their max node weight is larger), so refining
-  // against the final bound from the start makes every level pull toward
-  // final feasibility; the lexicographic FM objective reduces overload as
-  // far as each level's granularity permits.
-  const NodeWeight global_bound =
-      max_block_weight_bound(graph, config.k, config.eps);
-  for (std::size_t level = hierarchy.num_levels(); level-- > 0;) {
-    const StaticGraph& current = hierarchy.graph(level);
-    if (level + 1 < hierarchy.num_levels()) {
-      partition = project_partition(current, hierarchy.map(level), partition);
-    }
-
-    PairwiseRefinerOptions refine;
-    refine.fm.queue_selection = config.queue_selection;
-    refine.fm.patience_alpha = config.fm_alpha;
-    refine.fm.max_block_weight = std::max(
-        global_bound, current.max_node_weight());  // never below one node
-    refine.bfs_depth = config.bfs_depth;
-    refine.local_iterations = config.local_iterations;
-    refine.max_global_iterations = config.max_global_iterations;
-    refine.stop_no_change = config.stop_no_change;
-    refine.num_threads = config.num_threads;
-    refine.duplicate_search = config.duplicate_search;
-    refine.use_flow = config.use_flow_refinement;
-
-    Rng level_rng = refine_rng.fork(level);
-    const PairwiseRefineReport report =
-        pairwise_refine(current, partition, refine, level_rng);
-    if (log_level() >= LogLevel::kDebug) {
-      std::ostringstream msg;
-      msg << "refine level " << level << ": cut gain "
-          << report.total_cut_gain << " in " << report.global_iterations
-          << " global iterations";
-      log_debug(msg.str());
-    }
-  }
-
-  // Rebalancing insurance: should the finest level still be overloaded
-  // (possible with the minimal preset's single shallow iteration, or on
-  // road networks where weight must flow through narrow bridges), run
-  // additional MaxLoad-driven iterations with escalating band depth —
-  // this is the §5.2 exception rule applied until the constraint holds.
-  // Each global iteration moves weight one quotient-graph hop, so chains
-  // of near-full blocks drain over several attempts.
-  for (int attempt = 0;
-       attempt < 24 && !is_balanced(graph, partition, config.eps);
-       ++attempt) {
-    PairwiseRefinerOptions rebalance;
-    rebalance.fm.queue_selection = QueueSelection::kMaxLoad;
-    rebalance.fm.patience_alpha = std::max(config.fm_alpha, 0.25);
-    // Late attempts target the eps = 0 bound: a pair sitting exactly at
-    // Lmax with odd total weight has no max-based gradient, but against
-    // the tighter target its interior neighbors gain an incentive to
-    // drain it, unsticking the chain. The true bound is only checked by
-    // the loop condition.
-    rebalance.fm.max_block_weight =
-        attempt < 8 ? global_bound
-                    : max_block_weight_bound(graph, config.k, 0.0);
-    rebalance.bfs_depth =
-        std::min(64, std::max(config.bfs_depth, 5) * (1 + attempt / 2));
-    rebalance.local_iterations = 1;
-    rebalance.max_global_iterations = 2;
-    rebalance.num_threads = config.num_threads;
-    Rng rebalance_rng = refine_rng.fork(100 + attempt);
-    (void)pairwise_refine(graph, partition, rebalance, rebalance_rng);
-  }
-  result.refinement_time = phase_timer.elapsed_s();
-
-  result.cut = edge_cut(graph, partition);
-  result.balance = balance(graph, partition);
-  result.balanced = is_balanced(graph, partition, config.eps);
-  result.partition = std::move(partition);
-  result.total_time = total_timer.elapsed_s();
-  return result;
+  const Rng rng(config.seed);
+  SequentialCoarsener coarsener(config, rng);
+  SequentialInitialPartitioner initial(config, rng);
+  SequentialRefiner refiner(graph, config, rng);
+  return run_multilevel(graph, config, coarsener, initial, refiner);
 }
 
 }  // namespace kappa

@@ -6,11 +6,21 @@
 /// pre-partitioned PEs; (2) repeated initial partitioning of the coarsest
 /// graph; (3) uncoarsening with parallel pairwise FM refinement scheduled
 /// by edge colorings of the quotient graph.
+///
+/// Two entry points share one driver (core/phases.hpp):
+/// kappa_partition() runs the pipeline in-process; and
+/// kappa_partition_parallel() runs it SPMD on the PE runtime — every phase
+/// executes distributed across the runtime's PEs with all dynamic state
+/// exchanged through messages and collectives, as in the paper's MPI
+/// implementation.
 #pragma once
+
+#include <vector>
 
 #include "core/config.hpp"
 #include "graph/partition.hpp"
 #include "graph/static_graph.hpp"
+#include "parallel/pe_runtime.hpp"
 
 namespace kappa {
 
@@ -29,10 +39,29 @@ struct KappaResult {
 
   std::size_t hierarchy_levels = 0;
   NodeID coarsest_nodes = 0;
+
+  // SPMD run shape (kappa_partition_parallel only; zero/empty otherwise).
+  int num_pes = 0;                     ///< PEs of the runtime that ran this
+  CommStats comm;                      ///< aggregate communication volume
+  std::vector<CommStats> comm_per_pe;  ///< per-PE counters, indexed by rank
 };
 
-/// Partitions \p graph into \p config.k blocks.
+/// Partitions \p graph into \p config.k blocks (single process).
 [[nodiscard]] KappaResult kappa_partition(const StaticGraph& graph,
                                           const Config& config);
+
+/// Partitions \p graph into \p config.k blocks SPMD on \p runtime: the
+/// graph is sharded across PEs (parallel/dist_graph.hpp), coarsening
+/// matches shard-locally and resolves the gap graph over channels, initial
+/// partitioning runs best-of-p with an all-reduce winner pick, and
+/// uncoarsening refines disjoint block pairs concurrently per quotient
+/// edge color, exchanging moved-node deltas.
+///
+/// Deterministic: with a fixed config.seed the partition is identical for
+/// every runtime size p (work is keyed to virtual shards, not to physical
+/// PEs), so p only changes wall time and the communication counters.
+[[nodiscard]] KappaResult kappa_partition_parallel(const StaticGraph& graph,
+                                                   const Config& config,
+                                                   PERuntime& runtime);
 
 }  // namespace kappa

@@ -1,0 +1,172 @@
+#include "core/phases.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "graph/contraction.hpp"
+#include "graph/metrics.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace kappa {
+
+KappaResult run_multilevel(const StaticGraph& graph, const Config& config,
+                           Coarsener& coarsener, InitialPartitioner& initial,
+                           Refiner& refiner) {
+  Timer total_timer;
+  KappaResult result;
+
+  // --- Phase 1: contraction (§3). ---
+  Timer phase_timer;
+  const Hierarchy hierarchy = coarsener.coarsen(graph);
+  result.coarsening_time = phase_timer.elapsed_s();
+  result.hierarchy_levels = hierarchy.num_levels();
+  result.coarsest_nodes = hierarchy.coarsest().num_nodes();
+
+  // --- Phase 2: initial partitioning (§4). ---
+  phase_timer.restart();
+  Partition partition = initial.partition(hierarchy.coarsest());
+  result.initial_time = phase_timer.elapsed_s();
+
+  // --- Phase 3: uncoarsening with pairwise refinement (§5). ---
+  phase_timer.restart();
+  for (std::size_t level = hierarchy.num_levels(); level-- > 0;) {
+    const StaticGraph& current = hierarchy.graph(level);
+    if (level + 1 < hierarchy.num_levels()) {
+      partition = project_partition(current, hierarchy.map(level), partition);
+    }
+    refiner.refine(current, partition, level);
+  }
+  refiner.rebalance(graph, partition);
+  result.refinement_time = phase_timer.elapsed_s();
+
+  result.cut = edge_cut(graph, partition);
+  result.balance = balance(graph, partition);
+  result.balanced = is_balanced(graph, partition, config.eps);
+  result.partition = std::move(partition);
+  result.total_time = total_timer.elapsed_s();
+  return result;
+}
+
+CoarseningOptions coarsening_options(const StaticGraph& graph,
+                                     const Config& config) {
+  CoarseningOptions coarsening;
+  coarsening.rating = config.rating;
+  coarsening.matcher = config.matcher;
+  coarsening.contraction_limit = contraction_stop_threshold(
+      graph.num_nodes(), config.k, config.stop_alpha);
+  coarsening.matching_pes = config.matching_pes;
+  return coarsening;
+}
+
+PairwiseRefinerOptions level_refine_options(const Config& config,
+                                            NodeWeight global_bound,
+                                            const StaticGraph& current) {
+  PairwiseRefinerOptions refine;
+  refine.fm.queue_selection = config.queue_selection;
+  refine.fm.patience_alpha = config.fm_alpha;
+  // The balance target is the *input-level* Lmax. Coarse levels have a
+  // laxer intrinsic bound (their max node weight is larger), so refining
+  // against the final bound from the start makes every level pull toward
+  // final feasibility; the lexicographic FM objective reduces overload as
+  // far as each level's granularity permits.
+  refine.fm.max_block_weight =
+      std::max(global_bound, current.max_node_weight());
+  refine.bfs_depth = config.bfs_depth;
+  refine.local_iterations = config.local_iterations;
+  refine.max_global_iterations = config.max_global_iterations;
+  refine.stop_no_change = config.stop_no_change;
+  refine.num_threads = config.num_threads;
+  refine.duplicate_search = config.duplicate_search;
+  refine.use_flow = config.use_flow_refinement;
+  return refine;
+}
+
+PairwiseRefinerOptions rebalance_options(const Config& config,
+                                         const StaticGraph& graph,
+                                         NodeWeight global_bound,
+                                         int attempt) {
+  PairwiseRefinerOptions rebalance;
+  rebalance.fm.queue_selection = QueueSelection::kMaxLoad;
+  rebalance.fm.patience_alpha = std::max(config.fm_alpha, 0.25);
+  // Late attempts target the eps = 0 bound: a pair sitting exactly at
+  // Lmax with odd total weight has no max-based gradient, but against
+  // the tighter target its interior neighbors gain an incentive to
+  // drain it, unsticking the chain. The true bound is only checked by
+  // the caller's loop condition.
+  rebalance.fm.max_block_weight =
+      attempt < 8 ? global_bound : max_block_weight_bound(graph, config.k, 0.0);
+  rebalance.bfs_depth =
+      std::min(64, std::max(config.bfs_depth, 5) * (1 + attempt / 2));
+  rebalance.local_iterations = 1;
+  rebalance.max_global_iterations = 2;
+  rebalance.num_threads = config.num_threads;
+  return rebalance;
+}
+
+void rebalance_until_feasible(const StaticGraph& graph, Partition& partition,
+                              const Config& config, NodeWeight global_bound,
+                              const Rng& refine_rng, int num_threads) {
+  // Rebalancing insurance: should the finest level still be overloaded
+  // (possible with the minimal preset's single shallow iteration, or on
+  // road networks where weight must flow through narrow bridges), run
+  // additional MaxLoad-driven iterations with escalating band depth —
+  // this is the §5.2 exception rule applied until the constraint holds.
+  // Each global iteration moves weight one quotient-graph hop, so chains
+  // of near-full blocks drain over several attempts.
+  for (int attempt = 0; attempt < kMaxRebalanceAttempts &&
+                        !is_balanced(graph, partition, config.eps);
+       ++attempt) {
+    PairwiseRefinerOptions options =
+        rebalance_options(config, graph, global_bound, attempt);
+    options.num_threads = num_threads;
+    Rng rebalance_rng = refine_rng.fork(100 + attempt);
+    (void)pairwise_refine(graph, partition, options, rebalance_rng);
+  }
+}
+
+// ------------------------------------------------------------ sequential ----
+
+Hierarchy SequentialCoarsener::coarsen(const StaticGraph& graph) {
+  Rng coarsen_rng = rng_.fork(1);
+  return build_hierarchy(graph, coarsening_options(graph, config_),
+                         coarsen_rng);
+}
+
+Partition SequentialInitialPartitioner::partition(
+    const StaticGraph& coarsest) {
+  InitialPartitionOptions initial;
+  initial.eps = config_.eps;
+  initial.repeats = config_.init_repeats;
+  Rng initial_rng = rng_.fork(2);
+  return initial_partition(coarsest, config_.k, initial, initial_rng);
+}
+
+SequentialRefiner::SequentialRefiner(const StaticGraph& finest,
+                                     const Config& config, Rng rng)
+    : config_(config),
+      rng_(rng.fork(3)),
+      global_bound_(max_block_weight_bound(finest, config.k, config.eps)) {}
+
+void SequentialRefiner::refine(const StaticGraph& graph, Partition& partition,
+                               std::size_t level) {
+  const PairwiseRefinerOptions options =
+      level_refine_options(config_, global_bound_, graph);
+  Rng level_rng = rng_.fork(level);
+  const PairwiseRefineReport report =
+      pairwise_refine(graph, partition, options, level_rng);
+  if (log_level() >= LogLevel::kDebug) {
+    std::ostringstream msg;
+    msg << "refine level " << level << ": cut gain " << report.total_cut_gain
+        << " in " << report.global_iterations << " global iterations";
+    log_debug(msg.str());
+  }
+}
+
+void SequentialRefiner::rebalance(const StaticGraph& graph,
+                                  Partition& partition) {
+  rebalance_until_feasible(graph, partition, config_, global_bound_, rng_,
+                           config_.num_threads);
+}
+
+}  // namespace kappa

@@ -1,0 +1,156 @@
+/// \file phases.hpp
+/// \brief Phase interfaces of the multilevel pipeline and the shared driver.
+///
+/// The KaPPa pipeline is the composition of three phases — contraction,
+/// initial partitioning, uncoarsening with refinement (§2) — and the paper
+/// runs every phase SPMD across PEs. To let the sequential and the SPMD
+/// implementation share one driver body, each phase is an interface:
+///
+///   Coarsener          builds the contraction hierarchy,
+///   InitialPartitioner partitions the coarsest graph,
+///   Refiner            improves one level during uncoarsening and
+///                      restores feasibility at the finest level.
+///
+/// run_multilevel() wires them together: it owns projection between
+/// levels, the phase timers and the final quality metrics. The sequential
+/// entry point (kappa_partition) instantiates the Sequential* classes
+/// below; the SPMD entry point (kappa_partition_parallel) instantiates the
+/// Spmd* classes from parallel/spmd_phases.hpp — every PE executes the
+/// same driver on its replica and the phases synchronize internally.
+#pragma once
+
+#include "coarsening/hierarchy.hpp"
+#include "core/config.hpp"
+#include "core/kappa.hpp"
+#include "graph/partition.hpp"
+#include "graph/static_graph.hpp"
+#include "initial/initial_partitioner.hpp"
+#include "refinement/pairwise_refiner.hpp"
+#include "util/random.hpp"
+
+namespace kappa {
+
+/// Contraction phase (§3): graph -> multilevel hierarchy.
+class Coarsener {
+ public:
+  virtual ~Coarsener() = default;
+
+  /// Builds the hierarchy whose finest level is \p graph.
+  [[nodiscard]] virtual Hierarchy coarsen(const StaticGraph& graph) = 0;
+};
+
+/// Initial partitioning phase (§4): coarsest graph -> k-way partition.
+class InitialPartitioner {
+ public:
+  virtual ~InitialPartitioner() = default;
+
+  [[nodiscard]] virtual Partition partition(const StaticGraph& coarsest) = 0;
+};
+
+/// Refinement phase (§5): improves the projected partition level by level.
+class Refiner {
+ public:
+  virtual ~Refiner() = default;
+
+  /// Refines \p partition on the graph of one hierarchy \p level in place.
+  /// Called once per level, coarsest first, finest (level 0) last.
+  virtual void refine(const StaticGraph& graph, Partition& partition,
+                      std::size_t level) = 0;
+
+  /// Post-pass on the finest graph: the §5.2 exception rule applied until
+  /// the Lmax bound holds (or attempts run out).
+  virtual void rebalance(const StaticGraph& graph, Partition& partition) = 0;
+};
+
+/// Runs the multilevel pipeline with the given phase implementations.
+/// This is the single code body behind both kappa_partition() and
+/// kappa_partition_parallel().
+[[nodiscard]] KappaResult run_multilevel(const StaticGraph& graph,
+                                         const Config& config,
+                                         Coarsener& coarsener,
+                                         InitialPartitioner& initial,
+                                         Refiner& refiner);
+
+// ---------------------------------------------------------------------------
+// Shared per-phase option builders. Sequential and SPMD implementations
+// must refine with identical knobs for their results to be comparable, so
+// the Config -> options translation lives here, not in the entry points.
+// ---------------------------------------------------------------------------
+
+/// Contraction knobs for \p graph under \p config.
+[[nodiscard]] CoarseningOptions coarsening_options(const StaticGraph& graph,
+                                                   const Config& config);
+
+/// Refinement knobs for one hierarchy level. \p global_bound is the
+/// input-level Lmax (coarse levels refine against the final bound, lifted
+/// to at least one max-weight node of the level).
+[[nodiscard]] PairwiseRefinerOptions level_refine_options(
+    const Config& config, NodeWeight global_bound, const StaticGraph& current);
+
+/// Knobs of one rebalancing insurance attempt (escalating band depth,
+/// MaxLoad queue selection, late attempts target the eps = 0 bound).
+[[nodiscard]] PairwiseRefinerOptions rebalance_options(
+    const Config& config, const StaticGraph& graph, NodeWeight global_bound,
+    int attempt);
+
+/// Number of rebalancing attempts granted after the last level.
+inline constexpr int kMaxRebalanceAttempts = 24;
+
+/// The post-uncoarsening rebalancing insurance loop, shared by the
+/// sequential and SPMD refiners: MaxLoad-driven iterations with
+/// escalating band depth (the §5.2 exception rule) until the Lmax bound
+/// holds or attempts run out. The SPMD path runs it replicated on every
+/// PE, which requires a bit-deterministic body — it passes
+/// \p num_threads = 1; the sequential path passes config.num_threads.
+void rebalance_until_feasible(const StaticGraph& graph, Partition& partition,
+                              const Config& config, NodeWeight global_bound,
+                              const Rng& refine_rng, int num_threads);
+
+// ---------------------------------------------------------------------------
+// Sequential phase implementations (the original single-process pipeline).
+// ---------------------------------------------------------------------------
+
+/// Wraps build_hierarchy() (§3; optionally with the two-phase parallel
+/// matching scheme simulated in-process when config.matching_pes > 1).
+class SequentialCoarsener final : public Coarsener {
+ public:
+  SequentialCoarsener(const Config& config, Rng rng)
+      : config_(config), rng_(rng) {}
+
+  [[nodiscard]] Hierarchy coarsen(const StaticGraph& graph) override;
+
+ private:
+  const Config& config_;
+  Rng rng_;
+};
+
+/// Wraps initial_partition(): best of config.init_repeats attempts (§4).
+class SequentialInitialPartitioner final : public InitialPartitioner {
+ public:
+  SequentialInitialPartitioner(const Config& config, Rng rng)
+      : config_(config), rng_(rng) {}
+
+  [[nodiscard]] Partition partition(const StaticGraph& coarsest) override;
+
+ private:
+  const Config& config_;
+  Rng rng_;
+};
+
+/// Wraps pairwise_refine() per level plus the rebalancing insurance loop.
+class SequentialRefiner final : public Refiner {
+ public:
+  /// \p finest is the input graph; it determines the global Lmax bound.
+  SequentialRefiner(const StaticGraph& finest, const Config& config, Rng rng);
+
+  void refine(const StaticGraph& graph, Partition& partition,
+              std::size_t level) override;
+  void rebalance(const StaticGraph& graph, Partition& partition) override;
+
+ private:
+  const Config& config_;
+  Rng rng_;
+  NodeWeight global_bound_;
+};
+
+}  // namespace kappa

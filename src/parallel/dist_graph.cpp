@@ -1,0 +1,37 @@
+#include "parallel/dist_graph.hpp"
+
+#include "coarsening/prepartition.hpp"
+
+namespace kappa {
+
+DistGraph::DistGraph(const StaticGraph& graph, BlockID num_shards)
+    : graph_(&graph),
+      node_to_shard_(prepartition(graph, num_shards)),
+      shards_(num_shards) {
+  const NodeID n = graph.num_nodes();
+  for (NodeID u = 0; u < n; ++u) {
+    shards_[node_to_shard_[u]].nodes.push_back(u);
+  }
+  for (NodeID u = 0; u < n; ++u) {
+    const BlockID su = node_to_shard_[u];
+    bool is_boundary = false;
+    for (EdgeID e = graph.first_arc(u); e < graph.last_arc(u); ++e) {
+      const NodeID v = graph.arc_target(e);
+      if (node_to_shard_[v] == su) continue;
+      shards_[su].cross_arcs.push_back({u, v, graph.arc_weight(e)});
+      is_boundary = true;
+    }
+    if (is_boundary) shards_[su].boundary_nodes.push_back(u);
+  }
+}
+
+std::vector<BlockID> DistGraph::shards_of_rank(int rank, int num_pes) const {
+  std::vector<BlockID> result;
+  for (BlockID s = static_cast<BlockID>(rank); s < num_shards();
+       s += static_cast<BlockID>(num_pes)) {
+    result.push_back(s);
+  }
+  return result;
+}
+
+}  // namespace kappa

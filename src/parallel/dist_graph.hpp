@@ -1,0 +1,94 @@
+/// \file dist_graph.hpp
+/// \brief Sharded view of a CSR graph for the SPMD pipeline (§3.3).
+///
+/// The paper distributes the graph so that every PE owns one shard of the
+/// nodes, chosen by the geometric pre-partition when coordinates exist and
+/// by the initial numbering otherwise ("its main purpose is to increase
+/// locality"). This class computes that sharding and exposes, per shard,
+/// the owned node set, the induced local subgraph and the cross-shard
+/// (boundary) arcs — everything a PE's local computation may touch.
+///
+/// Shards are *virtual*: their count is fixed by the algorithm (one per
+/// block, as the paper identifies PEs with blocks), not by the physical
+/// PE count of the runtime. A runtime of p PEs owns the shards round-robin
+/// (shard s belongs to rank s mod p), which makes every shard-keyed
+/// computation — and hence the partition — independent of p. The graph's
+/// static arrays are replicated (the runtime is threads on one machine);
+/// the SPMD discipline is that a PE only *writes* state of its own shards
+/// and learns remote *dynamic* state (tentative matches, taken flags,
+/// block moves) exclusively through channel messages and collectives.
+#pragma once
+
+#include <vector>
+
+#include "graph/static_graph.hpp"
+#include "graph/subgraph.hpp"
+#include "util/types.hpp"
+
+namespace kappa {
+
+/// One cross-shard arc: a local endpoint, a remote endpoint in another
+/// shard, and the edge weight.
+struct CrossShardArc {
+  NodeID u = kInvalidNode;  ///< endpoint inside the owning shard
+  NodeID v = kInvalidNode;  ///< endpoint in shard(v) != shard(u)
+  EdgeWeight weight = 0;
+};
+
+/// One shard: the nodes a virtual PE owns plus its boundary structure.
+struct GraphShard {
+  std::vector<NodeID> nodes;            ///< owned nodes (global ids, sorted)
+  std::vector<CrossShardArc> cross_arcs;  ///< arcs leaving the shard
+  std::vector<NodeID> boundary_nodes;   ///< owned nodes with a cross arc
+
+  /// Induced subgraph over \p nodes with global<->local mappings; local
+  /// matching runs on this.
+  [[nodiscard]] Subgraph induced(const StaticGraph& graph) const {
+    return induced_subgraph(graph, nodes);
+  }
+};
+
+/// Shards \p graph into \p num_shards parts via the pre-partitioner
+/// (geometric when coordinates exist, node numbering otherwise).
+class DistGraph {
+ public:
+  DistGraph(const StaticGraph& graph, BlockID num_shards);
+
+  [[nodiscard]] const StaticGraph& graph() const { return *graph_; }
+
+  [[nodiscard]] BlockID num_shards() const {
+    return static_cast<BlockID>(shards_.size());
+  }
+
+  /// Home shard of a node.
+  [[nodiscard]] BlockID shard_of(NodeID u) const { return node_to_shard_[u]; }
+
+  /// Full node -> shard assignment.
+  [[nodiscard]] const std::vector<BlockID>& node_to_shard() const {
+    return node_to_shard_;
+  }
+
+  [[nodiscard]] const GraphShard& shard(BlockID s) const { return shards_[s]; }
+
+  /// Physical owner of shard \p s in a runtime of \p num_pes PEs
+  /// (round-robin, the p-invariant work distribution).
+  [[nodiscard]] static int owner_of_shard(BlockID s, int num_pes) {
+    return static_cast<int>(s % static_cast<BlockID>(num_pes));
+  }
+
+  /// Physical owner of node \p u in a runtime of \p num_pes PEs.
+  [[nodiscard]] int owner_of_node(NodeID u, int num_pes) const {
+    return owner_of_shard(node_to_shard_[u], num_pes);
+  }
+
+  /// Shards owned by physical rank \p rank in a runtime of \p num_pes.
+  [[nodiscard]] std::vector<BlockID> shards_of_rank(int rank,
+                                                    int num_pes) const;
+
+ private:
+  const StaticGraph* graph_;
+  std::vector<BlockID> node_to_shard_;
+  std::vector<GraphShard> shards_;
+};
+
+}  // namespace kappa

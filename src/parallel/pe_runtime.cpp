@@ -50,7 +50,20 @@ std::vector<std::uint64_t> PEContext::all_gather(std::uint64_t value) {
   barrier();
   std::vector<std::uint64_t> result = runtime_.collective_scratch_;
   barrier();
-  stats_.words_sent += 1;  // each PE contributes one word to the wire
+  // Each PE contributes one one-word message to the wire.
+  ++stats_.messages_sent;
+  stats_.words_sent += 1;
+  return result;
+}
+
+std::vector<std::vector<std::uint64_t>> PEContext::all_gather_vectors(
+    std::vector<std::uint64_t> payload) {
+  stats_.words_sent += payload.size();
+  ++stats_.messages_sent;
+  runtime_.vector_scratch_[rank_] = std::move(payload);
+  barrier();
+  std::vector<std::vector<std::uint64_t>> result = runtime_.vector_scratch_;
+  barrier();
   return result;
 }
 
@@ -58,6 +71,7 @@ std::vector<std::uint64_t> PEContext::broadcast(
     const std::vector<std::uint64_t>& payload, int root) {
   if (rank_ == root) {
     runtime_.broadcast_scratch_ = payload;
+    ++stats_.messages_sent;  // only the root contributes to a broadcast
     stats_.words_sent += payload.size();
   }
   barrier();
@@ -71,7 +85,8 @@ PERuntime::PERuntime(int num_pes, std::uint64_t seed)
       seed_(seed),
       mailboxes_(num_pes),
       barrier_(std::make_unique<std::barrier<>>(num_pes)),
-      collective_scratch_(num_pes, 0) {}
+      collective_scratch_(num_pes, 0),
+      vector_scratch_(num_pes) {}
 
 CommStats PERuntime::run(const std::function<void(PEContext&)>& program) {
   std::vector<CommStats> stats(num_pes_);

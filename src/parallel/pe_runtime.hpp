@@ -24,7 +24,10 @@ namespace kappa {
 
 class PERuntime;
 
-/// Per-PE communication statistics.
+/// Per-PE communication statistics. The wire model is uniform: every
+/// point-to-point send and every collective *contribution* (one per
+/// participating PE, even when its payload is empty) counts one message
+/// plus the words it puts on the wire.
 struct CommStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t words_sent = 0;
@@ -68,6 +71,13 @@ class PEContext {
   /// Every PE contributes one value; all PEs receive the full vector.
   [[nodiscard]] std::vector<std::uint64_t> all_gather(std::uint64_t value);
 
+  /// Variable-length all-gather: every PE contributes a word buffer; all
+  /// PEs receive every buffer, indexed by rank. The irregular collective
+  /// behind the per-level contraction-map exchange and the moved-node
+  /// deltas of SPMD refinement (MPI_Allgatherv in the paper's terms).
+  [[nodiscard]] std::vector<std::vector<std::uint64_t>> all_gather_vectors(
+      std::vector<std::uint64_t> payload);
+
   /// Root's buffer is distributed to every PE.
   [[nodiscard]] std::vector<std::uint64_t> broadcast(
       const std::vector<std::uint64_t>& payload, int root);
@@ -106,6 +116,7 @@ class PERuntime {
   // because writes are separated from reads by barriers).
   std::vector<std::uint64_t> collective_scratch_;
   std::vector<std::uint64_t> broadcast_scratch_;
+  std::vector<std::vector<std::uint64_t>> vector_scratch_;
 };
 
 }  // namespace kappa

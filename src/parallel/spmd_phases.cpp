@@ -1,0 +1,495 @@
+#include "parallel/spmd_phases.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <numeric>
+#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "graph/metrics.hpp"
+#include "graph/quotient_graph.hpp"
+#include "refinement/edge_coloring.hpp"
+
+namespace kappa {
+
+namespace {
+
+/// Canonical identity of an undirected edge, agreed on by both endpoint
+/// owners (candidate indices are PE-local and never cross the wire).
+std::uint64_t edge_key(NodeID u, NodeID v) {
+  const NodeID lo = std::min(u, v);
+  const NodeID hi = std::max(u, v);
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+std::uint64_t pack_pair(NodeID u, NodeID v) {
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+// -------------------------------------------------------- SPMD coarsening ----
+
+Hierarchy SpmdCoarsener::coarsen(const StaticGraph& graph) {
+  // The shared level loop makes all stop rules and the pair-weight bound
+  // common with the sequential coarsener; only the matcher differs. All
+  // loop decisions depend on replicated state, so every PE executes the
+  // same number of levels (and hence the same collectives).
+  return build_hierarchy_with(
+      graph, coarsening_options(graph, config_),
+      [this](const StaticGraph& current, const MatchingOptions& match_options,
+             std::size_t level) {
+        return spmd_match(current, match_options, level);
+      });
+}
+
+std::vector<NodeID> SpmdCoarsener::spmd_match(const StaticGraph& current,
+                                              const MatchingOptions& options,
+                                              std::size_t level) {
+  const NodeID n = current.num_nodes();
+  const int p = pe_.size();
+  const int rank = pe_.rank();
+  const Rng level_rng = rng_.fork(level);
+
+  // Small levels are matched replicated with identical streams (the paper
+  // replicates the coarsest graphs anyway). The threshold depends only on
+  // the config — never on p — to keep the result p-invariant.
+  const BlockID num_shards = config_.matching_pes;
+  if (num_shards <= 1 || n <= 4 * num_shards) {
+    Rng match_rng = level_rng.fork(0);
+    return compute_matching(current, config_.matcher, options, match_rng);
+  }
+
+  const DistGraph dist(current, num_shards);
+  const std::vector<BlockID> my_shards = dist.shards_of_rank(rank, p);
+
+  // --- Phase 1: sequential matching per owned shard (§3.3). ---
+  std::vector<NodeID> partner(n);
+  std::iota(partner.begin(), partner.end(), NodeID{0});
+  for (const BlockID s : my_shards) {
+    const GraphShard& shard = dist.shard(s);
+    if (shard.nodes.empty()) continue;
+    const Subgraph sub = shard.induced(current);
+    Rng shard_rng = level_rng.fork(1 + s);
+    const std::vector<NodeID> local =
+        compute_matching(sub.graph, config_.matcher, options, shard_rng);
+    for (NodeID lu = 0; lu < local.size(); ++lu) {
+      const NodeID lv = local[lu];
+      if (lv <= lu) continue;  // handle each pair once, skip unmatched
+      const NodeID u = sub.local_to_global[lu];
+      const NodeID v = sub.local_to_global[lv];
+      partner[u] = v;
+      partner[v] = u;
+    }
+  }
+  for (const BlockID s : my_shards) {
+    for (const NodeID u : dist.shard(s).nodes) {
+      if (partner[u] != u && u < partner[u]) ++stats_.local_pairs;
+    }
+  }
+
+  // Rating of the tentative local match at each of my nodes (0 if
+  // unmatched). Remote entries are filled by the exchange below.
+  std::vector<EdgeWeight> out;
+  if (options.rating == EdgeRating::kInnerOuter) {
+    out.resize(n);
+    for (NodeID u = 0; u < n; ++u) out[u] = current.weighted_degree(u);
+  }
+  auto arc_rating = [&](NodeID u, NodeID v, EdgeWeight w) {
+    const EdgeWeight ou = out.empty() ? 0 : out[u];
+    const EdgeWeight ov = out.empty() ? 0 : out[v];
+    return rate_edge(options.rating, w, current.node_weight(u),
+                     current.node_weight(v), ou, ov);
+  };
+  std::vector<double> match_rating(n, 0.0);
+  for (const BlockID s : my_shards) {
+    for (const NodeID u : dist.shard(s).nodes) {
+      const NodeID v = partner[u];
+      if (v == u) continue;
+      for (EdgeID e = current.first_arc(u); e < current.last_arc(u); ++e) {
+        if (current.arc_target(e) == v) {
+          match_rating[u] = arc_rating(u, v, current.arc_weight(e));
+          break;
+        }
+      }
+    }
+  }
+
+  // --- Phase 2: boundary-candidate exchange over channels. Every PE tells
+  // every neighbor-owning PE the tentative match rating of its boundary
+  // nodes; both owners of a cross-shard edge can then evaluate the gap
+  // condition identically. ---
+  {
+    std::vector<std::vector<std::uint64_t>> to_peer(p);
+    for (const BlockID s : my_shards) {
+      NodeID last_u = kInvalidNode;
+      std::vector<int> peers_of_u;  // ranks already served for last_u
+      for (const CrossShardArc& arc : dist.shard(s).cross_arcs) {
+        if (arc.u != last_u) {
+          last_u = arc.u;
+          peers_of_u.clear();
+        }
+        // Unmatched boundary nodes stay at the receiver's default of 0.0,
+        // so only matched ones need to cross the wire.
+        if (match_rating[arc.u] == 0.0) continue;
+        const int q = dist.owner_of_node(arc.v, p);
+        if (q == rank) continue;
+        if (std::find(peers_of_u.begin(), peers_of_u.end(), q) !=
+            peers_of_u.end()) {
+          continue;
+        }
+        peers_of_u.push_back(q);
+        to_peer[q].push_back(arc.u);
+        to_peer[q].push_back(std::bit_cast<std::uint64_t>(match_rating[arc.u]));
+      }
+    }
+    for (int q = 0; q < p; ++q) {
+      if (q != rank) pe_.send(q, std::move(to_peer[q]));
+    }
+    for (int q = 0; q < p; ++q) {
+      if (q == rank) continue;
+      const Message msg = pe_.receive(q);
+      for (std::size_t i = 0; i + 1 < msg.payload.size(); i += 2) {
+        match_rating[static_cast<NodeID>(msg.payload[i])] =
+            std::bit_cast<double>(msg.payload[i + 1]);
+      }
+    }
+  }
+
+  // --- Phase 3: the gap graph (§3.3): cross-shard edges whose rating
+  // beats the tentative local matches at both endpoints. A spanning edge
+  // is materialized at both owners; an edge between two of my own shards
+  // once. ---
+  struct GapCandidate {
+    NodeID u;  ///< my endpoint
+    NodeID v;  ///< other endpoint (possibly also mine)
+    double rating;
+  };
+  std::vector<GapCandidate> cands;
+  for (const BlockID s : my_shards) {
+    for (const CrossShardArc& arc : dist.shard(s).cross_arcs) {
+      const NodeID u = arc.u;
+      const NodeID v = arc.v;
+      const bool v_mine = dist.owner_of_node(v, p) == rank;
+      if (v_mine && u > v) continue;  // the mirror arc covers it
+      if (options.max_pair_weight != std::numeric_limits<NodeWeight>::max() &&
+          current.node_weight(u) + current.node_weight(v) >
+              options.max_pair_weight) {
+        continue;
+      }
+      const double r = arc_rating(u, v, arc.weight);
+      if (r > match_rating[u] && r > match_rating[v]) {
+        cands.push_back({u, v, r});
+      }
+    }
+  }
+
+  constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+  std::unordered_map<NodeID, std::vector<std::size_t>> incident;
+  std::vector<std::vector<std::size_t>> spanning(p);  // by remote owner
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    incident[cands[i].u].push_back(i);
+    const int q = dist.owner_of_node(cands[i].v, p);
+    if (q == rank) {
+      incident[cands[i].v].push_back(i);
+    } else {
+      spanning[q].push_back(i);
+    }
+  }
+
+  // --- Phase 4: iterated locally-heaviest rounds. Each round, every node
+  // nominates its best remaining gap edge; an edge nominated from both
+  // sides is matched and dissolves tentative local matches. Nominations
+  // for spanning edges cross the wire; newly matched nodes are
+  // all-gathered; a zero all-reduce terminates every PE in the same
+  // round. ---
+  std::vector<std::uint8_t> alive(cands.size(), 1);
+  std::vector<std::uint8_t> taken(n, 0);
+  auto better = [&](std::size_t i, std::size_t b) {
+    if (cands[i].rating != cands[b].rating) {
+      return cands[i].rating > cands[b].rating;
+    }
+    return edge_key(cands[i].u, cands[i].v) < edge_key(cands[b].u, cands[b].v);
+  };
+  while (true) {
+    ++stats_.gap_rounds;
+    std::unordered_map<NodeID, std::size_t> best;
+    for (const auto& [x, list] : incident) {
+      if (taken[x]) continue;
+      std::size_t b = kNone;
+      for (const std::size_t i : list) {
+        if (alive[i] && (b == kNone || better(i, b))) b = i;
+      }
+      if (b != kNone) best[x] = b;
+    }
+    auto best_at = [&](NodeID x, std::size_t i) {
+      const auto it = best.find(x);
+      return it != best.end() && it->second == i;
+    };
+
+    // Nomination exchange for spanning candidates.
+    std::unordered_set<std::uint64_t> remote_best;
+    for (int q = 0; q < p; ++q) {
+      if (q == rank) continue;
+      std::vector<std::uint64_t> words;
+      for (const std::size_t i : spanning[q]) {
+        if (alive[i] && best_at(cands[i].u, i)) {
+          words.push_back(edge_key(cands[i].u, cands[i].v));
+        }
+      }
+      pe_.send(q, std::move(words));
+    }
+    for (int q = 0; q < p; ++q) {
+      if (q == rank) continue;
+      const Message msg = pe_.receive(q);
+      remote_best.insert(msg.payload.begin(), msg.payload.end());
+    }
+
+    // Decide on the nominations alone: two distinct both-nominated edges
+    // can never share an endpoint (best is one edge per node), so
+    // simultaneous resolution is safe — and unlike a mid-pass taken
+    // check, it is independent of candidate list order, which keeps the
+    // outcome identical for every p.
+    auto dissolve = [&](NodeID x) {
+      const NodeID prev = partner[x];  // tentative partner: same shard
+      if (prev != x) partner[prev] = prev;
+    };
+    std::vector<std::uint64_t> newly_taken;
+    std::uint64_t matched_here = 0;
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      if (!alive[i]) continue;
+      const NodeID u = cands[i].u;
+      const NodeID v = cands[i].v;
+      const bool v_mine = dist.owner_of_node(v, p) == rank;
+      const bool u_nominates = best_at(u, i);
+      const bool v_nominates =
+          v_mine ? best_at(v, i) : remote_best.contains(edge_key(u, v));
+      if (u_nominates && v_nominates) {
+        dissolve(u);
+        partner[u] = v;
+        if (v_mine) {
+          dissolve(v);
+          partner[v] = u;
+        }
+        taken[u] = 1;
+        taken[v] = 1;
+        newly_taken.push_back(u);
+        newly_taken.push_back(v);
+        alive[i] = 0;
+        if (v_mine || u < v) {  // count each pair once globally
+          ++matched_here;
+          ++stats_.gap_pairs;
+        }
+      }
+    }
+
+    for (const auto& vec : pe_.all_gather_vectors(std::move(newly_taken))) {
+      for (const std::uint64_t w : vec) taken[static_cast<NodeID>(w)] = 1;
+    }
+    // Retire candidates that lost an endpoint this round — after the
+    // taken-sync, so every PE (and every p) kills the same set.
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      if (alive[i] && (taken[cands[i].u] || taken[cands[i].v])) alive[i] = 0;
+    }
+    if (pe_.all_reduce_sum(matched_here) == 0) break;
+  }
+
+  // --- Phase 5: all-gather the contraction map. Each PE contributes the
+  // matched pairs whose canonical (lower) endpoint it owns; every PE
+  // assembles the identical full partner vector and contracts. ---
+  std::vector<std::uint64_t> pair_words;
+  for (const BlockID s : my_shards) {
+    for (const NodeID u : dist.shard(s).nodes) {
+      if (partner[u] != u && u < partner[u]) {
+        pair_words.push_back(pack_pair(u, partner[u]));
+      }
+    }
+  }
+  std::vector<NodeID> full(n);
+  std::iota(full.begin(), full.end(), NodeID{0});
+  for (const auto& vec : pe_.all_gather_vectors(std::move(pair_words))) {
+    for (const std::uint64_t w : vec) {
+      const NodeID u = static_cast<NodeID>(w >> 32);
+      const NodeID v = static_cast<NodeID>(w & 0xffffffffULL);
+      full[u] = v;
+      full[v] = u;
+    }
+  }
+  return full;
+}
+
+// ------------------------------------------------ SPMD initial partition ----
+
+Partition SpmdInitialPartitioner::partition(const StaticGraph& coarsest) {
+  const BlockID k = config_.k;
+  const int p = pe_.size();
+  const int rank = pe_.rank();
+  const NodeID n = coarsest.num_nodes();
+
+  // Attempt pool: the paper repeats initial partitioning "init. repeats"
+  // times on each of its p = k PEs. Attempts are keyed by index — not by
+  // rank — so the pool and its winner are independent of the physical PE
+  // count; the cap keeps huge k from turning this cheap phase into a
+  // bottleneck.
+  const int attempts =
+      std::max(config_.init_repeats,
+               std::min(config_.init_repeats * static_cast<int>(k), 32));
+
+  InitialPartitionOptions options;
+  options.eps = config_.eps;
+  options.repeats = 1;
+
+  // My share of the attempts, each with its private stream (§4: "each with
+  // a different seed for the random number generator").
+  constexpr std::uint64_t kWorst = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t best_infeasible = kWorst;
+  std::uint64_t best_cut = kWorst;
+  std::uint64_t best_attempt = kWorst;
+  Partition best;
+  for (int a = rank; a < attempts; a += p) {
+    Rng attempt_rng = rng_.fork(static_cast<std::uint64_t>(a));
+    Partition candidate = initial_partition(coarsest, k, options, attempt_rng);
+    const std::uint64_t infeasible =
+        is_balanced(coarsest, candidate, config_.eps) ? 0 : 1;
+    const std::uint64_t cut =
+        static_cast<std::uint64_t>(edge_cut(coarsest, candidate));
+    const std::uint64_t attempt = static_cast<std::uint64_t>(a);
+    if (std::tie(infeasible, cut, attempt) <
+        std::tie(best_infeasible, best_cut, best_attempt)) {
+      best_infeasible = infeasible;
+      best_cut = cut;
+      best_attempt = attempt;
+      best = std::move(candidate);
+    }
+  }
+
+  // All-reduce the winner: lexicographic (feasibility, cut, attempt) —
+  // the attempt index makes the pick unique and p-invariant.
+  const auto entries =
+      pe_.all_gather_vectors({best_infeasible, best_cut, best_attempt});
+  int winner = 0;
+  for (int q = 1; q < p; ++q) {
+    if (std::tie(entries[q][0], entries[q][1], entries[q][2]) <
+        std::tie(entries[winner][0], entries[winner][1], entries[winner][2])) {
+      winner = q;
+    }
+  }
+
+  // The winning PE broadcasts its solution (§4: "The best solution is then
+  // broadcast to all PEs").
+  std::vector<std::uint64_t> words;
+  if (rank == winner) {
+    words.reserve(n);
+    for (NodeID u = 0; u < n; ++u) words.push_back(best.block(u));
+  }
+  const std::vector<std::uint64_t> assignment_words =
+      pe_.broadcast(words, winner);
+  std::vector<BlockID> assignment(n);
+  for (NodeID u = 0; u < n; ++u) {
+    assignment[u] = static_cast<BlockID>(assignment_words[u]);
+  }
+  return Partition(coarsest, std::move(assignment), k);
+}
+
+// -------------------------------------------------------- SPMD refinement ----
+
+SpmdRefiner::SpmdRefiner(const StaticGraph& finest, const Config& config,
+                         PEContext& pe)
+    : config_(config),
+      pe_(pe),
+      rng_(Rng(config.seed).fork(3)),
+      global_bound_(max_block_weight_bound(finest, config.k, config.eps)) {}
+
+void SpmdRefiner::refine(const StaticGraph& graph, Partition& partition,
+                         std::size_t level) {
+  PairwiseRefinerOptions options =
+      level_refine_options(config_, global_bound_, graph);
+  // Within a PE the pairs run sequentially; concurrency comes from the
+  // PEs themselves.
+  options.num_threads = 1;
+
+  const int p = pe_.size();
+  const int rank = pe_.rank();
+  const Rng level_rng = rng_.fork(level);
+
+  int no_change_streak = 0;
+  for (int global = 0; global < options.max_global_iterations; ++global) {
+    // Quotient graph and coloring are computed replicated from identical
+    // partition state and identical streams, so every PE schedules the
+    // same pairs into the same color classes.
+    const QuotientGraph quotient(graph, partition);
+    if (quotient.edges().empty()) break;  // every block is isolated
+
+    Rng color_rng = level_rng.fork(coloring_fork_tag(global));
+    const EdgeColoring coloring = color_quotient_edges(quotient, color_rng);
+
+    EdgeWeight my_cut_gain = 0;
+    NodeWeight my_imbalance_gain = 0;
+    for (int color = 0; color < coloring.num_colors; ++color) {
+      const std::vector<std::size_t> pairs = coloring.color_class(color);
+      if (pairs.empty()) continue;
+
+      // My share of this color class. The pairs of one class touch
+      // disjoint blocks and pair searches read only pair-local state
+      // (bands, gains and imbalance are functions of the two blocks), so
+      // refining them on replicas and merging deltas is equivalent to
+      // refining them all on one shared partition.
+      std::vector<std::uint64_t> delta_words;
+      for (std::size_t j = static_cast<std::size_t>(rank); j < pairs.size();
+           j += static_cast<std::size_t>(p)) {
+        const QuotientEdge& edge = quotient.edges()[pairs[j]];
+        // Move tracking feeds the delta exchange; with a single PE there
+        // is nobody to send deltas to (p is identical on every PE, so
+        // this stays in lockstep).
+        const PairRefineResult result = refine_pair(
+            graph, partition, edge.a, edge.b, edge.boundary, options,
+            level_rng, pair_seed_tag(global, pairs[j]),
+            /*collect_moves=*/p > 1);
+        my_cut_gain += result.cut_gain;
+        my_imbalance_gain += result.imbalance_gain;
+        for (const auto& [u, b] : result.moves) {
+          delta_words.push_back(pack_pair(u, b));
+        }
+      }
+
+      // Exchange moved-node deltas; apply everyone else's moves to the
+      // local replica. Deltas of one class are node-disjoint, so the
+      // application order does not matter.
+      const auto gathered = pe_.all_gather_vectors(std::move(delta_words));
+      for (int q = 0; q < p; ++q) {
+        if (q == rank) continue;
+        for (const std::uint64_t w : gathered[q]) {
+          const NodeID u = static_cast<NodeID>(w >> 32);
+          const BlockID b = static_cast<BlockID>(w & 0xffffffffULL);
+          if (partition.block(u) != b) {
+            partition.move(u, b, graph.node_weight(u));
+          }
+        }
+      }
+    }
+
+    // Stop rule on the *global* iteration gains (modular arithmetic makes
+    // the unsigned all-reduce exact for signed sums).
+    const EdgeWeight cut_gain = static_cast<EdgeWeight>(
+        pe_.all_reduce_sum(static_cast<std::uint64_t>(my_cut_gain)));
+    const NodeWeight imbalance_gain = static_cast<NodeWeight>(
+        pe_.all_reduce_sum(static_cast<std::uint64_t>(my_imbalance_gain)));
+    if (cut_gain > 0 || imbalance_gain > 0) {
+      no_change_streak = 0;
+    } else if (++no_change_streak >= options.stop_no_change) {
+      break;
+    }
+  }
+}
+
+void SpmdRefiner::rebalance(const StaticGraph& graph, Partition& partition) {
+  // The insurance loop runs replicated: with identical streams and
+  // single-threaded pair execution it is deterministic, so the replicas
+  // stay in lockstep without communication.
+  rebalance_until_feasible(graph, partition, config_, global_bound_, rng_,
+                           /*num_threads=*/1);
+}
+
+}  // namespace kappa

@@ -1,0 +1,100 @@
+/// \file spmd_phases.hpp
+/// \brief SPMD implementations of the three pipeline phases (§3-§5).
+///
+/// Each class implements one phase interface of core/phases.hpp for
+/// execution on the PE runtime: every PE of the runtime constructs its own
+/// instance inside the SPMD program and runs the shared run_multilevel()
+/// driver on its replica of the graph. The phases synchronize internally:
+///
+///   SpmdCoarsener          — per level, the graph is sharded
+///     (parallel/dist_graph.hpp); each PE matches its shards' induced
+///     subgraphs locally, boundary match ratings are exchanged pairwise
+///     over channels, the gap graph is resolved in locally-heaviest rounds
+///     with per-round channel exchanges, and the matched pairs (the
+///     contraction map) are all-gathered so every PE contracts the level
+///     identically (§3.3).
+///   SpmdInitialPartitioner — best-of-p: the attempts (each with a private
+///     RNG stream) are distributed over the PEs, an all-reduce picks the
+///     winner and the owning PE broadcasts the partition (§4).
+///   SpmdRefiner            — per level, refinement rounds are scheduled
+///     by an edge coloring of the quotient graph; the pairs of one color
+///     class touch disjoint blocks, so PEs refine them concurrently on
+///     their replicas and exchange moved-node deltas afterwards (§5).
+///
+/// Determinism: all work units are keyed to *virtual* ids — shards, attempt
+/// indices, quotient-edge indices — and their RNG streams are forked from
+/// config.seed with those ids. The physical PE count p only decides which
+/// PE executes which unit, so a fixed seed yields the identical partition
+/// for every p (verified by spmd_pipeline_test).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/phases.hpp"
+#include "parallel/dist_graph.hpp"
+#include "parallel/pe_runtime.hpp"
+
+namespace kappa {
+
+/// Matching shape of the SPMD coarsening phase, accumulated over all
+/// levels on one PE (this PE's contribution, not a global total).
+struct SpmdCoarseningStats {
+  NodeID local_pairs = 0;      ///< pairs this PE matched inside its shards
+  NodeID gap_pairs = 0;        ///< cross-shard pairs this PE decided
+  std::size_t gap_rounds = 0;  ///< locally-heaviest rounds over all levels
+};
+
+class SpmdCoarsener final : public Coarsener {
+ public:
+  SpmdCoarsener(const Config& config, PEContext& pe)
+      : config_(config), pe_(pe), rng_(Rng(config.seed).fork(1)) {}
+
+  [[nodiscard]] Hierarchy coarsen(const StaticGraph& graph) override;
+
+  [[nodiscard]] const SpmdCoarseningStats& stats() const { return stats_; }
+
+ private:
+  /// One SPMD matching round on \p current: local matching per owned
+  /// shard, boundary-rating exchange, gap resolution, all-gather of the
+  /// matched pairs. Returns the full partner vector (identical on every
+  /// PE).
+  [[nodiscard]] std::vector<NodeID> spmd_match(const StaticGraph& current,
+                                               const MatchingOptions& options,
+                                               std::size_t level);
+
+  const Config& config_;
+  PEContext& pe_;
+  Rng rng_;
+  SpmdCoarseningStats stats_;
+};
+
+class SpmdInitialPartitioner final : public InitialPartitioner {
+ public:
+  SpmdInitialPartitioner(const Config& config, PEContext& pe)
+      : config_(config), pe_(pe), rng_(Rng(config.seed).fork(2)) {}
+
+  [[nodiscard]] Partition partition(const StaticGraph& coarsest) override;
+
+ private:
+  const Config& config_;
+  PEContext& pe_;
+  Rng rng_;
+};
+
+class SpmdRefiner final : public Refiner {
+ public:
+  SpmdRefiner(const StaticGraph& finest, const Config& config, PEContext& pe);
+
+  void refine(const StaticGraph& graph, Partition& partition,
+              std::size_t level) override;
+  void rebalance(const StaticGraph& graph, Partition& partition) override;
+
+ private:
+  const Config& config_;
+  PEContext& pe_;
+  Rng rng_;
+  NodeWeight global_bound_;
+};
+
+}  // namespace kappa

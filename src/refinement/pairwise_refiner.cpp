@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "graph/quotient_graph.hpp"
@@ -102,6 +103,70 @@ TwoWayFMResult search_pair(const StaticGraph& graph, Partition& partition,
 
 }  // namespace
 
+PairRefineResult refine_pair(const StaticGraph& graph, Partition& partition,
+                             BlockID a, BlockID b,
+                             const std::vector<NodeID>& boundary_seeds,
+                             const PairwiseRefinerOptions& options,
+                             const Rng& rng, std::uint64_t seed_tag,
+                             bool collect_moves) {
+  PairRefineResult result;
+
+  // Entry block of every node that ever enters a band; FM (and the flow
+  // pass) only move band nodes, so the union of bands covers all moves.
+  std::unordered_map<NodeID, BlockID> entry_block;
+  auto record_band = [&](const std::vector<NodeID>& nodes) {
+    if (!collect_moves) return;
+    for (const NodeID u : nodes) entry_block.emplace(u, partition.block(u));
+  };
+
+  // One stream per pair (odd tags, disjoint from the coloring stream),
+  // then one fork per local search: no two work units share a stream.
+  const Rng pair_rng = rng.fork(2 * seed_tag + 1);
+
+  std::vector<NodeID> band = boundary_band_from_seeds(
+      graph, partition, a, b, boundary_seeds, options.bfs_depth);
+  record_band(band);
+  for (int local = 0; local < options.local_iterations; ++local) {
+    if (band.empty()) break;
+    Rng rng_a = pair_rng.fork(2 * static_cast<std::uint64_t>(local));
+    Rng rng_b = pair_rng.fork(2 * static_cast<std::uint64_t>(local) + 1);
+    const TwoWayFMResult fm =
+        search_pair(graph, partition, a, b, band, options, rng_a, rng_b);
+    result.cut_gain += fm.cut_gain;
+    result.imbalance_gain += fm.imbalance_gain;
+    if (fm.moved_nodes == 0) break;  // converged for this pair
+    if (local + 1 < options.local_iterations) {
+      const std::vector<NodeID> boundary =
+          refresh_boundary(graph, partition, a, b, band);
+      band = boundary_band_from_seeds(graph, partition, a, b, boundary,
+                                      options.bfs_depth);
+      record_band(band);
+    }
+  }
+  if (options.use_flow) {
+    // One min-cut pass on a freshly computed band (the flow model
+    // requires the band to contain the entire current pair boundary).
+    const std::vector<NodeID> boundary =
+        refresh_boundary(graph, partition, a, b, band);
+    band = boundary_band_from_seeds(graph, partition, a, b, boundary,
+                                    options.bfs_depth);
+    record_band(band);
+    FlowRefineOptions flow_options;
+    flow_options.max_block_weight = options.fm.max_block_weight;
+    flow_options.max_block_weight_b = options.fm.max_block_weight_b;
+    const FlowRefineResult flow =
+        flow_refine_pair(graph, partition, a, b, band, flow_options);
+    result.cut_gain += flow.cut_gain;
+  }
+
+  for (const auto& [u, entry] : entry_block) {
+    if (partition.block(u) != entry) {
+      result.moves.emplace_back(u, partition.block(u));
+    }
+  }
+  return result;
+}
+
 PairwiseRefineReport pairwise_refine(const StaticGraph& graph,
                                      Partition& partition,
                                      const PairwiseRefinerOptions& options,
@@ -113,7 +178,7 @@ PairwiseRefineReport pairwise_refine(const StaticGraph& graph,
     const QuotientGraph quotient(graph, partition);
     if (quotient.edges().empty()) break;  // every block is isolated
 
-    Rng color_rng = rng.fork(1000 + global);
+    Rng color_rng = rng.fork(coloring_fork_tag(global));
     const EdgeColoring coloring = color_quotient_edges(quotient, color_rng);
     report.colors_last_iteration = coloring.num_colors;
 
@@ -127,50 +192,18 @@ PairwiseRefineReport pairwise_refine(const StaticGraph& graph,
       // One task per independent pair of this color class.
       auto run_pair = [&](std::size_t pair_index, std::uint64_t seed_tag) {
         const QuotientEdge& edge = quotient.edges()[pairs[pair_index]];
-        const BlockID a = edge.a;
-        const BlockID b = edge.b;
-
-        std::vector<NodeID> band = boundary_band_from_seeds(
-            graph, partition, a, b, edge.boundary, options.bfs_depth);
-        for (int local = 0; local < options.local_iterations; ++local) {
-          if (band.empty()) break;
-          Rng rng_a = rng.fork(seed_tag * 4 + 2 * local);
-          Rng rng_b = rng.fork(seed_tag * 4 + 2 * local + 1);
-          const TwoWayFMResult result = search_pair(
-              graph, partition, a, b, band, options, rng_a, rng_b);
-          iteration_cut_gain += result.cut_gain;
-          iteration_imbalance_gain += result.imbalance_gain;
-          if (result.moved_nodes == 0) break;  // converged for this pair
-          if (local + 1 < options.local_iterations) {
-            const std::vector<NodeID> boundary =
-                refresh_boundary(graph, partition, a, b, band);
-            band = boundary_band_from_seeds(graph, partition, a, b, boundary,
-                                            options.bfs_depth);
-          }
-        }
-        if (options.use_flow) {
-          // One min-cut pass on a freshly computed band (the flow model
-          // requires the band to contain the entire current pair
-          // boundary).
-          const std::vector<NodeID> boundary =
-              refresh_boundary(graph, partition, a, b, band);
-          band = boundary_band_from_seeds(graph, partition, a, b, boundary,
-                                          options.bfs_depth);
-          FlowRefineOptions flow_options;
-          flow_options.max_block_weight = options.fm.max_block_weight;
-          flow_options.max_block_weight_b = options.fm.max_block_weight_b;
-          const FlowRefineResult flow =
-              flow_refine_pair(graph, partition, a, b, band, flow_options);
-          iteration_cut_gain += flow.cut_gain;
-        }
+        const PairRefineResult result =
+            refine_pair(graph, partition, edge.a, edge.b, edge.boundary,
+                        options, rng, seed_tag, /*collect_moves=*/false);
+        iteration_cut_gain += result.cut_gain;
+        iteration_imbalance_gain += result.imbalance_gain;
       };
 
       const std::size_t threads = std::min<std::size_t>(
           std::max(options.num_threads, 1), pairs.size());
       if (threads <= 1) {
         for (std::size_t i = 0; i < pairs.size(); ++i) {
-          run_pair(i, static_cast<std::uint64_t>(global) * 1000003 +
-                          static_cast<std::uint64_t>(pairs[i]));
+          run_pair(i, pair_seed_tag(global, pairs[i]));
         }
       } else {
         // Pairs of one color class are block-disjoint, so the concurrent
@@ -180,8 +213,7 @@ PairwiseRefineReport pairwise_refine(const StaticGraph& graph,
         for (std::size_t t = 0; t < threads; ++t) {
           pool.emplace_back([&, t]() {
             for (std::size_t i = t; i < pairs.size(); i += threads) {
-              run_pair(i, static_cast<std::uint64_t>(global) * 1000003 +
-                              static_cast<std::uint64_t>(pairs[i]));
+              run_pair(i, pair_seed_tag(global, pairs[i]));
             }
           });
         }

@@ -56,6 +56,48 @@ struct PairwiseRefineReport {
   int colors_last_iteration = 0;
 };
 
+/// Outcome of refining one scheduled block pair.
+struct PairRefineResult {
+  EdgeWeight cut_gain = 0;
+  NodeWeight imbalance_gain = 0;
+  /// Nodes whose block changed, with their final block — the moved-node
+  /// deltas a PE exchanges with the others after a color class (§5.2).
+  std::vector<std::pair<NodeID, BlockID>> moves;
+};
+
+/// Refines one scheduled pair {a, b}: band BFS from \p boundary_seeds,
+/// then the configured local FM iterations (optionally duplicated, with
+/// the optional flow pass). Search streams are forked from \p rng with
+/// \p seed_tag-derived tags, so equal tags reproduce equal searches
+/// regardless of the caller's schedule — this is what keeps the SPMD
+/// refiner's outcome independent of which PE executes the pair.
+/// Move tracking costs a hash-map insert per band node; callers that do
+/// not exchange deltas pass \p collect_moves = false to skip it.
+PairRefineResult refine_pair(const StaticGraph& graph, Partition& partition,
+                             BlockID a, BlockID b,
+                             const std::vector<NodeID>& boundary_seeds,
+                             const PairwiseRefinerOptions& options,
+                             const Rng& rng, std::uint64_t seed_tag,
+                             bool collect_moves = true);
+
+/// Seed tag of one scheduled pair within one global iteration. Shared by
+/// pairwise_refine() and the SPMD refiner so both drivers run the exact
+/// same searches for the same schedule. refine_pair() forks the pair's
+/// stream from 2*tag + 1 (odd), keeping it disjoint from the (even)
+/// coloring tags below; per-local-iteration streams are then forked from
+/// the pair stream, so distinct work units never share a stream.
+[[nodiscard]] inline std::uint64_t pair_seed_tag(
+    int global_iteration, std::size_t quotient_edge_index) {
+  return static_cast<std::uint64_t>(global_iteration) * 1000003 +
+         static_cast<std::uint64_t>(quotient_edge_index);
+}
+
+/// Fork tag of the per-global-iteration coloring stream (shared likewise;
+/// even, see pair_seed_tag).
+[[nodiscard]] inline std::uint64_t coloring_fork_tag(int global_iteration) {
+  return 2 * static_cast<std::uint64_t>(global_iteration);
+}
+
 /// Refines \p partition in place. Never worsens the lexicographic
 /// (imbalance, cut) objective of any pair, hence never the global cut at
 /// fixed balance.

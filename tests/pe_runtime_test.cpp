@@ -86,6 +86,49 @@ TEST(PERuntime, AllGatherOrdersByRank) {
   });
 }
 
+TEST(PERuntime, AllGatherVectorsOrdersByRankWithRaggedLengths) {
+  PERuntime runtime(4);
+  runtime.run([&](PEContext& pe) {
+    // Rank r contributes r words (rank 0 an empty buffer).
+    std::vector<std::uint64_t> payload(
+        static_cast<std::size_t>(pe.rank()),
+        static_cast<std::uint64_t>(pe.rank()) * 100);
+    const auto gathered = pe.all_gather_vectors(payload);
+    ASSERT_EQ(gathered.size(), 4u);
+    for (int r = 0; r < 4; ++r) {
+      EXPECT_EQ(gathered[r].size(), static_cast<std::size_t>(r));
+      for (const std::uint64_t w : gathered[r]) {
+        EXPECT_EQ(w, static_cast<std::uint64_t>(r) * 100);
+      }
+    }
+  });
+}
+
+TEST(PERuntime, AllGatherVectorsRepeatsStayConsistent) {
+  PERuntime runtime(3);
+  runtime.run([&](PEContext& pe) {
+    for (std::uint64_t round = 0; round < 10; ++round) {
+      const auto gathered = pe.all_gather_vectors(
+          {round, static_cast<std::uint64_t>(pe.rank())});
+      for (int r = 0; r < 3; ++r) {
+        ASSERT_EQ(gathered[r],
+                  (std::vector<std::uint64_t>{
+                      round, static_cast<std::uint64_t>(r)}));
+      }
+    }
+  });
+}
+
+TEST(PERuntime, AllGatherVectorsCountsTraffic) {
+  PERuntime runtime(2);
+  const CommStats stats = runtime.run([&](PEContext& pe) {
+    (void)pe.all_gather_vectors({1, 2, 3});
+  });
+  // Every PE puts its 3-word contribution on the wire.
+  EXPECT_EQ(stats.words_sent, 6u);
+  EXPECT_EQ(stats.messages_sent, 2u);
+}
+
 TEST(PERuntime, BroadcastFromEveryRoot) {
   PERuntime runtime(4);
   runtime.run([&](PEContext& pe) {

@@ -1,0 +1,225 @@
+/// \file spmd_pipeline_test.cpp
+/// \brief Tests for the SPMD end-to-end pipeline: the graph sharding, the
+/// parallel entry point's validity and quality, its p-invariance (fixed
+/// seed => identical partition for every PE count) and the surfaced
+/// communication statistics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/kappa.hpp"
+#include "generators/generators.hpp"
+#include "graph/metrics.hpp"
+#include "graph/validation.hpp"
+#include "parallel/dist_graph.hpp"
+#include "parallel/pe_runtime.hpp"
+
+namespace kappa {
+namespace {
+
+// ------------------------------------------------------------ dist graph ----
+
+TEST(DistGraph, ShardsPartitionTheNodes) {
+  Rng rng(7);
+  const StaticGraph g = random_geometric_graph(2000, rng);
+  const DistGraph dist(g, 8);
+  ASSERT_EQ(dist.num_shards(), 8u);
+
+  std::vector<int> seen(g.num_nodes(), 0);
+  for (BlockID s = 0; s < dist.num_shards(); ++s) {
+    for (const NodeID u : dist.shard(s).nodes) {
+      EXPECT_EQ(dist.shard_of(u), s);
+      ++seen[u];
+    }
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(),
+                          [](int c) { return c == 1; }));
+}
+
+TEST(DistGraph, CrossArcsAreExactlyTheShardBoundary) {
+  const StaticGraph g = grid_graph(30, 30);
+  const DistGraph dist(g, 4);
+
+  std::size_t cross = 0;
+  for (NodeID u = 0; u < g.num_nodes(); ++u) {
+    for (EdgeID e = g.first_arc(u); e < g.last_arc(u); ++e) {
+      if (dist.shard_of(u) != dist.shard_of(g.arc_target(e))) ++cross;
+    }
+  }
+  std::size_t listed = 0;
+  for (BlockID s = 0; s < dist.num_shards(); ++s) {
+    for (const CrossShardArc& arc : dist.shard(s).cross_arcs) {
+      EXPECT_EQ(dist.shard_of(arc.u), s);
+      EXPECT_NE(dist.shard_of(arc.v), s);
+    }
+    listed += dist.shard(s).cross_arcs.size();
+    for (const NodeID u : dist.shard(s).boundary_nodes) {
+      EXPECT_EQ(dist.shard_of(u), s);
+    }
+  }
+  EXPECT_EQ(listed, cross);
+}
+
+TEST(DistGraph, RoundRobinOwnershipCoversAllShards) {
+  const StaticGraph g = grid_graph(20, 20);
+  const DistGraph dist(g, 6);
+  const int p = 4;
+  std::vector<int> owner_count(p, 0);
+  for (BlockID s = 0; s < dist.num_shards(); ++s) {
+    const int owner = DistGraph::owner_of_shard(s, p);
+    ASSERT_GE(owner, 0);
+    ASSERT_LT(owner, p);
+    ++owner_count[owner];
+  }
+  int total = 0;
+  for (int rank = 0; rank < p; ++rank) {
+    const std::vector<BlockID> shards = dist.shards_of_rank(rank, p);
+    EXPECT_EQ(static_cast<int>(shards.size()), owner_count[rank]);
+    for (const BlockID s : shards) {
+      EXPECT_EQ(DistGraph::owner_of_shard(s, p), rank);
+    }
+    total += static_cast<int>(shards.size());
+  }
+  EXPECT_EQ(total, static_cast<int>(dist.num_shards()));
+}
+
+// -------------------------------------------------------- SPMD pipeline ----
+
+TEST(SpmdPipeline, ValidBalancedPartition) {
+  const StaticGraph g = make_instance("rgg14", 11);
+  Config config = Config::preset(Preset::kFast, 8);
+  config.seed = 5;
+  PERuntime runtime(2, config.seed);
+  const KappaResult result = kappa_partition_parallel(g, config, runtime);
+
+  EXPECT_EQ(validate_partition(g, result.partition), "");
+  EXPECT_EQ(result.partition.k(), 8u);
+  EXPECT_TRUE(result.balanced) << "balance=" << result.balance;
+  EXPECT_EQ(edge_cut(g, result.partition), result.cut);
+  for (BlockID b = 0; b < 8; ++b) {
+    EXPECT_GT(result.partition.block_weight(b), 0) << "empty block " << b;
+  }
+}
+
+/// The headline determinism property: with a fixed seed the partition is a
+/// function of the input alone — the runtime size p only changes wall time
+/// and communication counters. Swept over the generator families.
+class SpmdDeterminism : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SpmdDeterminism, SameCutAndPartitionForEveryPeCount) {
+  const StaticGraph g = make_instance(GetParam(), 11);
+  Config config = Config::preset(Preset::kMinimal, 8);
+  config.seed = 42;
+
+  KappaResult reference;
+  for (const int p : {1, 2, 4}) {
+    PERuntime runtime(p, config.seed);
+    const KappaResult result = kappa_partition_parallel(g, config, runtime);
+    EXPECT_EQ(validate_partition(g, result.partition), "");
+    if (p == 1) {
+      reference = result;
+      continue;
+    }
+    EXPECT_EQ(result.cut, reference.cut) << GetParam() << " p=" << p;
+    for (NodeID u = 0; u < g.num_nodes(); ++u) {
+      ASSERT_EQ(result.partition.block(u), reference.partition.block(u))
+          << GetParam() << " p=" << p << " node " << u;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Generators, SpmdDeterminism,
+                         ::testing::Values("rgg14", "delaunay14", "road_s",
+                                           "annulus_m"));
+
+TEST(SpmdPipeline, RepeatedRunsAreIdentical) {
+  const StaticGraph g = make_instance("delaunay14", 3);
+  Config config = Config::preset(Preset::kMinimal, 4);
+  config.seed = 9;
+  PERuntime first(2, config.seed);
+  PERuntime second(2, config.seed);
+  const KappaResult a = kappa_partition_parallel(g, config, first);
+  const KappaResult b = kappa_partition_parallel(g, config, second);
+  EXPECT_EQ(a.cut, b.cut);
+  for (NodeID u = 0; u < g.num_nodes(); ++u) {
+    ASSERT_EQ(a.partition.block(u), b.partition.block(u));
+  }
+}
+
+/// Acceptance criterion of the SPMD refactor: on the paper's geometric
+/// instance families the parallel path must stay within 5% of the
+/// sequential cut (both paths are deterministic, so this is a fixed
+/// comparison, not a statistical one).
+class SpmdParity : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SpmdParity, CutWithinFivePercentOfSequential) {
+  const StaticGraph g = make_instance(GetParam(), 11);
+  Config config = Config::preset(Preset::kFast, 8);
+  config.seed = 5;
+  const KappaResult sequential = kappa_partition(g, config);
+  ASSERT_TRUE(sequential.balanced);
+
+  for (const int p : {2, 4}) {
+    PERuntime runtime(p, config.seed);
+    const KappaResult parallel = kappa_partition_parallel(g, config, runtime);
+    EXPECT_TRUE(parallel.balanced) << GetParam() << " p=" << p;
+    EXPECT_LE(static_cast<double>(parallel.cut),
+              1.05 * static_cast<double>(sequential.cut))
+        << GetParam() << " p=" << p << ": parallel cut " << parallel.cut
+        << " vs sequential " << sequential.cut;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GeometricFamilies, SpmdParity,
+                         ::testing::Values("rgg14", "delaunay14"));
+
+TEST(SpmdPipeline, SurfacesCommunicationStats) {
+  const StaticGraph g = make_instance("rgg14", 2);
+  Config config = Config::preset(Preset::kMinimal, 8);
+  config.seed = 1;
+
+  // Sequential runs leave the SPMD fields empty.
+  const KappaResult sequential = kappa_partition(g, config);
+  EXPECT_EQ(sequential.num_pes, 0);
+  EXPECT_TRUE(sequential.comm_per_pe.empty());
+
+  PERuntime runtime(4, config.seed);
+  const KappaResult result = kappa_partition_parallel(g, config, runtime);
+  EXPECT_EQ(result.num_pes, 4);
+  ASSERT_EQ(result.comm_per_pe.size(), 4u);
+  EXPECT_GT(result.comm.messages_sent, 0u);
+  EXPECT_GT(result.comm.words_sent, 0u);
+  EXPECT_GT(result.comm.barriers, 0u);
+
+  std::uint64_t words = 0;
+  for (const CommStats& s : result.comm_per_pe) {
+    words += s.words_sent;
+    // Collectives synchronize every PE, so each rank hits barriers.
+    EXPECT_GT(s.barriers, 0u);
+  }
+  EXPECT_EQ(words, result.comm.words_sent);
+}
+
+TEST(SpmdPipeline, SingleBlockAndTinyGraphs) {
+  // k = 1: no quotient edges, no refinement — must still terminate.
+  const StaticGraph g = grid_graph(8, 8);
+  Config config = Config::preset(Preset::kMinimal, 1);
+  config.seed = 1;
+  PERuntime runtime(2, config.seed);
+  const KappaResult result = kappa_partition_parallel(g, config, runtime);
+  EXPECT_EQ(validate_partition(g, result.partition), "");
+  EXPECT_EQ(result.cut, 0);
+
+  // More PEs than shards/blocks: idle PEs must stay in lockstep.
+  const StaticGraph tiny = grid_graph(6, 4);
+  Config tiny_config = Config::preset(Preset::kFast, 2);
+  tiny_config.seed = 3;
+  PERuntime big_runtime(4, tiny_config.seed);
+  const KappaResult tiny_result =
+      kappa_partition_parallel(tiny, tiny_config, big_runtime);
+  EXPECT_EQ(validate_partition(tiny, tiny_result.partition), "");
+  EXPECT_TRUE(tiny_result.balanced);
+}
+
+}  // namespace
+}  // namespace kappa
