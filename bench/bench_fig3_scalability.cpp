@@ -67,7 +67,8 @@ int main(int argc, char** argv) {
                             &mstats);
     // Distributed coloring of the quotient graph of a pes-way partition.
     Config config = Config::preset(Preset::kMinimal, pes);
-    const KappaResult result = kappa_partition(g, config);
+    const PartitionResult result =
+        Partitioner(Context::sequential(config)).partition(g);
     const QuotientGraph quotient(g, result.partition);
     const DistributedColoringResult coloring =
         distributed_color_quotient_edges(quotient, 1);
@@ -91,8 +92,8 @@ int main(int argc, char** argv) {
     for (const int pes : {1, 2, 4, 8}) {
       PERuntime runtime(pes, config.seed);
       Timer timer;
-      const KappaResult result =
-          kappa_partition_parallel(instance, config, runtime);
+      const PartitionResult result =
+          Partitioner(Context::spmd(config, runtime)).partition(instance);
       const double elapsed = timer.elapsed_s();
       for (int rank = 0; rank < pes; ++rank) {
         const CommStats& s = result.comm_per_pe[rank];

@@ -51,7 +51,8 @@ int main(int argc, char** argv) {
           for (int attempt = 1; attempt <= tries; ++attempt) {
             Config config = Config::walshaw(k, eps, candidate.rating);
             config.seed = static_cast<std::uint64_t>(attempt);
-            const KappaResult result = kappa_partition(g, config);
+            const PartitionResult result =
+                Partitioner(Context::sequential(config)).partition(g);
             // Walshaw rules: only feasible partitions count; prefer
             // feasible over infeasible, then smaller cut.
             const bool better =

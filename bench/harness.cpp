@@ -36,7 +36,8 @@ RunAggregate run_kappa(const StaticGraph& graph, Config config, int reps) {
   RunAggregate aggregate;
   for (int rep = 1; rep <= reps; ++rep) {
     config.seed = static_cast<std::uint64_t>(rep);
-    const KappaResult result = kappa_partition(graph, config);
+    const PartitionResult result =
+        Partitioner(Context::sequential(config)).partition(graph);
     aggregate.add(static_cast<double>(result.cut), result.balance,
                   result.total_time);
   }

@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "baselines/baselines.hpp"
-#include "core/kappa.hpp"
+#include "core/partitioner.hpp"
 #include "graph/static_graph.hpp"
 #include "util/stats.hpp"
 

@@ -5,14 +5,20 @@
 ///
 /// Usage:
 ///   kappa_cli <graph.metis> <k> [--preset=fast|strong|minimal]
-///             [--eps=0.03] [--seed=1] [--threads=1] [--output=out.part]
+///             [--eps=0.03] [--seed=1] [--threads=1] [--pes=0]
+///             [--output=out.part]
+///
+/// --pes=N > 0 runs the pipeline SPMD on a PE runtime of N PEs (the
+/// result is identical for every N under a fixed seed; N changes wall
+/// time and the communication counters printed at the end).
 #include <cstdio>
 #include <cstring>
 #include <string>
 
-#include "core/kappa.hpp"
+#include "core/partitioner.hpp"
 #include "graph/graph_io.hpp"
 #include "graph/validation.hpp"
+#include "parallel/pe_runtime.hpp"
 
 namespace {
 
@@ -33,7 +39,8 @@ int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: %s <graph.metis> <k> [--preset=fast|strong|minimal]"
-                 " [--eps=0.03] [--seed=1] [--threads=1] [--output=FILE]\n",
+                 " [--eps=0.03] [--seed=1] [--threads=1] [--pes=0]"
+                 " [--output=FILE]\n",
                  argv[0]);
     return 2;
   }
@@ -74,13 +81,24 @@ int main(int argc, char** argv) {
   if (const char* value = arg_value(argc, argv, "--threads")) {
     config.num_threads = std::atoi(value);
   }
+  int pes = 0;
+  if (const char* value = arg_value(argc, argv, "--pes")) {
+    pes = std::atoi(value);
+  }
 
-  std::fprintf(stderr, "graph: %u nodes, %llu edges; k=%u eps=%.3f (%s)\n",
+  std::fprintf(stderr,
+               "graph: %u nodes, %llu edges; k=%u eps=%.3f (%s%s)\n",
                graph.num_nodes(),
                static_cast<unsigned long long>(graph.num_edges()), k, eps,
-               preset_name(preset));
+               preset_name(preset), pes > 0 ? ", spmd" : "");
 
-  const KappaResult result = kappa_partition(graph, config);
+  PartitionResult result;
+  if (pes > 0) {
+    PERuntime runtime(pes, config.seed);
+    result = Partitioner(Context::spmd(config, runtime)).partition(graph);
+  } else {
+    result = Partitioner(Context::sequential(config)).partition(graph);
+  }
 
   std::printf("cut      %lld\n", static_cast<long long>(result.cut));
   std::printf("balance  %.4f\n", result.balance);
@@ -88,6 +106,13 @@ int main(int argc, char** argv) {
   std::printf("time     %.3f s  (coarsen %.3f | initial %.3f | refine %.3f)\n",
               result.total_time, result.coarsening_time, result.initial_time,
               result.refinement_time);
+  if (result.num_pes > 0) {
+    std::printf("spmd     %d PEs, %llu msgs, %llu words, %llu barriers\n",
+                result.num_pes,
+                static_cast<unsigned long long>(result.comm.messages_sent),
+                static_cast<unsigned long long>(result.comm.words_sent),
+                static_cast<unsigned long long>(result.comm.barriers));
+  }
 
   const char* output = arg_value(argc, argv, "--output");
   const std::string output_path =

@@ -11,7 +11,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/kappa.hpp"
+#include "core/partitioner.hpp"
 #include "generators/generators.hpp"
 #include "graph/metrics.hpp"
 #include "graph/quotient_graph.hpp"
@@ -27,7 +27,8 @@ int main() {
   const BlockID k = 16;
   Config config = Config::preset(Preset::kStrong, k);
   config.seed = 2024;
-  const KappaResult result = kappa_partition(mesh, config);
+  const PartitionResult result =
+      Partitioner(Context::sequential(config)).partition(mesh);
 
   std::printf("\npartitioned into %u blocks in %.2f s\n", k,
               result.total_time);

@@ -11,7 +11,7 @@
 #include <cstdio>
 
 #include "baselines/baselines.hpp"
-#include "core/kappa.hpp"
+#include "core/partitioner.hpp"
 #include "generators/generators.hpp"
 #include "util/random.hpp"
 
@@ -28,7 +28,8 @@ int main() {
 
   Config config = Config::preset(Preset::kStrong, k);
   config.seed = 9;
-  const KappaResult kappa_result = kappa_partition(road, config);
+  const PartitionResult kappa_result =
+      Partitioner(Context::sequential(config)).partition(road);
 
   const BaselineResult kmetis_result = kmetis_partition(road, k, 0.03, 9);
   const BaselineResult parmetis_result = parmetis_partition(road, k, 0.03, 9);

@@ -11,7 +11,7 @@
 #include <cstdio>
 
 #include "coarsening/hierarchy.hpp"
-#include "core/kappa.hpp"
+#include "core/partitioner.hpp"
 #include "generators/generators.hpp"
 #include "matching/ratings.hpp"
 #include "util/random.hpp"
@@ -38,7 +38,8 @@ int main() {
     Config config = Config::preset(Preset::kFast, k);
     config.rating = rating;
     config.seed = 3;
-    const KappaResult result = kappa_partition(social, config);
+    const PartitionResult result =
+        Partitioner(Context::sequential(config)).partition(social);
 
     // Reproduce the coarsening to inspect the node-weight distribution at
     // the coarsest level — the paper's argument for structural ratings:

@@ -33,10 +33,31 @@ Hierarchy build_hierarchy_with(const StaticGraph& graph,
         static_cast<NodeWeight>(bound), 2 * graph.max_node_weight());
   }
 
+  // Warm start: the assignment the matchings must respect, projected level
+  // by level alongside the hierarchy (intra-block contraction keeps the
+  // projection well defined).
+  std::vector<BlockID> warm_blocks;
+  if (options.warm_start != nullptr) {
+    warm_blocks = options.warm_start->assignment();
+  }
+
   std::size_t level = 0;
   while (hierarchy.coarsest().num_nodes() > options.contraction_limit) {
     const StaticGraph& current = hierarchy.coarsest();
-    const std::vector<NodeID> partner = matcher(current, match_options, level);
+    std::vector<NodeID> partner = matcher(current, match_options, level);
+    if (!warm_blocks.empty()) {
+      // The block-respecting policy: dissolve every cross-block pair. The
+      // matcher ran unconstrained, so near block boundaries coarsening is
+      // merely less effective, never incorrect. Deterministic, hence safe
+      // for the replicated SPMD coarseners.
+      for (NodeID u = 0; u < current.num_nodes(); ++u) {
+        const NodeID v = partner[u];
+        if (v > u && warm_blocks[u] != warm_blocks[v]) {
+          partner[u] = u;
+          partner[v] = v;
+        }
+      }
+    }
 
     const NodeID pairs = matching_size(partner);
     if (pairs == 0) break;  // nothing contractible is left
@@ -50,6 +71,13 @@ Hierarchy build_hierarchy_with(const StaticGraph& graph,
           << result.coarse_graph.num_nodes() << " (matched " << pairs
           << " pairs)";
       log_debug(msg.str());
+    }
+    if (!warm_blocks.empty()) {
+      std::vector<BlockID> coarse_blocks(result.coarse_graph.num_nodes());
+      for (NodeID u = 0; u < current.num_nodes(); ++u) {
+        coarse_blocks[result.fine_to_coarse[u]] = warm_blocks[u];
+      }
+      warm_blocks = std::move(coarse_blocks);
     }
     hierarchy.push_level(std::move(result.coarse_graph),
                          std::move(result.fine_to_coarse));

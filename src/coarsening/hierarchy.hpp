@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "graph/contraction.hpp"
+#include "graph/partition.hpp"
 #include "graph/static_graph.hpp"
 #include "matching/matchers.hpp"
 #include "matching/parallel_match.hpp"
@@ -36,6 +37,11 @@ struct CoarseningOptions {
   /// (keeps coarse node weights uniform enough for a feasible initial
   /// partition).
   double max_pair_weight_factor = 1.5;
+  /// Warm start (repartitioning): pairs whose endpoints lie in different
+  /// blocks of this finest-level assignment are never contracted, so the
+  /// assignment projects exactly onto every level of the hierarchy.
+  /// nullptr = from-scratch coarsening. Borrowed; must outlive the build.
+  const Partition* warm_start = nullptr;
 };
 
 /// The full hierarchy: level 0 is the input graph (referenced, not owned),

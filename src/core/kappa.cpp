@@ -1,16 +1,12 @@
+/// \file kappa.cpp
+/// \brief Deprecated free-function wrappers over the unified Partitioner
+/// API (see core/partitioner.hpp).
 #include "core/kappa.hpp"
-
-#include "core/phases.hpp"
-#include "util/random.hpp"
 
 namespace kappa {
 
 KappaResult kappa_partition(const StaticGraph& graph, const Config& config) {
-  const Rng rng(config.seed);
-  SequentialCoarsener coarsener(config, rng);
-  SequentialInitialPartitioner initial(config, rng);
-  SequentialRefiner refiner(graph, config, rng);
-  return run_multilevel(graph, config, coarsener, initial, refiner);
+  return Partitioner(Context::sequential(config)).partition(graph);
 }
 
 }  // namespace kappa

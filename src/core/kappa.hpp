@@ -1,65 +1,37 @@
 /// \file kappa.hpp
-/// \brief The KaPPa partitioner: the paper's primary contribution.
+/// \brief Legacy free-function entry points of the KaPPa partitioner.
 ///
-/// Multilevel pipeline: (1) contraction with rated matchings, optionally
-/// computed with the two-phase parallel matching scheme over geometrically
-/// pre-partitioned PEs; (2) repeated initial partitioning of the coarsest
-/// graph; (3) uncoarsening with parallel pairwise FM refinement scheduled
-/// by edge colorings of the quotient graph.
-///
-/// Two entry points share one driver (core/phases.hpp):
-/// kappa_partition() runs the pipeline in-process; and
-/// kappa_partition_parallel() runs it SPMD on the PE runtime — every phase
-/// executes distributed across the runtime's PEs with all dynamic state
-/// exchanged through messages and collectives, as in the paper's MPI
-/// implementation.
+/// \deprecated The public API is core/partitioner.hpp: construct a
+/// Context (Context::sequential / Context::spmd) and call
+/// Partitioner::partition() or Partitioner::repartition(). The free
+/// functions below are thin wrappers kept for source compatibility; they
+/// produce bit-identical results to the Partitioner on the same config
+/// and seed.
 #pragma once
 
-#include <vector>
-
 #include "core/config.hpp"
+#include "core/partitioner.hpp"
 #include "graph/partition.hpp"
 #include "graph/static_graph.hpp"
-#include "parallel/pe_runtime.hpp"
 
 namespace kappa {
 
-/// Result of one partitioning run with phase statistics.
-struct KappaResult {
-  Partition partition;
-  EdgeWeight cut = 0;
-  double balance = 1.0;   ///< max block weight / average block weight
-  bool balanced = false;  ///< obeys the Lmax bound
+class PERuntime;
 
-  // Phase breakdown (seconds).
-  double coarsening_time = 0.0;
-  double initial_time = 0.0;
-  double refinement_time = 0.0;
-  double total_time = 0.0;
-
-  std::size_t hierarchy_levels = 0;
-  NodeID coarsest_nodes = 0;
-
-  // SPMD run shape (kappa_partition_parallel only; zero/empty otherwise).
-  int num_pes = 0;                     ///< PEs of the runtime that ran this
-  CommStats comm;                      ///< aggregate communication volume
-  std::vector<CommStats> comm_per_pe;  ///< per-PE counters, indexed by rank
-};
+/// \deprecated Former name of PartitionResult (the SPMD fields of which
+/// it always carried; the repartitioning fields stay zero on these runs).
+using KappaResult = PartitionResult;
 
 /// Partitions \p graph into \p config.k blocks (single process).
+/// \deprecated Use Partitioner(Context::sequential(config)).partition().
+[[deprecated("use Partitioner(Context::sequential(config)).partition()")]]
 [[nodiscard]] KappaResult kappa_partition(const StaticGraph& graph,
                                           const Config& config);
 
-/// Partitions \p graph into \p config.k blocks SPMD on \p runtime: the
-/// graph is sharded across PEs (parallel/dist_graph.hpp), coarsening
-/// matches shard-locally and resolves the gap graph over channels, initial
-/// partitioning runs best-of-p with an all-reduce winner pick, and
-/// uncoarsening refines disjoint block pairs concurrently per quotient
-/// edge color, exchanging moved-node deltas.
-///
-/// Deterministic: with a fixed config.seed the partition is identical for
-/// every runtime size p (work is keyed to virtual shards, not to physical
-/// PEs), so p only changes wall time and the communication counters.
+/// Partitions \p graph into \p config.k blocks SPMD on \p runtime.
+/// \deprecated Use Partitioner(Context::spmd(config, runtime)).partition().
+[[deprecated(
+    "use Partitioner(Context::spmd(config, runtime)).partition()")]]
 [[nodiscard]] KappaResult kappa_partition_parallel(const StaticGraph& graph,
                                                    const Config& config,
                                                    PERuntime& runtime);

@@ -1,35 +1,15 @@
 /// \file kappa_parallel.cpp
-/// \brief The SPMD entry point: the full multilevel pipeline on the PE
-/// runtime. Every PE executes the shared run_multilevel() driver with the
-/// SPMD phase implementations; rank 0's (replicated, identical) result is
-/// returned, annotated with the per-PE communication counters.
+/// \brief Deprecated SPMD free-function wrapper over the unified
+/// Partitioner API (see core/partitioner.hpp).
 #include "core/kappa.hpp"
-#include "core/phases.hpp"
-#include "parallel/spmd_phases.hpp"
+#include "parallel/pe_runtime.hpp"
 
 namespace kappa {
 
 KappaResult kappa_partition_parallel(const StaticGraph& graph,
                                      const Config& config,
                                      PERuntime& runtime) {
-  const int p = runtime.num_pes();
-  KappaResult result;
-  std::vector<CommStats> per_pe(p);
-
-  const CommStats total = runtime.run([&](PEContext& pe) {
-    SpmdCoarsener coarsener(config, pe);
-    SpmdInitialPartitioner initial(config, pe);
-    SpmdRefiner refiner(graph, config, pe);
-    KappaResult local = run_multilevel(graph, config, coarsener, initial,
-                                       refiner);
-    per_pe[pe.rank()] = pe.stats();
-    if (pe.rank() == 0) result = std::move(local);
-  });
-
-  result.num_pes = p;
-  result.comm = total;
-  result.comm_per_pe = std::move(per_pe);
-  return result;
+  return Partitioner(Context::spmd(config, runtime)).partition(graph);
 }
 
 }  // namespace kappa

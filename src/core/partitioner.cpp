@@ -1,0 +1,158 @@
+/// \file partitioner.cpp
+/// \brief The unified entry point: both workloads (from-scratch and
+/// warm-started) in both execution contexts (sequential and SPMD) through
+/// the one shared run_multilevel() driver.
+#include "core/partitioner.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "core/phases.hpp"
+#include "graph/dynamic_overlay.hpp"
+#include "graph/metrics.hpp"
+#include "graph/subgraph.hpp"
+#include "parallel/pe_runtime.hpp"
+#include "parallel/spmd_phases.hpp"
+#include "util/random.hpp"
+
+namespace kappa {
+
+namespace {
+
+/// Rank that owns block \p b under the round-robin block distribution of
+/// the SPMD repartitioner (the paper's k = p setting makes this the
+/// identity; with k != p blocks are dealt out cyclically).
+int owner_of_block(BlockID b, int p) { return static_cast<int>(b % p); }
+
+/// One rank's post-repartitioning data intake.
+struct MigrationIntake {
+  NodeID nodes = 0;        ///< nodes migrated into this rank's blocks
+  std::size_t edges = 0;   ///< adjacency entries shipped with them
+};
+
+/// One PE's post-repartitioning data migration, materialized with the
+/// §5.2 hybrid graph structure: the nodes a rank keeps (same owned block
+/// before and after) form the static CSR core; every node that migrated
+/// *into* one of its blocks lands in the DynamicOverlay's hash-addressed
+/// secondary edge array, with the arcs that connect it to the rank's
+/// view. The overlay's edge accounting is the point: the intake *volume*
+/// (how many adjacency entries accompany the migrated nodes) is not
+/// derivable from the node diff alone. Runs once per repartition.
+MigrationIntake receive_migrated_nodes(const StaticGraph& graph,
+                                       const Partition& before,
+                                       const Partition& after, int rank,
+                                       int p) {
+  std::vector<NodeID> kept;
+  std::vector<NodeID> incoming;
+  for (NodeID u = 0; u < graph.num_nodes(); ++u) {
+    if (owner_of_block(after.block(u), p) != rank) continue;
+    if (after.block(u) == before.block(u)) {
+      kept.push_back(u);
+    } else {
+      incoming.push_back(u);
+    }
+  }
+
+  const Subgraph core = induced_subgraph(graph, kept);
+  DynamicOverlay view(core.graph, core.local_to_global);
+  for (const NodeID u : incoming) {
+    view.add_migrated_node(u, graph.node_weight(u));
+  }
+  for (const NodeID u : incoming) {
+    for (EdgeID e = graph.first_arc(u); e < graph.last_arc(u); ++e) {
+      const NodeID v = graph.arc_target(e);
+      if (view.contains(v)) {
+        view.add_migrated_edge(u, v, graph.arc_weight(e));
+      }
+    }
+  }
+  return {static_cast<NodeID>(view.num_migrated()),
+          view.num_overlay_edges()};
+}
+
+/// Fills the repartitioning delta fields of \p result against the input
+/// assignment.
+void record_migration(const StaticGraph& graph, const Partition& current,
+                      EdgeWeight input_cut, PartitionResult& result) {
+  result.initial_cut = input_cut;
+  result.migrated_nodes = 0;
+  for (NodeID u = 0; u < graph.num_nodes(); ++u) {
+    if (result.partition.block(u) != current.block(u)) {
+      ++result.migrated_nodes;
+    }
+  }
+}
+
+PartitionResult run_sequential(const StaticGraph& graph, const Config& config,
+                               const Partition* warm) {
+  const Rng rng(config.seed);
+  SequentialCoarsener coarsener(config, rng, warm);
+  SequentialRefiner refiner(graph, config, rng);
+  if (warm != nullptr) {
+    WarmStartInitialPartitioner initial(*warm, config.k);
+    return run_multilevel(graph, config, coarsener, initial, refiner);
+  }
+  SequentialInitialPartitioner initial(config, rng);
+  return run_multilevel(graph, config, coarsener, initial, refiner);
+}
+
+PartitionResult run_spmd(const StaticGraph& graph, const Config& config,
+                         PERuntime& runtime, const Partition* warm) {
+  const int p = runtime.num_pes();
+  PartitionResult result;
+  std::vector<MigrationIntake> intake(p);
+
+  const std::vector<CommStats> per_pe = runtime.run([&](PEContext& pe) {
+    SpmdCoarsener coarsener(config, pe, warm);
+    SpmdRefiner refiner(graph, config, pe);
+    PartitionResult local;
+    if (warm != nullptr) {
+      WarmStartInitialPartitioner initial(*warm, config.k);
+      local = run_multilevel(graph, config, coarsener, initial, refiner);
+      // Shard-local migration view (each block's delta is accounted at
+      // its owning rank; every PE holds the identical final partition).
+      intake[pe.rank()] = receive_migrated_nodes(graph, *warm,
+                                                 local.partition, pe.rank(), p);
+    } else {
+      SpmdInitialPartitioner initial(config, pe);
+      local = run_multilevel(graph, config, coarsener, initial, refiner);
+    }
+    if (pe.rank() == 0) result = std::move(local);
+  });
+
+  result.num_pes = p;
+  result.comm = total_comm_stats(per_pe);
+  result.comm_per_pe = per_pe;
+  if (warm != nullptr) {
+    result.migrated_per_pe.reserve(p);
+    result.migrated_edges_per_pe.reserve(p);
+    for (const MigrationIntake& i : intake) {
+      result.migrated_per_pe.push_back(i.nodes);
+      result.migrated_edges_per_pe.push_back(i.edges);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+PartitionResult Partitioner::partition(const StaticGraph& graph) const {
+  if (context_.is_spmd()) {
+    return run_spmd(graph, context_.config(), *context_.runtime(), nullptr);
+  }
+  return run_sequential(graph, context_.config(), nullptr);
+}
+
+PartitionResult Partitioner::repartition(const StaticGraph& graph,
+                                         const Partition& current) const {
+  assert(current.k() == context_.config().k);
+  const EdgeWeight input_cut = edge_cut(graph, current);
+  PartitionResult result =
+      context_.is_spmd()
+          ? run_spmd(graph, context_.config(), *context_.runtime(), &current)
+          : run_sequential(graph, context_.config(), &current);
+  record_migration(graph, current, input_cut, result);
+  return result;
+}
+
+}  // namespace kappa

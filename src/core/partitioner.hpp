@@ -1,0 +1,138 @@
+/// \file partitioner.hpp
+/// \brief The unified partitioner API: one context-based entry point for
+/// from-scratch partitioning, repartitioning, and SPMD runs.
+///
+/// A Context fixes *how* a run executes — in-process on one thread of
+/// control (Context::sequential) or SPMD on a PE runtime (Context::spmd)
+/// — and a Partitioner exposes *what* runs: partition() builds a k-way
+/// partition from scratch, repartition() improves an existing assignment
+/// (§8: repartitioning of adaptive meshes as the natural generalization of
+/// the multilevel pipeline). Both workloads drive the same phase
+/// interfaces (core/phases.hpp) through the shared run_multilevel()
+/// driver, so both inherit the SPMD path: repartitioning warm-starts the
+/// pipeline (block-respecting contraction + an initial "partitioner" that
+/// projects the current assignment to the coarsest level) and then runs
+/// the ordinary refinement phase — sequential or shard-local with
+/// moved-node delta exchange.
+///
+/// Every run returns one PartitionResult; fields that a particular
+/// workload does not produce stay at their zero defaults (e.g. the SPMD
+/// counters of a sequential run, or migrated_nodes of a from-scratch run).
+///
+/// The legacy free functions kappa_partition(), kappa_partition_parallel()
+/// (core/kappa.hpp) and repartition() (core/repartition.hpp) remain as
+/// thin deprecated wrappers over this API.
+#pragma once
+
+#include <vector>
+
+#include "core/config.hpp"
+#include "graph/partition.hpp"
+#include "graph/static_graph.hpp"
+#include "parallel/comm_stats.hpp"
+#include "util/types.hpp"
+
+namespace kappa {
+
+class PERuntime;
+
+/// Result of one partitioning or repartitioning run with phase statistics.
+struct PartitionResult {
+  Partition partition;
+  EdgeWeight cut = 0;
+  double balance = 1.0;   ///< max block weight / average block weight
+  bool balanced = false;  ///< obeys the Lmax bound
+
+  // Repartitioning (zero on from-scratch runs).
+  EdgeWeight initial_cut = 0;  ///< cut of the input partition
+  NodeID migrated_nodes = 0;   ///< nodes whose block changed vs. the input
+  /// SPMD repartitioning only: nodes migrated *into* the blocks owned by
+  /// each rank (blocks are owned round-robin, block b -> rank b mod p).
+  /// Sums to migrated_nodes.
+  std::vector<NodeID> migrated_per_pe;
+  /// SPMD repartitioning only: adjacency entries each rank receives with
+  /// its migrated nodes — the §5.2 overlay-edge volume of the data
+  /// migration, indexed like migrated_per_pe.
+  std::vector<std::size_t> migrated_edges_per_pe;
+
+  // Phase breakdown (seconds).
+  double coarsening_time = 0.0;
+  double initial_time = 0.0;
+  double refinement_time = 0.0;
+  double total_time = 0.0;
+
+  std::size_t hierarchy_levels = 0;
+  NodeID coarsest_nodes = 0;
+
+  // SPMD run shape (zero/empty on sequential runs).
+  int num_pes = 0;                     ///< PEs of the runtime that ran this
+  CommStats comm;                      ///< aggregate communication volume
+  std::vector<CommStats> comm_per_pe;  ///< per-PE counters, indexed by rank
+};
+
+/// Execution context of a Partitioner: the configuration plus where the
+/// pipeline runs. Construct with one of the factories; the config is
+/// copied, the runtime (if any) is borrowed and must outlive the context.
+class Context {
+ public:
+  /// Runs the pipeline in-process (config.num_threads worker threads may
+  /// still execute independent refinement pairs concurrently).
+  [[nodiscard]] static Context sequential(Config config) {
+    return Context(config, nullptr);
+  }
+
+  /// Runs the pipeline SPMD on \p runtime: every PE executes every phase
+  /// on its replica, synchronizing through messages and collectives, as
+  /// in the paper's MPI implementation. Deterministic and p-invariant:
+  /// with a fixed config.seed the result is identical for every runtime
+  /// size p (work is keyed to virtual shards, not physical PEs).
+  [[nodiscard]] static Context spmd(Config config, PERuntime& runtime) {
+    return Context(config, &runtime);
+  }
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  /// The SPMD runtime, or nullptr for a sequential context.
+  [[nodiscard]] PERuntime* runtime() const { return runtime_; }
+
+  [[nodiscard]] bool is_spmd() const { return runtime_ != nullptr; }
+
+ private:
+  Context(const Config& config, PERuntime* runtime)
+      : config_(config), runtime_(runtime) {}
+
+  Config config_;
+  PERuntime* runtime_;
+};
+
+/// Facade over the multilevel pipeline: one object, every workload.
+///
+///   Partitioner partitioner(Context::sequential(config));
+///   PartitionResult fresh = partitioner.partition(graph);
+///   ... the mesh adapts, the assignment degrades ...
+///   PartitionResult next = partitioner.repartition(graph, fresh.partition);
+class Partitioner {
+ public:
+  explicit Partitioner(const Context& context) : context_(context) {}
+
+  [[nodiscard]] const Context& context() const { return context_; }
+
+  /// Partitions \p graph into context().config().k blocks from scratch:
+  /// contraction, initial partitioning, uncoarsening with refinement.
+  [[nodiscard]] PartitionResult partition(const StaticGraph& graph) const;
+
+  /// Improves \p current (must have k = config.k blocks) with the
+  /// warm-started pipeline: contraction only matches nodes of the same
+  /// current block (so the assignment projects exactly onto every level),
+  /// the coarsest partition is the projected assignment, and refinement
+  /// proceeds as usual. The cut improves, feasibility is restored, and —
+  /// the point of the exercise — far fewer nodes migrate than under a
+  /// from-scratch run.
+  [[nodiscard]] PartitionResult repartition(const StaticGraph& graph,
+                                            const Partition& current) const;
+
+ private:
+  Context context_;
+};
+
+}  // namespace kappa

@@ -1,6 +1,8 @@
 #include "core/phases.hpp"
 
 #include <algorithm>
+#include <cassert>
+#include <numeric>
 #include <sstream>
 
 #include "graph/contraction.hpp"
@@ -10,11 +12,12 @@
 
 namespace kappa {
 
-KappaResult run_multilevel(const StaticGraph& graph, const Config& config,
-                           Coarsener& coarsener, InitialPartitioner& initial,
-                           Refiner& refiner) {
+PartitionResult run_multilevel(const StaticGraph& graph, const Config& config,
+                               Coarsener& coarsener,
+                               InitialPartitioner& initial,
+                               Refiner& refiner) {
   Timer total_timer;
-  KappaResult result;
+  PartitionResult result;
 
   // --- Phase 1: contraction (§3). ---
   Timer phase_timer;
@@ -25,6 +28,7 @@ KappaResult run_multilevel(const StaticGraph& graph, const Config& config,
 
   // --- Phase 2: initial partitioning (§4). ---
   phase_timer.restart();
+  initial.observe_hierarchy(hierarchy);
   Partition partition = initial.partition(hierarchy.coarsest());
   result.initial_time = phase_timer.elapsed_s();
 
@@ -129,8 +133,36 @@ void rebalance_until_feasible(const StaticGraph& graph, Partition& partition,
 
 Hierarchy SequentialCoarsener::coarsen(const StaticGraph& graph) {
   Rng coarsen_rng = rng_.fork(1);
-  return build_hierarchy(graph, coarsening_options(graph, config_),
-                         coarsen_rng);
+  CoarseningOptions options = coarsening_options(graph, config_);
+  options.warm_start = warm_start_;
+  return build_hierarchy(graph, options, coarsen_rng);
+}
+
+void WarmStartInitialPartitioner::observe_hierarchy(
+    const Hierarchy& hierarchy) {
+  // Compose the per-level maps into finest -> coarsest ids, then read the
+  // coarsest assignment off the input. Block-respecting contraction makes
+  // every coarse node pure, so the last write per coarse node wins
+  // harmlessly (all writers agree).
+  const NodeID n = hierarchy.graph(0).num_nodes();
+  assert(current_->num_nodes() == n);
+  std::vector<NodeID> coarse_id(n);
+  std::iota(coarse_id.begin(), coarse_id.end(), NodeID{0});
+  for (std::size_t level = 0; level + 1 < hierarchy.num_levels(); ++level) {
+    const std::vector<NodeID>& map = hierarchy.map(level);
+    for (NodeID u = 0; u < n; ++u) coarse_id[u] = map[coarse_id[u]];
+  }
+  projected_.assign(hierarchy.coarsest().num_nodes(), 0);
+  for (NodeID u = 0; u < n; ++u) {
+    assert(current_->block(u) < k_);
+    projected_[coarse_id[u]] = current_->block(u);
+  }
+}
+
+Partition WarmStartInitialPartitioner::partition(const StaticGraph& coarsest) {
+  assert(projected_.size() == coarsest.num_nodes() &&
+         "observe_hierarchy() must run before partition()");
+  return Partition(coarsest, projected_, k_);
 }
 
 Partition SequentialInitialPartitioner::partition(

@@ -12,16 +12,18 @@
 ///                      restores feasibility at the finest level.
 ///
 /// run_multilevel() wires them together: it owns projection between
-/// levels, the phase timers and the final quality metrics. The sequential
-/// entry point (kappa_partition) instantiates the Sequential* classes
-/// below; the SPMD entry point (kappa_partition_parallel) instantiates the
-/// Spmd* classes from parallel/spmd_phases.hpp — every PE executes the
-/// same driver on its replica and the phases synchronize internally.
+/// levels, the phase timers and the final quality metrics. A sequential
+/// Partitioner instantiates the Sequential* classes below; an SPMD
+/// Partitioner instantiates the Spmd* classes from
+/// parallel/spmd_phases.hpp — every PE executes the same driver on its
+/// replica and the phases synchronize internally. Repartitioning swaps in
+/// the WarmStartInitialPartitioner and the warm-start coarsening policy,
+/// reusing everything else.
 #pragma once
 
 #include "coarsening/hierarchy.hpp"
 #include "core/config.hpp"
-#include "core/kappa.hpp"
+#include "core/partitioner.hpp"
 #include "graph/partition.hpp"
 #include "graph/static_graph.hpp"
 #include "initial/initial_partitioner.hpp"
@@ -44,6 +46,11 @@ class InitialPartitioner {
  public:
   virtual ~InitialPartitioner() = default;
 
+  /// Driver hook, called once after coarsening and before partition():
+  /// lets warm-start implementations project an existing assignment
+  /// through the hierarchy. From-scratch implementations ignore it.
+  virtual void observe_hierarchy(const Hierarchy& /*hierarchy*/) {}
+
   [[nodiscard]] virtual Partition partition(const StaticGraph& coarsest) = 0;
 };
 
@@ -63,13 +70,13 @@ class Refiner {
 };
 
 /// Runs the multilevel pipeline with the given phase implementations.
-/// This is the single code body behind both kappa_partition() and
-/// kappa_partition_parallel().
-[[nodiscard]] KappaResult run_multilevel(const StaticGraph& graph,
-                                         const Config& config,
-                                         Coarsener& coarsener,
-                                         InitialPartitioner& initial,
-                                         Refiner& refiner);
+/// This is the single code body behind every Partitioner workload —
+/// sequential or SPMD, from-scratch or warm-started.
+[[nodiscard]] PartitionResult run_multilevel(const StaticGraph& graph,
+                                             const Config& config,
+                                             Coarsener& coarsener,
+                                             InitialPartitioner& initial,
+                                             Refiner& refiner);
 
 // ---------------------------------------------------------------------------
 // Shared per-phase option builders. Sequential and SPMD implementations
@@ -112,16 +119,20 @@ void rebalance_until_feasible(const StaticGraph& graph, Partition& partition,
 
 /// Wraps build_hierarchy() (§3; optionally with the two-phase parallel
 /// matching scheme simulated in-process when config.matching_pes > 1).
+/// A non-null \p warm_start restricts contraction to intra-block pairs of
+/// that assignment (the repartitioning coarsening policy).
 class SequentialCoarsener final : public Coarsener {
  public:
-  SequentialCoarsener(const Config& config, Rng rng)
-      : config_(config), rng_(rng) {}
+  SequentialCoarsener(const Config& config, Rng rng,
+                      const Partition* warm_start = nullptr)
+      : config_(config), rng_(rng), warm_start_(warm_start) {}
 
   [[nodiscard]] Hierarchy coarsen(const StaticGraph& graph) override;
 
  private:
   const Config& config_;
   Rng rng_;
+  const Partition* warm_start_;
 };
 
 /// Wraps initial_partition(): best of config.init_repeats attempts (§4).
@@ -135,6 +146,29 @@ class SequentialInitialPartitioner final : public InitialPartitioner {
  private:
   const Config& config_;
   Rng rng_;
+};
+
+/// Warm-start initial "partitioner" (repartitioning): seeds the coarsest
+/// partition from an existing finest-level assignment projected through
+/// the hierarchy. Requires a hierarchy built with the matching warm_start
+/// coarsening policy, which guarantees every coarse node is pure (all of
+/// its fine nodes share one block). Deterministic and communication-free,
+/// so the SPMD path runs it replicated without leaving lockstep.
+class WarmStartInitialPartitioner final : public InitialPartitioner {
+ public:
+  /// \p current is the finest-level assignment (borrowed; must outlive
+  /// the run); \p k the number of blocks.
+  WarmStartInitialPartitioner(const Partition& current, BlockID k)
+      : current_(&current), k_(k) {}
+
+  void observe_hierarchy(const Hierarchy& hierarchy) override;
+
+  [[nodiscard]] Partition partition(const StaticGraph& coarsest) override;
+
+ private:
+  const Partition* current_;
+  BlockID k_;
+  std::vector<BlockID> projected_;  ///< coarsest-level assignment
 };
 
 /// Wraps pairwise_refine() per level plus the rebalancing insurance loop.

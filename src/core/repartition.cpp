@@ -1,72 +1,14 @@
+/// \file repartition.cpp
+/// \brief Deprecated repartitioning wrapper over the unified Partitioner
+/// API (see core/partitioner.hpp).
 #include "core/repartition.hpp"
-
-#include <algorithm>
-#include <cassert>
-
-#include "graph/metrics.hpp"
-#include "refinement/pairwise_refiner.hpp"
-#include "util/random.hpp"
-#include "util/timer.hpp"
 
 namespace kappa {
 
 RepartitionResult repartition(const StaticGraph& graph,
                               const Partition& current,
                               const Config& config) {
-  assert(current.k() == config.k);
-  Timer timer;
-  Rng rng(config.seed);
-
-  RepartitionResult result;
-  result.initial_cut = edge_cut(graph, current);
-  Partition partition = current;
-
-  const NodeWeight bound =
-      max_block_weight_bound(graph, config.k, config.eps);
-
-  PairwiseRefinerOptions refine;
-  refine.fm.queue_selection = config.queue_selection;
-  refine.fm.patience_alpha = config.fm_alpha;
-  refine.fm.max_block_weight = bound;
-  refine.bfs_depth = config.bfs_depth;
-  refine.local_iterations = config.local_iterations;
-  refine.max_global_iterations = config.max_global_iterations;
-  refine.stop_no_change = config.stop_no_change;
-  refine.num_threads = config.num_threads;
-  refine.duplicate_search = config.duplicate_search;
-  refine.use_flow = config.use_flow_refinement;
-  Rng refine_rng = rng.fork(1);
-  (void)pairwise_refine(graph, partition, refine, refine_rng);
-
-  // Same rebalancing insurance as the full pipeline.
-  for (int attempt = 0;
-       attempt < 24 && !is_balanced(graph, partition, config.eps);
-       ++attempt) {
-    PairwiseRefinerOptions rebalance;
-    rebalance.fm.queue_selection = QueueSelection::kMaxLoad;
-    rebalance.fm.patience_alpha = std::max(config.fm_alpha, 0.25);
-    // Same drainage trick as kappa_partition(): late attempts target the
-    // eps = 0 bound so interior blocks keep a gradient.
-    rebalance.fm.max_block_weight =
-        attempt < 8 ? bound : max_block_weight_bound(graph, config.k, 0.0);
-    rebalance.bfs_depth =
-        std::min(64, std::max(config.bfs_depth, 5) * (1 + attempt / 2));
-    rebalance.local_iterations = 1;
-    rebalance.max_global_iterations = 2;
-    rebalance.num_threads = config.num_threads;
-    Rng rebalance_rng = rng.fork(100 + attempt);
-    (void)pairwise_refine(graph, partition, rebalance, rebalance_rng);
-  }
-
-  result.cut = edge_cut(graph, partition);
-  result.balance = balance(graph, partition);
-  result.balanced = is_balanced(graph, partition, config.eps);
-  for (NodeID u = 0; u < graph.num_nodes(); ++u) {
-    if (partition.block(u) != current.block(u)) ++result.migrated_nodes;
-  }
-  result.partition = std::move(partition);
-  result.total_time = timer.elapsed_s();
-  return result;
+  return Partitioner(Context::sequential(config)).repartition(graph, current);
 }
 
 }  // namespace kappa

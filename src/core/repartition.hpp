@@ -1,34 +1,29 @@
 /// \file repartition.hpp
-/// \brief Repartitioning: improve an existing partition in place (§8
-/// names repartitioning as a planned generalization of KaPPa).
+/// \brief Legacy free-function entry point for repartitioning.
 ///
-/// In adaptive simulations the mesh changes between time steps; a full
-/// from-scratch partition would migrate almost every node, which costs
-/// more than it saves. Repartitioning instead runs KaPPa's pairwise
-/// refinement (plus the rebalancing rule) directly on the current
-/// assignment: the cut improves, feasibility is restored, and — the point
-/// of the exercise — only nodes near block boundaries migrate.
+/// \deprecated The public API is core/partitioner.hpp:
+/// Partitioner::repartition() runs the warm-started multilevel pipeline
+/// in the chosen execution context (sequential or SPMD). The free
+/// function below is a thin wrapper kept for source compatibility; it
+/// produces bit-identical results to the sequential Partitioner on the
+/// same config and seed.
 #pragma once
 
 #include "core/config.hpp"
+#include "core/partitioner.hpp"
 #include "graph/partition.hpp"
 #include "graph/static_graph.hpp"
 
 namespace kappa {
 
-/// Result of a repartitioning run.
-struct RepartitionResult {
-  Partition partition;
-  EdgeWeight cut = 0;
-  EdgeWeight initial_cut = 0;  ///< cut of the input partition
-  double balance = 1.0;
-  bool balanced = false;
-  NodeID migrated_nodes = 0;  ///< nodes whose block changed
-  double total_time = 0.0;
-};
+/// \deprecated Former name of PartitionResult restricted to the
+/// repartitioning fields.
+using RepartitionResult = PartitionResult;
 
-/// Refines \p current (must have k = config.k blocks) without
-/// re-coarsening. Uses the refinement knobs of \p config.
+/// Improves \p current (must have k = config.k blocks) in-process.
+/// \deprecated Use Partitioner(Context::sequential(config)).repartition().
+[[deprecated(
+    "use Partitioner(Context::sequential(config)).repartition()")]]
 [[nodiscard]] RepartitionResult repartition(const StaticGraph& graph,
                                             const Partition& current,
                                             const Config& config);

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "graph/subgraph.hpp"
+#include "matching/tentative_match.hpp"
 
 namespace kappa {
 
@@ -41,27 +42,10 @@ std::vector<NodeID> parallel_matching(const StaticGraph& graph,
   if (stats != nullptr) stats->local_pairs = matching_size(partner);
 
   // Rating of the locally matched edge at each node (0 if unmatched).
-  std::vector<EdgeWeight> out;
-  if (options.rating == EdgeRating::kInnerOuter) {
-    out.resize(n);
-    for (NodeID u = 0; u < n; ++u) out[u] = graph.weighted_degree(u);
-  }
-  auto arc_rating = [&](NodeID u, NodeID v, EdgeWeight w) {
-    const EdgeWeight ou = out.empty() ? 0 : out[u];
-    const EdgeWeight ov = out.empty() ? 0 : out[v];
-    return rate_edge(options.rating, w, graph.node_weight(u),
-                     graph.node_weight(v), ou, ov);
-  };
+  const TentativeMatchRater rater(graph, options);
   std::vector<double> local_match_rating(n, 0.0);
   for (NodeID u = 0; u < n; ++u) {
-    const NodeID v = partner[u];
-    if (v == u) continue;
-    for (EdgeID e = graph.first_arc(u); e < graph.last_arc(u); ++e) {
-      if (graph.arc_target(e) == v) {
-        local_match_rating[u] = arc_rating(u, v, graph.arc_weight(e));
-        break;
-      }
-    }
+    local_match_rating[u] = rater.match_rating(u, partner[u]);
   }
 
   // --- Phase 2: gap graph (§3.3). ---
@@ -71,14 +55,9 @@ std::vector<NodeID> parallel_matching(const StaticGraph& graph,
       const NodeID v = graph.arc_target(e);
       if (u >= v || node_to_pe[u] == node_to_pe[v]) continue;
       const EdgeWeight w = graph.arc_weight(e);
-      if (options.max_pair_weight !=
-              std::numeric_limits<NodeWeight>::max() &&
-          graph.node_weight(u) + graph.node_weight(v) >
-              options.max_pair_weight) {
-        continue;
-      }
-      const double r = arc_rating(u, v, w);
-      if (r > local_match_rating[u] && r > local_match_rating[v]) {
+      double r = 0.0;
+      if (rater.admits_gap_edge(u, v, w, local_match_rating[u],
+                                local_match_rating[v], &r)) {
         gap.push_back({u, v, w, r});
       }
     }

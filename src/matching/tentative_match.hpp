@@ -1,0 +1,50 @@
+/// \file tentative_match.hpp
+/// \brief Shared tentative-match rating and the §3.3 gap condition.
+///
+/// The two-phase parallel matching scheme exists twice: simulated
+/// in-process (matching/parallel_match.cpp) and genuinely SPMD over
+/// channels (parallel/spmd_phases.cpp). Both build the gap graph the same
+/// way — a cross-PE edge qualifies iff its rating beats the *tentative
+/// local match* at both endpoints — so the rating of a node's tentative
+/// match and the gap condition live here, in one body.
+#pragma once
+
+#include <vector>
+
+#include "graph/static_graph.hpp"
+#include "matching/matchers.hpp"
+#include "util/types.hpp"
+
+namespace kappa {
+
+/// Rates arcs of one contraction level under MatchingOptions.rating
+/// (precomputing the weighted degrees the innerOuter rating needs) and
+/// evaluates the §3.3 gap condition.
+class TentativeMatchRater {
+ public:
+  TentativeMatchRater(const StaticGraph& graph, const MatchingOptions& options);
+
+  /// Rating of the arc {u, v} of weight \p w.
+  [[nodiscard]] double rate_arc(NodeID u, NodeID v, EdgeWeight w) const;
+
+  /// Rating of \p u's tentative matched edge {u, partner_u}; 0.0 when u
+  /// is unmatched (partner_u == u). Scans u's arcs for the partner.
+  [[nodiscard]] double match_rating(NodeID u, NodeID partner_u) const;
+
+  /// The §3.3 gap condition for a cross-PE edge {u, v} of weight \p w:
+  /// the edge enters the gap graph iff the pair weight bound admits the
+  /// contraction and the edge rating strictly beats the tentative match
+  /// ratings at both endpoints (\p rating_u, \p rating_v — possibly
+  /// received over the wire). On admission the edge rating is written to
+  /// *\p rating_out.
+  [[nodiscard]] bool admits_gap_edge(NodeID u, NodeID v, EdgeWeight w,
+                                     double rating_u, double rating_v,
+                                     double* rating_out) const;
+
+ private:
+  const StaticGraph* graph_;
+  const MatchingOptions* options_;
+  std::vector<EdgeWeight> out_;  ///< weighted degrees; innerOuter only
+};
+
+}  // namespace kappa

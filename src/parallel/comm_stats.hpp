@@ -1,0 +1,39 @@
+/// \file comm_stats.hpp
+/// \brief Per-PE communication counters of the SPMD runtime.
+///
+/// A standalone header so that result types (core/partitioner.hpp) can
+/// carry communication statistics without pulling in the whole thread
+/// runtime — entry points forward-declare PERuntime instead.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace kappa {
+
+/// Per-PE communication statistics. The wire model is uniform: every
+/// point-to-point send and every collective *contribution* (one per
+/// participating PE, even when its payload is empty) counts one message
+/// plus the words it puts on the wire.
+struct CommStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t words_sent = 0;
+  std::uint64_t barriers = 0;
+};
+
+/// Aggregates per-rank counters into one total: messages and words add
+/// up; barriers are synchronization points every rank passes together, so
+/// the aggregate is the maximum, not the sum.
+[[nodiscard]] inline CommStats total_comm_stats(
+    const std::vector<CommStats>& per_rank) {
+  CommStats total;
+  for (const CommStats& s : per_rank) {
+    total.messages_sent += s.messages_sent;
+    total.words_sent += s.words_sent;
+    total.barriers = std::max(total.barriers, s.barriers);
+  }
+  return total;
+}
+
+}  // namespace kappa

@@ -45,7 +45,7 @@ DistributedColoringResult distributed_color_quotient_edges(
   std::atomic<std::size_t> round_count{0};
 
   PERuntime runtime(static_cast<int>(k), seed);
-  result.comm = runtime.run([&](PEContext& pe) {
+  result.comm = total_comm_stats(runtime.run([&](PEContext& pe) {
     const BlockID self = static_cast<BlockID>(pe.rank());
     const std::size_t words = bitmap_words(k);
 
@@ -143,7 +143,7 @@ DistributedColoringResult distributed_color_quotient_edges(
     if (pe.rank() == 0) {
       round_count.store(rounds, std::memory_order_relaxed);
     }
-  });
+  }));
 
   result.rounds = round_count.load();
   for (std::size_t e = 0; e < num_edges; ++e) {

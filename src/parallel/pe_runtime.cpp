@@ -88,7 +88,8 @@ PERuntime::PERuntime(int num_pes, std::uint64_t seed)
       collective_scratch_(num_pes, 0),
       vector_scratch_(num_pes) {}
 
-CommStats PERuntime::run(const std::function<void(PEContext&)>& program) {
+std::vector<CommStats> PERuntime::run(
+    const std::function<void(PEContext&)>& program) {
   std::vector<CommStats> stats(num_pes_);
   std::vector<std::thread> threads;
   threads.reserve(num_pes_);
@@ -100,14 +101,7 @@ CommStats PERuntime::run(const std::function<void(PEContext&)>& program) {
     });
   }
   for (auto& thread : threads) thread.join();
-
-  CommStats total;
-  for (const CommStats& s : stats) {
-    total.messages_sent += s.messages_sent;
-    total.words_sent += s.words_sent;
-    total.barriers = std::max(total.barriers, s.barriers);
-  }
-  return total;
+  return stats;
 }
 
 }  // namespace kappa

@@ -18,21 +18,12 @@
 #include <vector>
 
 #include "parallel/channel.hpp"
+#include "parallel/comm_stats.hpp"
 #include "util/random.hpp"
 
 namespace kappa {
 
 class PERuntime;
-
-/// Per-PE communication statistics. The wire model is uniform: every
-/// point-to-point send and every collective *contribution* (one per
-/// participating PE, even when its payload is empty) counts one message
-/// plus the words it puts on the wire.
-struct CommStats {
-  std::uint64_t messages_sent = 0;
-  std::uint64_t words_sent = 0;
-  std::uint64_t barriers = 0;
-};
 
 /// Handle a PE's code receives: identifies the PE and mediates all
 /// communication. Mirrors the shape of an MPI communicator + rank.
@@ -100,8 +91,9 @@ class PERuntime {
   explicit PERuntime(int num_pes, std::uint64_t seed = 1);
 
   /// Executes \p program on every PE (one thread each) and joins.
-  /// Returns the aggregated communication statistics.
-  CommStats run(const std::function<void(PEContext&)>& program);
+  /// Returns the per-rank communication statistics, indexed by rank
+  /// (aggregate with total_comm_stats()).
+  std::vector<CommStats> run(const std::function<void(PEContext&)>& program);
 
   [[nodiscard]] int num_pes() const { return num_pes_; }
 

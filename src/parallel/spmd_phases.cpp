@@ -10,6 +10,7 @@
 
 #include "graph/metrics.hpp"
 #include "graph/quotient_graph.hpp"
+#include "matching/tentative_match.hpp"
 #include "refinement/edge_coloring.hpp"
 
 namespace kappa {
@@ -33,12 +34,15 @@ std::uint64_t pack_pair(NodeID u, NodeID v) {
 // -------------------------------------------------------- SPMD coarsening ----
 
 Hierarchy SpmdCoarsener::coarsen(const StaticGraph& graph) {
-  // The shared level loop makes all stop rules and the pair-weight bound
-  // common with the sequential coarsener; only the matcher differs. All
-  // loop decisions depend on replicated state, so every PE executes the
-  // same number of levels (and hence the same collectives).
+  // The shared level loop makes all stop rules, the pair-weight bound and
+  // the warm-start filter common with the sequential coarsener; only the
+  // matcher differs. All loop decisions depend on replicated state, so
+  // every PE executes the same number of levels (and hence the same
+  // collectives).
+  CoarseningOptions options = coarsening_options(graph, config_);
+  options.warm_start = warm_start_;
   return build_hierarchy_with(
-      graph, coarsening_options(graph, config_),
+      graph, options,
       [this](const StaticGraph& current, const MatchingOptions& match_options,
              std::size_t level) {
         return spmd_match(current, match_options, level);
@@ -92,28 +96,11 @@ std::vector<NodeID> SpmdCoarsener::spmd_match(const StaticGraph& current,
 
   // Rating of the tentative local match at each of my nodes (0 if
   // unmatched). Remote entries are filled by the exchange below.
-  std::vector<EdgeWeight> out;
-  if (options.rating == EdgeRating::kInnerOuter) {
-    out.resize(n);
-    for (NodeID u = 0; u < n; ++u) out[u] = current.weighted_degree(u);
-  }
-  auto arc_rating = [&](NodeID u, NodeID v, EdgeWeight w) {
-    const EdgeWeight ou = out.empty() ? 0 : out[u];
-    const EdgeWeight ov = out.empty() ? 0 : out[v];
-    return rate_edge(options.rating, w, current.node_weight(u),
-                     current.node_weight(v), ou, ov);
-  };
+  const TentativeMatchRater rater(current, options);
   std::vector<double> match_rating(n, 0.0);
   for (const BlockID s : my_shards) {
     for (const NodeID u : dist.shard(s).nodes) {
-      const NodeID v = partner[u];
-      if (v == u) continue;
-      for (EdgeID e = current.first_arc(u); e < current.last_arc(u); ++e) {
-        if (current.arc_target(e) == v) {
-          match_rating[u] = arc_rating(u, v, current.arc_weight(e));
-          break;
-        }
-      }
+      match_rating[u] = rater.match_rating(u, partner[u]);
     }
   }
 
@@ -174,13 +161,9 @@ std::vector<NodeID> SpmdCoarsener::spmd_match(const StaticGraph& current,
       const NodeID v = arc.v;
       const bool v_mine = dist.owner_of_node(v, p) == rank;
       if (v_mine && u > v) continue;  // the mirror arc covers it
-      if (options.max_pair_weight != std::numeric_limits<NodeWeight>::max() &&
-          current.node_weight(u) + current.node_weight(v) >
-              options.max_pair_weight) {
-        continue;
-      }
-      const double r = arc_rating(u, v, arc.weight);
-      if (r > match_rating[u] && r > match_rating[v]) {
+      double r = 0.0;
+      if (rater.admits_gap_edge(u, v, arc.weight, match_rating[u],
+                                match_rating[v], &r)) {
         cands.push_back({u, v, r});
       }
     }

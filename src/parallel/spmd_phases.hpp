@@ -47,8 +47,16 @@ struct SpmdCoarseningStats {
 
 class SpmdCoarsener final : public Coarsener {
  public:
-  SpmdCoarsener(const Config& config, PEContext& pe)
-      : config_(config), pe_(pe), rng_(Rng(config.seed).fork(1)) {}
+  /// A non-null \p warm_start restricts contraction to intra-block pairs
+  /// of that assignment (the repartitioning coarsening policy); the
+  /// filter runs replicated inside the shared hierarchy builder, so the
+  /// PEs stay in lockstep.
+  SpmdCoarsener(const Config& config, PEContext& pe,
+                const Partition* warm_start = nullptr)
+      : config_(config),
+        pe_(pe),
+        rng_(Rng(config.seed).fork(1)),
+        warm_start_(warm_start) {}
 
   [[nodiscard]] Hierarchy coarsen(const StaticGraph& graph) override;
 
@@ -66,6 +74,7 @@ class SpmdCoarsener final : public Coarsener {
   const Config& config_;
   PEContext& pe_;
   Rng rng_;
+  const Partition* warm_start_;
   SpmdCoarseningStats stats_;
 };
 

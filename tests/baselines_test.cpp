@@ -4,7 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "baselines/baselines.hpp"
-#include "core/kappa.hpp"
+#include "core/partitioner.hpp"
 #include "generators/generators.hpp"
 #include "graph/metrics.hpp"
 #include "graph/validation.hpp"
@@ -72,7 +72,8 @@ TEST(BaselineOrdering, KappaBeatsKmetisBeatsParmetisOnMesh) {
   for (std::uint64_t seed = 1; seed <= 3; ++seed) {
     Config config = Config::preset(Preset::kStrong, k);
     config.seed = seed;
-    kappa_cut += static_cast<double>(kappa_partition(g, config).cut);
+    kappa_cut += static_cast<double>(
+        Partitioner(Context::sequential(config)).partition(g).cut);
     kmetis_cut += static_cast<double>(kmetis_partition(g, k, 0.03, seed).cut);
     parmetis_cut +=
         static_cast<double>(parmetis_partition(g, k, 0.03, seed).cut);

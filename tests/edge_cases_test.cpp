@@ -6,7 +6,7 @@
 
 #include <algorithm>
 
-#include "core/kappa.hpp"
+#include "core/partitioner.hpp"
 #include "generators/generators.hpp"
 #include "graph/graph_builder.hpp"
 #include "graph/metrics.hpp"
@@ -30,7 +30,8 @@ TEST(EdgeCases, StarGraphPartition) {
   const StaticGraph g = builder.finalize();
   Config config = Config::preset(Preset::kFast, 4);
   config.seed = 1;
-  const KappaResult result = kappa_partition(g, config);
+  const PartitionResult result =
+      Partitioner(Context::sequential(config)).partition(g);
   EXPECT_EQ(validate_partition(g, result.partition), "");
   EXPECT_TRUE(result.balanced);
   // Any balanced 4-way partition of a star cuts ~75 of 100 leaves.
@@ -45,7 +46,8 @@ TEST(EdgeCases, CompleteGraphPartition) {
   const StaticGraph g = builder.finalize();
   Config config = Config::preset(Preset::kFast, 4);
   config.seed = 2;
-  const KappaResult result = kappa_partition(g, config);
+  const PartitionResult result =
+      Partitioner(Context::sequential(config)).partition(g);
   EXPECT_EQ(validate_partition(g, result.partition), "");
   EXPECT_TRUE(result.balanced);
   // K32 into 4 blocks: the even 8/8/8/8 split cuts 496 - 4*C(8,2) = 384,
@@ -62,7 +64,8 @@ TEST(EdgeCases, PathGraphIsCutMinimally) {
   const StaticGraph g = builder.finalize();
   Config config = Config::preset(Preset::kStrong, 4);
   config.seed = 3;
-  const KappaResult result = kappa_partition(g, config);
+  const PartitionResult result =
+      Partitioner(Context::sequential(config)).partition(g);
   EXPECT_TRUE(result.balanced);
   EXPECT_EQ(result.cut, 3);  // a path always admits the perfect split
 }
@@ -74,7 +77,8 @@ TEST(EdgeCases, GraphWithIsolatedNodes) {
   const StaticGraph g = builder.finalize();
   Config config = Config::preset(Preset::kFast, 4);
   config.seed = 4;
-  const KappaResult result = kappa_partition(g, config);
+  const PartitionResult result =
+      Partitioner(Context::sequential(config)).partition(g);
   EXPECT_EQ(validate_partition(g, result.partition), "");
   EXPECT_TRUE(result.balanced);
 }
@@ -83,7 +87,8 @@ TEST(EdgeCases, SingleBlockIsTrivial) {
   const StaticGraph g = grid_graph(8, 8);
   Config config = Config::preset(Preset::kFast, 1);
   config.seed = 1;
-  const KappaResult result = kappa_partition(g, config);
+  const PartitionResult result =
+      Partitioner(Context::sequential(config)).partition(g);
   EXPECT_EQ(result.cut, 0);
   EXPECT_NEAR(result.balance, 1.0, 1e-9);
 }
@@ -92,7 +97,8 @@ TEST(EdgeCases, KEqualsNumberOfNodes) {
   const StaticGraph g = grid_graph(4, 4);  // 16 nodes
   Config config = Config::preset(Preset::kFast, 16);
   config.seed = 5;
-  const KappaResult result = kappa_partition(g, config);
+  const PartitionResult result =
+      Partitioner(Context::sequential(config)).partition(g);
   EXPECT_EQ(validate_partition(g, result.partition), "");
   // Lmax = floor(1.03*1)+1 = 2, so blocks may pair up nodes: the best
   // such partition keeps a perfect matching internal (8 of 24 edges),
@@ -111,7 +117,8 @@ TEST(EdgeCases, HeavyNodeDominatesABlock) {
   const StaticGraph g = builder.finalize();
   Config config = Config::preset(Preset::kFast, 2);
   config.seed = 6;
-  const KappaResult result = kappa_partition(g, config);
+  const PartitionResult result =
+      Partitioner(Context::sequential(config)).partition(g);
   EXPECT_EQ(validate_partition(g, result.partition), "");
   EXPECT_TRUE(result.balanced) << result.balance;
 }
@@ -126,7 +133,8 @@ TEST(EdgeCases, ExtremeEdgeWeights) {
   const StaticGraph g = builder.finalize();
   Config config = Config::preset(Preset::kStrong, 4);
   config.seed = 7;
-  const KappaResult result = kappa_partition(g, config);
+  const PartitionResult result =
+      Partitioner(Context::sequential(config)).partition(g);
   EXPECT_TRUE(result.balanced);
   // The partitioner must cut only weight-1 edges: 4 cuts on the cycle.
   EXPECT_LE(result.cut, 4);

@@ -8,8 +8,7 @@
 #include <map>
 
 #include "coarsening/prepartition.hpp"
-#include "core/kappa.hpp"
-#include "core/repartition.hpp"
+#include "core/partitioner.hpp"
 #include "generators/generators.hpp"
 #include "graph/graph_builder.hpp"
 #include "graph/metrics.hpp"
@@ -241,8 +240,10 @@ TEST(FlowRefiner, FullPipelineWithFlowAtLeastAsGood) {
   plain.seed = 5;
   Config with_flow = plain;
   with_flow.use_flow_refinement = true;
-  const KappaResult a = kappa_partition(g, plain);
-  const KappaResult b = kappa_partition(g, with_flow);
+  const PartitionResult a =
+      Partitioner(Context::sequential(plain)).partition(g);
+  const PartitionResult b =
+      Partitioner(Context::sequential(with_flow)).partition(g);
   EXPECT_EQ(validate_partition(g, b.partition), "");
   EXPECT_TRUE(b.balanced);
   // Flow never hurts a pair, so the end result should not be notably
@@ -307,7 +308,8 @@ TEST(Repartition, RestoresQualityAfterPerturbation) {
   const StaticGraph g = make_instance("grid_m", 5);
   Config config = Config::preset(Preset::kFast, 8);
   config.seed = 3;
-  const KappaResult fresh = kappa_partition(g, config);
+  const PartitionResult fresh =
+      Partitioner(Context::sequential(config)).partition(g);
 
   // Perturb: move 5% random nodes to random blocks (a crude stand-in for
   // adaptive mesh changes).
@@ -321,7 +323,8 @@ TEST(Repartition, RestoresQualityAfterPerturbation) {
   const EdgeWeight perturbed_cut = edge_cut(g, perturbed);
   ASSERT_GT(perturbed_cut, fresh.cut);
 
-  const RepartitionResult result = repartition(g, perturbed, config);
+  const PartitionResult result =
+      Partitioner(Context::sequential(config)).repartition(g, perturbed);
   EXPECT_EQ(result.initial_cut, perturbed_cut);
   EXPECT_LT(result.cut, perturbed_cut);
   EXPECT_TRUE(result.balanced);
@@ -338,8 +341,10 @@ TEST(Repartition, NoOpOnAlreadyGoodPartition) {
   const StaticGraph g = make_instance("grid_s", 2);
   Config config = Config::preset(Preset::kStrong, 4);
   config.seed = 8;
-  const KappaResult fresh = kappa_partition(g, config);
-  const RepartitionResult result = repartition(g, fresh.partition, config);
+  const PartitionResult fresh =
+      Partitioner(Context::sequential(config)).partition(g);
+  const PartitionResult result =
+      Partitioner(Context::sequential(config)).repartition(g, fresh.partition);
   EXPECT_LE(result.cut, fresh.cut);
   EXPECT_TRUE(result.balanced);
 }
@@ -355,7 +360,8 @@ TEST(Repartition, FixesImbalanceOnly) {
   Partition p(g, std::move(assignment), 4);
   Config config = Config::preset(Preset::kFast, 4);
   ASSERT_FALSE(is_balanced(g, p, config.eps));
-  const RepartitionResult result = repartition(g, p, config);
+  const PartitionResult result =
+      Partitioner(Context::sequential(config)).repartition(g, p);
   EXPECT_TRUE(result.balanced) << "balance " << result.balance;
 }
 

@@ -1,0 +1,249 @@
+/// \file partitioner_api_test.cpp
+/// \brief Tests for the unified Context/Partitioner API: the legacy free
+/// functions are bit-identical thin wrappers, repartitioning runs through
+/// the phase interfaces (warm-started multilevel pipeline) in both
+/// execution contexts, and the SPMD repartitioner keeps the determinism
+/// contract of the from-scratch pipeline (fixed seed => identical
+/// partition and migration count for every PE count).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/kappa.hpp"
+#include "core/partitioner.hpp"
+#include "core/repartition.hpp"
+#include "generators/generators.hpp"
+#include "graph/metrics.hpp"
+#include "graph/validation.hpp"
+#include "parallel/pe_runtime.hpp"
+#include "util/random.hpp"
+
+// This suite deliberately exercises the deprecated wrappers to pin down
+// their equivalence with the Partitioner.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
+namespace kappa {
+namespace {
+
+/// Moves ~5% of the nodes to random blocks — the stand-in for an adaptive
+/// mesh step degrading an existing assignment.
+Partition perturb(const StaticGraph& g, const Partition& p, BlockID k,
+                  std::uint64_t seed) {
+  Partition perturbed = p;
+  Rng rng(seed);
+  for (NodeID i = 0; i < g.num_nodes() / 20; ++i) {
+    const NodeID u = static_cast<NodeID>(rng.bounded(g.num_nodes()));
+    const BlockID to = static_cast<BlockID>(rng.bounded(k));
+    if (perturbed.block(u) != to) perturbed.move(u, to, g.node_weight(u));
+  }
+  return perturbed;
+}
+
+void expect_same_partition(const Partition& a, const Partition& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  for (NodeID u = 0; u < a.num_nodes(); ++u) {
+    ASSERT_EQ(a.block(u), b.block(u)) << "node " << u;
+  }
+}
+
+// ----------------------------------------------------------- the Context ----
+
+TEST(Context, CarriesConfigAndRuntime) {
+  Config config = Config::preset(Preset::kFast, 4);
+  config.seed = 7;
+
+  const Context sequential = Context::sequential(config);
+  EXPECT_FALSE(sequential.is_spmd());
+  EXPECT_EQ(sequential.runtime(), nullptr);
+  EXPECT_EQ(sequential.config().k, 4u);
+  EXPECT_EQ(sequential.config().seed, 7u);
+
+  PERuntime runtime(2, config.seed);
+  const Context spmd = Context::spmd(config, runtime);
+  EXPECT_TRUE(spmd.is_spmd());
+  EXPECT_EQ(spmd.runtime(), &runtime);
+}
+
+// ------------------------------------------------------- legacy wrappers ----
+
+TEST(LegacyWrappers, KappaPartitionIsBitIdentical) {
+  const StaticGraph g = make_instance("rgg14", 4);
+  Config config = Config::preset(Preset::kFast, 8);
+  config.seed = 11;
+
+  const PartitionResult modern =
+      Partitioner(Context::sequential(config)).partition(g);
+  const KappaResult legacy = kappa_partition(g, config);
+  EXPECT_EQ(legacy.cut, modern.cut);
+  expect_same_partition(legacy.partition, modern.partition);
+}
+
+TEST(LegacyWrappers, KappaPartitionParallelIsBitIdentical) {
+  const StaticGraph g = make_instance("delaunay14", 4);
+  Config config = Config::preset(Preset::kMinimal, 4);
+  config.seed = 13;
+
+  PERuntime modern_runtime(2, config.seed);
+  const PartitionResult modern =
+      Partitioner(Context::spmd(config, modern_runtime)).partition(g);
+  PERuntime legacy_runtime(2, config.seed);
+  const KappaResult legacy =
+      kappa_partition_parallel(g, config, legacy_runtime);
+  EXPECT_EQ(legacy.cut, modern.cut);
+  EXPECT_EQ(legacy.num_pes, modern.num_pes);
+  expect_same_partition(legacy.partition, modern.partition);
+}
+
+TEST(LegacyWrappers, RepartitionIsBitIdentical) {
+  const StaticGraph g = make_instance("grid_m", 5);
+  Config config = Config::preset(Preset::kFast, 8);
+  config.seed = 3;
+  const PartitionResult fresh =
+      Partitioner(Context::sequential(config)).partition(g);
+  const Partition perturbed = perturb(g, fresh.partition, 8, 13);
+
+  // Repartition-via-phases (the Partitioner) against the legacy free
+  // function: the wrapper must reproduce the result bit for bit.
+  const PartitionResult modern =
+      Partitioner(Context::sequential(config)).repartition(g, perturbed);
+  const RepartitionResult legacy = repartition(g, perturbed, config);
+  EXPECT_EQ(legacy.cut, modern.cut);
+  EXPECT_EQ(legacy.initial_cut, modern.initial_cut);
+  EXPECT_EQ(legacy.migrated_nodes, modern.migrated_nodes);
+  expect_same_partition(legacy.partition, modern.partition);
+}
+
+// -------------------------------------- repartitioning through the phases ----
+
+TEST(PartitionerRepartition, RunsTheMultilevelPipeline) {
+  const StaticGraph g = make_instance("grid_m", 5);
+  Config config = Config::preset(Preset::kFast, 8);
+  config.seed = 3;
+  const Partitioner partitioner(Context::sequential(config));
+  const PartitionResult fresh = partitioner.partition(g);
+  const Partition perturbed = perturb(g, fresh.partition, 8, 13);
+  const EdgeWeight perturbed_cut = edge_cut(g, perturbed);
+
+  const PartitionResult result = partitioner.repartition(g, perturbed);
+  EXPECT_EQ(validate_partition(g, result.partition), "");
+  EXPECT_EQ(result.initial_cut, perturbed_cut);
+  EXPECT_LT(result.cut, perturbed_cut);
+  EXPECT_TRUE(result.balanced) << "balance " << result.balance;
+  // Warm starts now coarsen too: the hierarchy shape is reported like on
+  // any other run.
+  EXPECT_GE(result.hierarchy_levels, 1u);
+  EXPECT_GT(result.coarsest_nodes, 0u);
+}
+
+TEST(PartitionerRepartition, MigratesStrictlyLessThanFromScratch) {
+  const StaticGraph g = make_instance("rgg14", 9);
+  Config config = Config::preset(Preset::kFast, 8);
+  config.seed = 5;
+  const Partitioner partitioner(Context::sequential(config));
+  const PartitionResult fresh = partitioner.partition(g);
+  const Partition perturbed = perturb(g, fresh.partition, 8, 21);
+
+  // A from-scratch run on the perturbed instance: migration is the
+  // number of nodes whose block differs from the input assignment.
+  Config rerun = config;
+  rerun.seed = 6;
+  const PartitionResult scratch =
+      Partitioner(Context::sequential(rerun)).partition(g);
+  NodeID scratch_migration = 0;
+  for (NodeID u = 0; u < g.num_nodes(); ++u) {
+    if (scratch.partition.block(u) != perturbed.block(u)) ++scratch_migration;
+  }
+
+  const PartitionResult result = partitioner.repartition(g, perturbed);
+  EXPECT_LT(result.migrated_nodes, scratch_migration);
+}
+
+// ------------------------------------------------------ SPMD repartition ----
+
+TEST(SpmdRepartition, ImprovesCutAndRestoresFeasibility) {
+  const StaticGraph g = make_instance("rgg14", 7);
+  Config config = Config::preset(Preset::kFast, 8);
+  config.seed = 2;
+  const PartitionResult fresh =
+      Partitioner(Context::sequential(config)).partition(g);
+  const Partition perturbed = perturb(g, fresh.partition, 8, 17);
+  const EdgeWeight perturbed_cut = edge_cut(g, perturbed);
+
+  PERuntime runtime(4, config.seed);
+  const PartitionResult result =
+      Partitioner(Context::spmd(config, runtime)).repartition(g, perturbed);
+  EXPECT_EQ(validate_partition(g, result.partition), "");
+  EXPECT_EQ(result.initial_cut, perturbed_cut);
+  EXPECT_LT(result.cut, perturbed_cut);
+  EXPECT_TRUE(result.balanced) << "balance " << result.balance;
+  EXPECT_EQ(result.num_pes, 4);
+  ASSERT_EQ(result.comm_per_pe.size(), 4u);
+  EXPECT_GT(result.comm.barriers, 0u);
+}
+
+TEST(SpmdRepartition, IsPInvariantWithMigrationAccounting) {
+  // The determinism contract of spmd_pipeline_test, extended to the
+  // warm-started pipeline: a fixed seed yields the identical partition
+  // *and* the identical migration count for every PE count; the per-PE
+  // migration split always sums to the total.
+  const StaticGraph g = make_instance("delaunay14", 11);
+  Config config = Config::preset(Preset::kMinimal, 8);
+  config.seed = 42;
+  const PartitionResult fresh =
+      Partitioner(Context::sequential(config)).partition(g);
+  const Partition perturbed = perturb(g, fresh.partition, 8, 19);
+
+  PartitionResult reference;
+  for (const int p : {1, 2, 4}) {
+    PERuntime runtime(p, config.seed);
+    const PartitionResult result =
+        Partitioner(Context::spmd(config, runtime)).repartition(g, perturbed);
+    EXPECT_EQ(validate_partition(g, result.partition), "");
+    ASSERT_EQ(result.migrated_per_pe.size(), static_cast<std::size_t>(p));
+    ASSERT_EQ(result.migrated_edges_per_pe.size(),
+              static_cast<std::size_t>(p));
+    const NodeID split_total = std::accumulate(
+        result.migrated_per_pe.begin(), result.migrated_per_pe.end(),
+        NodeID{0});
+    EXPECT_EQ(split_total, result.migrated_nodes) << "p=" << p;
+    if (p == 1) {
+      reference = result;
+      continue;
+    }
+    EXPECT_EQ(result.cut, reference.cut) << "p=" << p;
+    EXPECT_EQ(result.migrated_nodes, reference.migrated_nodes) << "p=" << p;
+    for (NodeID u = 0; u < g.num_nodes(); ++u) {
+      ASSERT_EQ(result.partition.block(u), reference.partition.block(u))
+          << "p=" << p << " node " << u;
+    }
+  }
+}
+
+TEST(SpmdRepartition, MigratesStrictlyLessThanSpmdFromScratch) {
+  const StaticGraph g = make_instance("rgg14", 3);
+  Config config = Config::preset(Preset::kMinimal, 8);
+  config.seed = 8;
+  const PartitionResult fresh =
+      Partitioner(Context::sequential(config)).partition(g);
+  const Partition perturbed = perturb(g, fresh.partition, 8, 23);
+
+  Config rerun = config;
+  rerun.seed = 9;
+  PERuntime scratch_runtime(2, rerun.seed);
+  const PartitionResult scratch =
+      Partitioner(Context::spmd(rerun, scratch_runtime)).partition(g);
+  NodeID scratch_migration = 0;
+  for (NodeID u = 0; u < g.num_nodes(); ++u) {
+    if (scratch.partition.block(u) != perturbed.block(u)) ++scratch_migration;
+  }
+
+  PERuntime runtime(2, config.seed);
+  const PartitionResult result =
+      Partitioner(Context::spmd(config, runtime)).repartition(g, perturbed);
+  EXPECT_LT(result.migrated_nodes, scratch_migration);
+}
+
+}  // namespace
+}  // namespace kappa

@@ -121,10 +121,11 @@ TEST(PERuntime, AllGatherVectorsRepeatsStayConsistent) {
 
 TEST(PERuntime, AllGatherVectorsCountsTraffic) {
   PERuntime runtime(2);
-  const CommStats stats = runtime.run([&](PEContext& pe) {
+  const std::vector<CommStats> per_rank = runtime.run([&](PEContext& pe) {
     (void)pe.all_gather_vectors({1, 2, 3});
   });
   // Every PE puts its 3-word contribution on the wire.
+  const CommStats stats = total_comm_stats(per_rank);
   EXPECT_EQ(stats.words_sent, 6u);
   EXPECT_EQ(stats.messages_sent, 2u);
 }
@@ -164,7 +165,7 @@ TEST(PERuntime, RngStreamsDifferAcrossPEsButReplayDeterministically) {
 
 TEST(PERuntime, CommStatsCountTraffic) {
   PERuntime runtime(3);
-  const CommStats stats = runtime.run([&](PEContext& pe) {
+  const std::vector<CommStats> per_rank = runtime.run([&](PEContext& pe) {
     if (pe.rank() == 0) {
       pe.send(1, {1, 2, 3});
       pe.send(2, {4});
@@ -172,6 +173,16 @@ TEST(PERuntime, CommStatsCountTraffic) {
     pe.barrier();
     if (pe.rank() != 0) (void)pe.try_receive(-1);
   });
+  // run() surfaces the counters per rank: all traffic of this program
+  // originates at rank 0, but every rank passes the barrier.
+  ASSERT_EQ(per_rank.size(), 3u);
+  EXPECT_EQ(per_rank[0].messages_sent, 2u);
+  EXPECT_EQ(per_rank[0].words_sent, 4u);
+  EXPECT_EQ(per_rank[1].messages_sent, 0u);
+  EXPECT_EQ(per_rank[2].messages_sent, 0u);
+  for (const CommStats& s : per_rank) EXPECT_GE(s.barriers, 1u);
+
+  const CommStats stats = total_comm_stats(per_rank);
   EXPECT_EQ(stats.messages_sent, 2u);
   EXPECT_EQ(stats.words_sent, 4u);
   EXPECT_GE(stats.barriers, 1u);

@@ -5,7 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "coarsening/hierarchy.hpp"
-#include "core/kappa.hpp"
+#include "core/partitioner.hpp"
 #include "generators/generators.hpp"
 #include "graph/graph_builder.hpp"
 #include "graph/metrics.hpp"
@@ -67,7 +67,8 @@ TEST_P(PipelineProperty, ValidBalancedPartition) {
   const StaticGraph g = make_instance(instance, 11);
   Config config = Config::preset(preset, k);
   config.seed = 5;
-  const KappaResult result = kappa_partition(g, config);
+  const PartitionResult result =
+      Partitioner(Context::sequential(config)).partition(g);
 
   EXPECT_EQ(validate_partition(g, result.partition), "");
   EXPECT_EQ(result.partition.k(), k);
@@ -92,8 +93,10 @@ TEST(Pipeline, DeterministicUnderFixedSeed) {
   const StaticGraph g = make_instance("delaunay14", 2);
   Config config = Config::preset(Preset::kFast, 8);
   config.seed = 77;
-  const KappaResult a = kappa_partition(g, config);
-  const KappaResult b = kappa_partition(g, config);
+  const PartitionResult a =
+      Partitioner(Context::sequential(config)).partition(g);
+  const PartitionResult b =
+      Partitioner(Context::sequential(config)).partition(g);
   EXPECT_EQ(a.cut, b.cut);
   for (NodeID u = 0; u < g.num_nodes(); ++u) {
     ASSERT_EQ(a.partition.block(u), b.partition.block(u));
@@ -104,9 +107,11 @@ TEST(Pipeline, SeedsChangeTheResult) {
   const StaticGraph g = make_instance("delaunay14", 2);
   Config config = Config::preset(Preset::kFast, 8);
   config.seed = 1;
-  const KappaResult a = kappa_partition(g, config);
+  const PartitionResult a =
+      Partitioner(Context::sequential(config)).partition(g);
   config.seed = 2;
-  const KappaResult b = kappa_partition(g, config);
+  const PartitionResult b =
+      Partitioner(Context::sequential(config)).partition(g);
   bool any_difference = a.cut != b.cut;
   for (NodeID u = 0; u < g.num_nodes() && !any_difference; ++u) {
     any_difference = a.partition.block(u) != b.partition.block(u);
@@ -122,7 +127,8 @@ TEST_P(EpsilonProperty, RespectsImbalanceBound) {
   const StaticGraph g = make_instance("grid_s", 4);
   Config config = Config::preset(Preset::kFast, 8, eps);
   config.seed = 3;
-  const KappaResult result = kappa_partition(g, config);
+  const PartitionResult result =
+      Partitioner(Context::sequential(config)).partition(g);
   EXPECT_TRUE(is_balanced(g, result.partition, eps))
       << "eps=" << eps << " balance=" << result.balance;
 }
@@ -141,8 +147,10 @@ TEST(Pipeline, StrongNotWorseThanMinimalOnAverage) {
     minimal.seed = seed;
     Config strong = Config::preset(Preset::kStrong, 8);
     strong.seed = seed;
-    minimal_total += static_cast<double>(kappa_partition(g, minimal).cut);
-    strong_total += static_cast<double>(kappa_partition(g, strong).cut);
+    minimal_total += static_cast<double>(
+        Partitioner(Context::sequential(minimal)).partition(g).cut);
+    strong_total += static_cast<double>(
+        Partitioner(Context::sequential(strong)).partition(g).cut);
   }
   EXPECT_LT(strong_total, minimal_total);
 }
@@ -152,7 +160,8 @@ TEST(Pipeline, ThreadedRefinementIsValid) {
   Config config = Config::preset(Preset::kFast, 16);
   config.num_threads = 4;
   config.seed = 9;
-  const KappaResult result = kappa_partition(g, config);
+  const PartitionResult result =
+      Partitioner(Context::sequential(config)).partition(g);
   EXPECT_EQ(validate_partition(g, result.partition), "");
   EXPECT_TRUE(result.balanced);
 }
@@ -172,7 +181,8 @@ TEST(Pipeline, HandlesDisconnectedGraph) {
   const StaticGraph g = builder.finalize();
   Config config = Config::preset(Preset::kFast, 4);
   config.seed = 1;
-  const KappaResult result = kappa_partition(g, config);
+  const PartitionResult result =
+      Partitioner(Context::sequential(config)).partition(g);
   EXPECT_EQ(validate_partition(g, result.partition), "");
   EXPECT_TRUE(result.balanced);
 }
@@ -186,7 +196,8 @@ TEST(Pipeline, HandlesTinyGraphs) {
   const StaticGraph g = builder.finalize();
   Config config = Config::preset(Preset::kFast, 2);
   config.seed = 1;
-  const KappaResult result = kappa_partition(g, config);
+  const PartitionResult result =
+      Partitioner(Context::sequential(config)).partition(g);
   EXPECT_EQ(validate_partition(g, result.partition), "");
   EXPECT_LE(result.cut, 2);
 }
@@ -206,7 +217,8 @@ TEST(Pipeline, WeightedInputGraph) {
   const StaticGraph g = builder.finalize();
   Config config = Config::preset(Preset::kFast, 4);
   config.seed = 2;
-  const KappaResult result = kappa_partition(g, config);
+  const PartitionResult result =
+      Partitioner(Context::sequential(config)).partition(g);
   EXPECT_EQ(validate_partition(g, result.partition), "");
   EXPECT_TRUE(result.balanced);
 }
@@ -214,7 +226,8 @@ TEST(Pipeline, WeightedInputGraph) {
 TEST(Pipeline, PhaseTimesSumToTotal) {
   const StaticGraph g = make_instance("grid_s", 1);
   Config config = Config::preset(Preset::kFast, 4);
-  const KappaResult result = kappa_partition(g, config);
+  const PartitionResult result =
+      Partitioner(Context::sequential(config)).partition(g);
   EXPECT_LE(result.coarsening_time + result.initial_time +
                 result.refinement_time,
             result.total_time + 1e-6);

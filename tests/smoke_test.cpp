@@ -2,7 +2,7 @@
 /// \brief End-to-end smoke tests: the full KaPPa pipeline on small graphs.
 #include <gtest/gtest.h>
 
-#include "core/kappa.hpp"
+#include "core/partitioner.hpp"
 #include "graph/graph_builder.hpp"
 #include "graph/metrics.hpp"
 #include "graph/validation.hpp"
@@ -31,7 +31,8 @@ TEST(Smoke, FastPresetPartitionsGrid) {
 
   Config config = Config::preset(Preset::kFast, /*k=*/4);
   config.seed = 42;
-  const KappaResult result = kappa_partition(graph, config);
+  const PartitionResult result =
+      Partitioner(Context::sequential(config)).partition(graph);
 
   EXPECT_EQ(validate_partition(graph, result.partition), "");
   EXPECT_TRUE(result.balanced) << "balance = " << result.balance;
@@ -46,7 +47,8 @@ TEST(Smoke, AllPresetsProduceValidPartitions) {
        {Preset::kMinimal, Preset::kFast, Preset::kStrong}) {
     Config config = Config::preset(preset, /*k=*/8);
     config.seed = 7;
-    const KappaResult result = kappa_partition(graph, config);
+    const PartitionResult result =
+        Partitioner(Context::sequential(config)).partition(graph);
     EXPECT_EQ(validate_partition(graph, result.partition), "")
         << preset_name(preset);
     EXPECT_TRUE(result.balanced) << preset_name(preset);

@@ -7,7 +7,7 @@
 
 #include <algorithm>
 
-#include "core/kappa.hpp"
+#include "core/partitioner.hpp"
 #include "generators/generators.hpp"
 #include "graph/metrics.hpp"
 #include "graph/validation.hpp"
@@ -90,7 +90,8 @@ TEST(SpmdPipeline, ValidBalancedPartition) {
   Config config = Config::preset(Preset::kFast, 8);
   config.seed = 5;
   PERuntime runtime(2, config.seed);
-  const KappaResult result = kappa_partition_parallel(g, config, runtime);
+  const PartitionResult result =
+      Partitioner(Context::spmd(config, runtime)).partition(g);
 
   EXPECT_EQ(validate_partition(g, result.partition), "");
   EXPECT_EQ(result.partition.k(), 8u);
@@ -111,10 +112,11 @@ TEST_P(SpmdDeterminism, SameCutAndPartitionForEveryPeCount) {
   Config config = Config::preset(Preset::kMinimal, 8);
   config.seed = 42;
 
-  KappaResult reference;
+  PartitionResult reference;
   for (const int p : {1, 2, 4}) {
     PERuntime runtime(p, config.seed);
-    const KappaResult result = kappa_partition_parallel(g, config, runtime);
+    const PartitionResult result =
+        Partitioner(Context::spmd(config, runtime)).partition(g);
     EXPECT_EQ(validate_partition(g, result.partition), "");
     if (p == 1) {
       reference = result;
@@ -138,8 +140,10 @@ TEST(SpmdPipeline, RepeatedRunsAreIdentical) {
   config.seed = 9;
   PERuntime first(2, config.seed);
   PERuntime second(2, config.seed);
-  const KappaResult a = kappa_partition_parallel(g, config, first);
-  const KappaResult b = kappa_partition_parallel(g, config, second);
+  const PartitionResult a =
+      Partitioner(Context::spmd(config, first)).partition(g);
+  const PartitionResult b =
+      Partitioner(Context::spmd(config, second)).partition(g);
   EXPECT_EQ(a.cut, b.cut);
   for (NodeID u = 0; u < g.num_nodes(); ++u) {
     ASSERT_EQ(a.partition.block(u), b.partition.block(u));
@@ -156,12 +160,14 @@ TEST_P(SpmdParity, CutWithinFivePercentOfSequential) {
   const StaticGraph g = make_instance(GetParam(), 11);
   Config config = Config::preset(Preset::kFast, 8);
   config.seed = 5;
-  const KappaResult sequential = kappa_partition(g, config);
+  const PartitionResult sequential =
+      Partitioner(Context::sequential(config)).partition(g);
   ASSERT_TRUE(sequential.balanced);
 
   for (const int p : {2, 4}) {
     PERuntime runtime(p, config.seed);
-    const KappaResult parallel = kappa_partition_parallel(g, config, runtime);
+    const PartitionResult parallel =
+        Partitioner(Context::spmd(config, runtime)).partition(g);
     EXPECT_TRUE(parallel.balanced) << GetParam() << " p=" << p;
     EXPECT_LE(static_cast<double>(parallel.cut),
               1.05 * static_cast<double>(sequential.cut))
@@ -179,12 +185,14 @@ TEST(SpmdPipeline, SurfacesCommunicationStats) {
   config.seed = 1;
 
   // Sequential runs leave the SPMD fields empty.
-  const KappaResult sequential = kappa_partition(g, config);
+  const PartitionResult sequential =
+      Partitioner(Context::sequential(config)).partition(g);
   EXPECT_EQ(sequential.num_pes, 0);
   EXPECT_TRUE(sequential.comm_per_pe.empty());
 
   PERuntime runtime(4, config.seed);
-  const KappaResult result = kappa_partition_parallel(g, config, runtime);
+  const PartitionResult result =
+      Partitioner(Context::spmd(config, runtime)).partition(g);
   EXPECT_EQ(result.num_pes, 4);
   ASSERT_EQ(result.comm_per_pe.size(), 4u);
   EXPECT_GT(result.comm.messages_sent, 0u);
@@ -206,7 +214,8 @@ TEST(SpmdPipeline, SingleBlockAndTinyGraphs) {
   Config config = Config::preset(Preset::kMinimal, 1);
   config.seed = 1;
   PERuntime runtime(2, config.seed);
-  const KappaResult result = kappa_partition_parallel(g, config, runtime);
+  const PartitionResult result =
+      Partitioner(Context::spmd(config, runtime)).partition(g);
   EXPECT_EQ(validate_partition(g, result.partition), "");
   EXPECT_EQ(result.cut, 0);
 
@@ -215,8 +224,8 @@ TEST(SpmdPipeline, SingleBlockAndTinyGraphs) {
   Config tiny_config = Config::preset(Preset::kFast, 2);
   tiny_config.seed = 3;
   PERuntime big_runtime(4, tiny_config.seed);
-  const KappaResult tiny_result =
-      kappa_partition_parallel(tiny, tiny_config, big_runtime);
+  const PartitionResult tiny_result =
+      Partitioner(Context::spmd(tiny_config, big_runtime)).partition(tiny);
   EXPECT_EQ(validate_partition(tiny, tiny_result.partition), "");
   EXPECT_TRUE(tiny_result.balanced);
 }
