@@ -106,11 +106,43 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Per-PE resident graph memory: the replicated-CSR baseline (every PE
+  // holding all n nodes / 2m arcs) against the ghost-layer sharding's
+  // peak owned+ghost footprint (§3.3 ShardGraph + §5.2 block-row store).
+  {
+    const StaticGraph instance = make_instance("rgg15");
+    Config config = Config::preset(Preset::kFast, 16);
+    config.seed = 1;
+    print_table_header(
+        "Per-PE resident graph memory: replicated vs ghost-layer CSR, "
+        "rgg15, k=16",
+        {"PEs", "rank", "owned", "ghosts", "resident", "arcs", "n", "share"});
+    for (const int pes : {1, 2, 4, 8}) {
+      PERuntime runtime(pes, config.seed);
+      const PartitionResult result =
+          Partitioner(Context::spmd(config, runtime)).partition(instance);
+      for (int rank = 0; rank < pes; ++rank) {
+        const ShardFootprint& fp = result.shard_memory_per_pe[rank];
+        print_row({rank == 0 ? std::to_string(pes) : std::string(),
+                   std::to_string(rank), std::to_string(fp.owned_nodes),
+                   std::to_string(fp.ghost_nodes),
+                   std::to_string(fp.resident_nodes()),
+                   std::to_string(fp.arcs),
+                   rank == 0 ? std::to_string(instance.num_nodes())
+                             : std::string(),
+                   fmt(static_cast<double>(fp.resident_nodes()) /
+                           static_cast<double>(instance.num_nodes()),
+                       3)});
+      }
+    }
+  }
+
   std::printf(
       "\nshape targets (paper): KaPPa time grows gently with k "
       "(strong > fast > minimal);\nparmetis/kmetis flat-ish but with far "
       "worse cuts; gap/coloring traffic grows ~linearly in the boundary, "
       "not in n;\nSPMD cut is p-invariant while per-PE words shrink as "
-      "work spreads over more PEs\n");
+      "work spreads over more PEs;\nper-PE resident share drops toward "
+      "1/p + halo as the data sharding takes over\n");
   return 0;
 }

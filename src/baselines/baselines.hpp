@@ -26,7 +26,7 @@
 
 namespace kappa {
 
-/// Result of a baseline run (same reporting columns as KappaResult).
+/// Result of a baseline run (same reporting columns as PartitionResult).
 struct BaselineResult {
   Partition partition;
   EdgeWeight cut = 0;

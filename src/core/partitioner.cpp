@@ -17,19 +17,6 @@
 
 namespace kappa {
 
-namespace {
-
-/// Rank that owns block \p b under the round-robin block distribution of
-/// the SPMD repartitioner (the paper's k = p setting makes this the
-/// identity; with k != p blocks are dealt out cyclically).
-int owner_of_block(BlockID b, int p) { return static_cast<int>(b % p); }
-
-/// One rank's post-repartitioning data intake.
-struct MigrationIntake {
-  NodeID nodes = 0;        ///< nodes migrated into this rank's blocks
-  std::size_t edges = 0;   ///< adjacency entries shipped with them
-};
-
 /// One PE's post-repartitioning data migration, materialized with the
 /// §5.2 hybrid graph structure: the nodes a rank keeps (same owned block
 /// before and after) form the static CSR core; every node that migrated
@@ -41,11 +28,13 @@ struct MigrationIntake {
 MigrationIntake receive_migrated_nodes(const StaticGraph& graph,
                                        const Partition& before,
                                        const Partition& after, int rank,
-                                       int p) {
+                                       int num_pes) {
   std::vector<NodeID> kept;
   std::vector<NodeID> incoming;
   for (NodeID u = 0; u < graph.num_nodes(); ++u) {
-    if (owner_of_block(after.block(u), p) != rank) continue;
+    if (BlockRowShard::owner_of_block(after.block(u), num_pes) != rank) {
+      continue;
+    }
     if (after.block(u) == before.block(u)) {
       kept.push_back(u);
     } else {
@@ -69,6 +58,8 @@ MigrationIntake receive_migrated_nodes(const StaticGraph& graph,
   return {static_cast<NodeID>(view.num_migrated()),
           view.num_overlay_edges()};
 }
+
+namespace {
 
 /// Fills the repartitioning delta fields of \p result against the input
 /// assignment.
@@ -101,6 +92,7 @@ PartitionResult run_spmd(const StaticGraph& graph, const Config& config,
   const int p = runtime.num_pes();
   PartitionResult result;
   std::vector<MigrationIntake> intake(p);
+  std::vector<ShardFootprint> footprints(p);
 
   const std::vector<CommStats> per_pe = runtime.run([&](PEContext& pe) {
     SpmdCoarsener coarsener(config, pe, warm);
@@ -117,12 +109,17 @@ PartitionResult run_spmd(const StaticGraph& graph, const Config& config,
       SpmdInitialPartitioner initial(config, pe);
       local = run_multilevel(graph, config, coarsener, initial, refiner);
     }
+    // Peak resident graph data of this rank across both sharded phases.
+    ShardFootprint footprint = coarsener.stats().footprint;
+    footprint.merge_peak(refiner.footprint());
+    footprints[pe.rank()] = footprint;
     if (pe.rank() == 0) result = std::move(local);
   });
 
   result.num_pes = p;
   result.comm = total_comm_stats(per_pe);
   result.comm_per_pe = per_pe;
+  result.shard_memory_per_pe = std::move(footprints);
   if (warm != nullptr) {
     result.migrated_per_pe.reserve(p);
     result.migrated_edges_per_pe.reserve(p);

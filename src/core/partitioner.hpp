@@ -19,9 +19,10 @@
 /// workload does not produce stay at their zero defaults (e.g. the SPMD
 /// counters of a sequential run, or migrated_nodes of a from-scratch run).
 ///
-/// The legacy free functions kappa_partition(), kappa_partition_parallel()
-/// (core/kappa.hpp) and repartition() (core/repartition.hpp) remain as
-/// thin deprecated wrappers over this API.
+/// This Context/Partitioner surface is the only entry point; the former
+/// free functions (kappa_partition, kappa_partition_parallel,
+/// repartition) completed their deprecation cycle and were removed — see
+/// the migration table in README.md.
 #pragma once
 
 #include <vector>
@@ -68,7 +69,33 @@ struct PartitionResult {
   int num_pes = 0;                     ///< PEs of the runtime that ran this
   CommStats comm;                      ///< aggregate communication volume
   std::vector<CommStats> comm_per_pe;  ///< per-PE counters, indexed by rank
+  /// Peak resident footprint of the data-sharded graph structures per
+  /// rank (the §3.3 owned+ghost CSR of SPMD matching and the §5.2
+  /// block-row store of SPMD refinement), indexed by rank. With p >= 2
+  /// each rank's resident node count stays near n/p plus its one-hop
+  /// halo — strictly below n — instead of the replicated O(n).
+  std::vector<ShardFootprint> shard_memory_per_pe;
 };
+
+/// One rank's post-repartitioning data intake (§5.2): the nodes migrated
+/// into its blocks plus the adjacency entries shipped with them.
+struct MigrationIntake {
+  NodeID nodes = 0;       ///< nodes migrated into this rank's blocks
+  std::size_t edges = 0;  ///< adjacency entries shipped with them
+};
+
+/// Materializes rank \p rank's data migration between two assignments
+/// (blocks owned round-robin, block b -> rank b mod num_pes) with the
+/// §5.2 hybrid structure — the kept nodes as a static CSR core, every
+/// migrated-in node through the DynamicOverlay's hash-addressed
+/// secondary edge array — and returns the intake volume, which is not
+/// derivable from the node diff alone. The SPMD repartitioner calls it
+/// once per rank; exposed so the overlay test suite can exercise the
+/// ghost-layer intake directly.
+[[nodiscard]] MigrationIntake receive_migrated_nodes(const StaticGraph& graph,
+                                                     const Partition& before,
+                                                     const Partition& after,
+                                                     int rank, int num_pes);
 
 /// Execution context of a Partitioner: the configuration plus where the
 /// pipeline runs. Construct with one of the factories; the config is

@@ -25,9 +25,19 @@ void DynamicOverlay::add_migrated_node(NodeID global_id, NodeWeight weight) {
 
 void DynamicOverlay::add_migrated_edge(NodeID from_global, NodeID to_global,
                                        EdgeWeight weight) {
+  if (global_to_core_.count(from_global) > 0) {
+    // A core node gains a view into the overlay layer (e.g. an owned
+    // boundary node's arc to a received ghost); its static core row
+    // stays untouched.
+    CoreOverlay& entry = core_overlay_[from_global];
+    overlay_edges_.push_back({to_global, weight, entry.first_edge});
+    entry.first_edge = overlay_edges_.size() - 1;
+    ++entry.degree;
+    return;
+  }
   auto it = migrated_.find(from_global);
   assert(it != migrated_.end() &&
-         "edges may only be attached to registered migrated nodes");
+         "edges may only be attached to core or registered migrated nodes");
   overlay_edges_.push_back({to_global, weight, it->second.first_edge});
   it->second.first_edge = overlay_edges_.size() - 1;
   ++it->second.degree;
@@ -57,6 +67,10 @@ NodeID DynamicOverlay::degree(NodeID global_id) const {
   const auto core_it = global_to_core_.find(global_id);
   if (core_it != global_to_core_.end()) {
     degree += core_->degree(core_it->second);
+    const auto extra_it = core_overlay_.find(global_id);
+    if (extra_it != core_overlay_.end()) {
+      degree += extra_it->second.degree;
+    }
   }
   const auto mig_it = migrated_.find(global_id);
   if (mig_it != migrated_.end()) {
@@ -67,6 +81,7 @@ NodeID DynamicOverlay::degree(NodeID global_id) const {
 
 void DynamicOverlay::clear_migrated() {
   migrated_.clear();
+  core_overlay_.clear();
   overlay_edges_.clear();
 }
 

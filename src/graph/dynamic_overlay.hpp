@@ -38,9 +38,11 @@ class DynamicOverlay {
   /// separately with add_migrated_edge(). Re-registering is an error.
   void add_migrated_node(NodeID global_id, NodeWeight weight);
 
-  /// Adds an edge incident to a migrated node (directed entry; call for
-  /// each direction you need visible). The endpoint may be a core node
-  /// or another migrated node.
+  /// Adds an overlay edge (directed entry; call for each direction you
+  /// need visible). \p from_global may be a migrated node *or a core
+  /// node* — the latter is how a ghost-layer intake makes an owned
+  /// boundary node see its arcs into the received halo without touching
+  /// the static core. The endpoint may be core or migrated.
   void add_migrated_edge(NodeID from_global, NodeID to_global,
                          EdgeWeight weight);
 
@@ -57,7 +59,9 @@ class DynamicOverlay {
   /// plus overlay edges attached to them.
   [[nodiscard]] NodeID degree(NodeID global_id) const;
 
-  /// Visits all (neighbor_global_id, edge_weight) pairs of a node.
+  /// Visits all (neighbor_global_id, edge_weight) pairs of a node: static
+  /// core arcs first, then any overlay edges attached to it (for core
+  /// nodes those are its arcs into the migrated/ghost layer).
   template <typename Visitor>
   void for_each_neighbor(NodeID global_id, Visitor&& visit) const {
     const auto core_it = global_to_core_.find(global_id);
@@ -66,6 +70,13 @@ class DynamicOverlay {
       for (EdgeID e = core_->first_arc(local); e < core_->last_arc(local);
            ++e) {
         visit(core_to_global_[core_->arc_target(e)], core_->arc_weight(e));
+      }
+      const auto extra_it = core_overlay_.find(global_id);
+      if (extra_it != core_overlay_.end()) {
+        for (std::size_t i = extra_it->second.first_edge; i != kNoEdge;
+             i = overlay_edges_[i].next) {
+          visit(overlay_edges_[i].target, overlay_edges_[i].weight);
+        }
       }
     }
     const auto mig_it = migrated_.find(global_id);
@@ -101,12 +112,19 @@ class DynamicOverlay {
     std::size_t first_edge;
     NodeID degree;
   };
+  /// Overlay edges attached to a *core* node (its view into the
+  /// migrated/ghost layer); shares the secondary edge array.
+  struct CoreOverlay {
+    std::size_t first_edge = static_cast<std::size_t>(-1);
+    NodeID degree = 0;
+  };
   static constexpr std::size_t kNoEdge = static_cast<std::size_t>(-1);
 
   const StaticGraph* core_;
   std::vector<NodeID> core_to_global_;
   std::unordered_map<NodeID, NodeID> global_to_core_;
   std::unordered_map<NodeID, MigratedNode> migrated_;
+  std::unordered_map<NodeID, CoreOverlay> core_overlay_;
   std::vector<OverlayEdge> overlay_edges_;
 };
 

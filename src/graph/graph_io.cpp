@@ -10,10 +10,21 @@ namespace kappa {
 
 namespace {
 
-/// Reads the next non-comment line; returns false at EOF.
+/// Reads the next non-comment, non-empty line; returns false at EOF.
+/// Used for the header only.
 bool next_data_line(std::istream& in, std::string& line) {
   while (std::getline(in, line)) {
     if (!line.empty() && line[0] != '%') return true;
+  }
+  return false;
+}
+
+/// Reads the next vertex line, skipping only '%' comments. An *empty*
+/// line is data here: a vertex with no neighbors (legal in the METIS
+/// format) has one, and swallowing it would shift every following row.
+bool next_vertex_line(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] != '%') return true;
   }
   return false;
 }
@@ -41,7 +52,7 @@ StaticGraph read_metis_graph(const std::string& path) {
 
   GraphBuilder builder(static_cast<NodeID>(n));
   for (NodeID u = 0; u < n; ++u) {
-    if (!next_data_line(in, line)) {
+    if (!next_vertex_line(in, line)) {
       throw std::runtime_error("unexpected EOF in graph file: " + path);
     }
     std::istringstream row(line);

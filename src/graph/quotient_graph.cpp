@@ -39,6 +39,14 @@ QuotientGraph::QuotientGraph(const StaticGraph& graph,
   }
 }
 
+QuotientGraph::QuotientGraph(BlockID k, std::vector<QuotientEdge> edges)
+    : k_(k), edges_(std::move(edges)), incidence_(k) {
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    incidence_[edges_[i].a].push_back(i);
+    incidence_[edges_[i].b].push_back(i);
+  }
+}
+
 std::size_t QuotientGraph::max_degree() const {
   std::size_t degree = 0;
   for (const auto& inc : incidence_) degree = std::max(degree, inc.size());

@@ -34,6 +34,13 @@ class QuotientGraph {
   /// Builds Q from the current partition in O(m).
   QuotientGraph(const StaticGraph& graph, const Partition& partition);
 
+  /// Assembles Q from pre-merged edges (the distributed construction of
+  /// the SPMD refiner: every rank contributes the pairs its resident
+  /// rows see, the merged result is identical on every PE). \p edges
+  /// must list each pair once with a < b; order is preserved. The
+  /// incidence lists are rebuilt here.
+  QuotientGraph(BlockID k, std::vector<QuotientEdge> edges);
+
   /// Number of blocks (= nodes of Q).
   [[nodiscard]] BlockID num_blocks() const { return k_; }
 

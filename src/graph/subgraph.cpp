@@ -44,4 +44,22 @@ Subgraph induced_subgraph(const StaticGraph& graph,
   return result;
 }
 
+RowSet extract_rows(const StaticGraph& graph,
+                    const std::vector<NodeID>& nodes) {
+  RowSet rows;
+  rows.ids = nodes;
+  rows.xadj.reserve(nodes.size() + 1);
+  rows.xadj.push_back(0);
+  rows.vwgt.reserve(nodes.size());
+  for (const NodeID u : nodes) {
+    rows.vwgt.push_back(graph.node_weight(u));
+    for (EdgeID e = graph.first_arc(u); e < graph.last_arc(u); ++e) {
+      rows.adj.push_back(graph.arc_target(e));
+      rows.ewgt.push_back(graph.arc_weight(e));
+    }
+    rows.xadj.push_back(rows.adj.size());
+  }
+  return rows;
+}
+
 }  // namespace kappa

@@ -1,5 +1,6 @@
 #include "matching/tentative_match.hpp"
 
+#include <cassert>
 #include <limits>
 
 namespace kappa {
@@ -12,6 +13,16 @@ TentativeMatchRater::TentativeMatchRater(const StaticGraph& graph,
     for (NodeID u = 0; u < graph.num_nodes(); ++u) {
       out_[u] = graph.weighted_degree(u);
     }
+  }
+}
+
+TentativeMatchRater::TentativeMatchRater(
+    const StaticGraph& graph, const MatchingOptions& options,
+    std::vector<EdgeWeight> weighted_degrees)
+    : graph_(&graph), options_(&options) {
+  if (options.rating == EdgeRating::kInnerOuter) {
+    assert(weighted_degrees.size() == graph.num_nodes());
+    out_ = std::move(weighted_degrees);
   }
 }
 

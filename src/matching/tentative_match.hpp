@@ -24,6 +24,14 @@ class TentativeMatchRater {
  public:
   TentativeMatchRater(const StaticGraph& graph, const MatchingOptions& options);
 
+  /// Variant for a sharded (ghost-layer) CSR whose ghost rows are not
+  /// materialized: \p weighted_degrees supplies the full-row weighted
+  /// degree per node id of \p graph (owned nodes computed locally, ghost
+  /// entries received over the wire). Only consulted by the innerOuter
+  /// rating, matching the primary constructor.
+  TentativeMatchRater(const StaticGraph& graph, const MatchingOptions& options,
+                      std::vector<EdgeWeight> weighted_degrees);
+
   /// Rating of the arc {u, v} of weight \p w.
   [[nodiscard]] double rate_arc(NodeID u, NodeID v, EdgeWeight w) const;
 

@@ -13,13 +13,39 @@
 namespace kappa {
 
 /// Per-PE communication statistics. The wire model is uniform: every
-/// point-to-point send and every collective *contribution* (one per
-/// participating PE, even when its payload is empty) counts one message
-/// plus the words it puts on the wire.
+/// point-to-point send counts one message plus its payload words, and a
+/// collective counts one message plus one payload copy *per destination
+/// rank* (p - 1 of them for a flat all-gather or a broadcast root) — the
+/// counters model what a non-hierarchical MPI implementation would put on
+/// the wire, so a single-PE runtime communicates nothing.
 struct CommStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t words_sent = 0;
   std::uint64_t barriers = 0;
+};
+
+/// Peak resident footprint of the data-sharded SPMD graph structures on
+/// one rank: the owned-node CSR plus the one-hop ghost layer (§3.3) and
+/// the §5.2 block-row store of the refiner. `arcs` counts resident
+/// adjacency entries (directed). The replicated structures every rank
+/// keeps regardless of p (the level partition vector, ownership maps) are
+/// deliberately excluded: this measures the O(n/p + halo) graph data.
+struct ShardFootprint {
+  std::uint64_t owned_nodes = 0;  ///< peak owned nodes resident at once
+  std::uint64_t ghost_nodes = 0;  ///< peak ghost/halo nodes resident at once
+  std::uint64_t arcs = 0;         ///< peak resident adjacency entries
+
+  /// Pointwise peak of two footprints.
+  void merge_peak(const ShardFootprint& other) {
+    owned_nodes = std::max(owned_nodes, other.owned_nodes);
+    ghost_nodes = std::max(ghost_nodes, other.ghost_nodes);
+    arcs = std::max(arcs, other.arcs);
+  }
+
+  /// Resident nodes, owned plus ghosts.
+  [[nodiscard]] std::uint64_t resident_nodes() const {
+    return owned_nodes + ghost_nodes;
+  }
 };
 
 /// Aggregates per-rank counters into one total: messages and words add

@@ -4,16 +4,33 @@
 
 namespace kappa {
 
+namespace {
+
+/// Whether shard \p s is materialized for \p rank (rank < 0: all shards,
+/// the replicated build).
+bool materializes(BlockID s, int rank, int num_pes) {
+  return rank < 0 || DistGraph::owner_of_shard(s, num_pes) == rank;
+}
+
+}  // namespace
+
 DistGraph::DistGraph(const StaticGraph& graph, BlockID num_shards)
+    : DistGraph(graph, num_shards, /*rank=*/-1, /*num_pes=*/1) {}
+
+DistGraph::DistGraph(const StaticGraph& graph, BlockID num_shards, int rank,
+                     int num_pes)
     : graph_(&graph),
       node_to_shard_(prepartition(graph, num_shards)),
       shards_(num_shards) {
   const NodeID n = graph.num_nodes();
   for (NodeID u = 0; u < n; ++u) {
-    shards_[node_to_shard_[u]].nodes.push_back(u);
+    const BlockID su = node_to_shard_[u];
+    if (!materializes(su, rank, num_pes)) continue;
+    shards_[su].nodes.push_back(u);
   }
   for (NodeID u = 0; u < n; ++u) {
     const BlockID su = node_to_shard_[u];
+    if (!materializes(su, rank, num_pes)) continue;
     bool is_boundary = false;
     for (EdgeID e = graph.first_arc(u); e < graph.last_arc(u); ++e) {
       const NodeID v = graph.arc_target(e);

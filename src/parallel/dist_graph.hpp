@@ -12,11 +12,14 @@
 /// block, as the paper identifies PEs with blocks), not by the physical
 /// PE count of the runtime. A runtime of p PEs owns the shards round-robin
 /// (shard s belongs to rank s mod p), which makes every shard-keyed
-/// computation — and hence the partition — independent of p. The graph's
-/// static arrays are replicated (the runtime is threads on one machine);
-/// the SPMD discipline is that a PE only *writes* state of its own shards
-/// and learns remote *dynamic* state (tentative matches, taken flags,
-/// block moves) exclusively through channel messages and collectives.
+/// computation — and hence the partition — independent of p. The graph
+/// *data* is sharded too: the rank-filtered constructor materializes
+/// only the owned shards' structure, and parallel/shard_graph.hpp builds
+/// from it the per-rank owned+ghost CSR the matching inner loops read.
+/// The SPMD discipline is that a PE only *writes* state of its own
+/// shards and learns remote state — ghost weights as much as tentative
+/// matches, taken flags and block moves — exclusively through channel
+/// messages and collectives.
 #pragma once
 
 #include <vector>
@@ -53,6 +56,15 @@ struct GraphShard {
 class DistGraph {
  public:
   DistGraph(const StaticGraph& graph, BlockID num_shards);
+
+  /// Rank-filtered build: computes the full node -> shard ownership map
+  /// (every rank needs it to locate neighbors) but materializes node
+  /// lists and cross-arc structure only for the shards rank \p rank owns
+  /// in a runtime of \p num_pes PEs — the per-PE data stays O(n/p +
+  /// boundary) instead of O(n + boundary). shard(s) of a remote shard is
+  /// empty.
+  DistGraph(const StaticGraph& graph, BlockID num_shards, int rank,
+            int num_pes);
 
   [[nodiscard]] const StaticGraph& graph() const { return *graph_; }
 

@@ -50,16 +50,22 @@ std::vector<std::uint64_t> PEContext::all_gather(std::uint64_t value) {
   barrier();
   std::vector<std::uint64_t> result = runtime_.collective_scratch_;
   barrier();
-  // Each PE contributes one one-word message to the wire.
-  ++stats_.messages_sent;
-  stats_.words_sent += 1;
+  // A collective delivers this PE's contribution to every *other* rank:
+  // one message and one payload copy per destination (a flat all-gather
+  // sends nothing with p = 1).
+  const std::uint64_t destinations =
+      static_cast<std::uint64_t>(runtime_.num_pes_ - 1);
+  stats_.messages_sent += destinations;
+  stats_.words_sent += destinations;
   return result;
 }
 
 std::vector<std::vector<std::uint64_t>> PEContext::all_gather_vectors(
     std::vector<std::uint64_t> payload) {
-  stats_.words_sent += payload.size();
-  ++stats_.messages_sent;
+  const std::uint64_t destinations =
+      static_cast<std::uint64_t>(runtime_.num_pes_ - 1);
+  stats_.messages_sent += destinations;
+  stats_.words_sent += destinations * payload.size();
   runtime_.vector_scratch_[rank_] = std::move(payload);
   barrier();
   std::vector<std::vector<std::uint64_t>> result = runtime_.vector_scratch_;
@@ -71,8 +77,11 @@ std::vector<std::uint64_t> PEContext::broadcast(
     const std::vector<std::uint64_t>& payload, int root) {
   if (rank_ == root) {
     runtime_.broadcast_scratch_ = payload;
-    ++stats_.messages_sent;  // only the root contributes to a broadcast
-    stats_.words_sent += payload.size();
+    // Only the root puts data on the wire: one copy per destination rank.
+    const std::uint64_t destinations =
+        static_cast<std::uint64_t>(runtime_.num_pes_ - 1);
+    stats_.messages_sent += destinations;
+    stats_.words_sent += destinations * payload.size();
   }
   barrier();
   std::vector<std::uint64_t> result = runtime_.broadcast_scratch_;

@@ -1,0 +1,254 @@
+#include "parallel/shard_graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "graph/dynamic_overlay.hpp"
+#include "parallel/wire_format.hpp"
+
+namespace kappa {
+
+// ------------------------------------------------------------ ShardGraph ----
+
+ShardGraph::ShardGraph(const StaticGraph& level, const DistGraph& dist,
+                       PEContext& pe) {
+  const int p = pe.size();
+  const int rank = pe.rank();
+  const std::vector<BlockID> my_shards = dist.shards_of_rank(rank, p);
+
+  // Owned nodes: the union of this rank's virtual shards, sorted by
+  // global id (per-shard lists are sorted already).
+  std::vector<NodeID> owned;
+  for (const BlockID s : my_shards) {
+    const std::vector<NodeID>& nodes = dist.shard(s).nodes;
+    owned.insert(owned.end(), nodes.begin(), nodes.end());
+  }
+  std::sort(owned.begin(), owned.end());
+  num_owned_ = static_cast<NodeID>(owned.size());
+
+  // Static core: the subgraph induced by the owned set. This replica
+  // read is the initial data distribution of the level; every structure
+  // the matching inner loops touch afterwards is resident.
+  const Subgraph core = induced_subgraph(level, owned);
+
+  // Rank-remote cross arcs define the one-hop ghost layer. Cross arcs
+  // between two shards of this rank stay inside the core.
+  struct GhostArc {
+    NodeID u;  ///< owned endpoint (global id)
+    NodeID v;  ///< ghost endpoint (global id)
+    EdgeWeight w;
+  };
+  std::vector<GhostArc> ghost_arcs;
+  for (const BlockID s : my_shards) {
+    for (const CrossShardArc& arc : dist.shard(s).cross_arcs) {
+      if (dist.owner_of_node(arc.v, p) != rank) {
+        ghost_arcs.push_back({arc.u, arc.v, arc.weight});
+      }
+    }
+  }
+  std::vector<NodeID> ghosts;
+  ghosts.reserve(ghost_arcs.size());
+  for (const GhostArc& arc : ghost_arcs) ghosts.push_back(arc.v);
+  std::sort(ghosts.begin(), ghosts.end());
+  ghosts.erase(std::unique(ghosts.begin(), ghosts.end()), ghosts.end());
+
+  local_to_global_ = owned;
+  local_to_global_.insert(local_to_global_.end(), ghosts.begin(),
+                          ghosts.end());
+  global_to_local_.reserve(local_to_global_.size());
+  for (NodeID local = 0; local < local_to_global_.size(); ++local) {
+    global_to_local_.emplace(local_to_global_[local], local);
+  }
+
+  // Owned weighted degrees are computable locally: core row sum plus the
+  // rank-remote cross arc weights.
+  weighted_degrees_.assign(local_to_global_.size(), 0);
+  for (NodeID i = 0; i < num_owned_; ++i) {
+    weighted_degrees_[i] = core.graph.weighted_degree(i);
+  }
+  for (const GhostArc& arc : ghost_arcs) {
+    weighted_degrees_[global_to_local_.at(arc.u)] += arc.w;
+  }
+
+  // --- Ghost refresh over channels: every neighboring rank sends, per
+  // owned boundary node the receiver sees as a ghost, the triple
+  // (global id, node weight, full-row weighted degree). The peer set is
+  // symmetric (u adjacent to a node of q iff q has u as a ghost), so
+  // each side knows exactly whom to expect. ---
+  std::vector<char> is_peer(p, 0);
+  for (const NodeID g : ghosts) {
+    is_peer[dist.owner_of_node(g, p)] = 1;
+  }
+  {
+    std::vector<std::vector<std::uint64_t>> to_peer(p);
+    NodeID last_u = kInvalidNode;
+    std::vector<int> peers_of_u;
+    for (const GhostArc& arc : ghost_arcs) {
+      if (arc.u != last_u) {
+        last_u = arc.u;
+        peers_of_u.clear();
+      }
+      const int q = dist.owner_of_node(arc.v, p);
+      if (std::find(peers_of_u.begin(), peers_of_u.end(), q) !=
+          peers_of_u.end()) {
+        continue;
+      }
+      peers_of_u.push_back(q);
+      const NodeID lu = global_to_local_.at(arc.u);
+      to_peer[q].push_back(arc.u);
+      to_peer[q].push_back(weight_bits(core.graph.node_weight(lu)));
+      to_peer[q].push_back(weight_bits(weighted_degrees_[lu]));
+    }
+    for (int q = 0; q < p; ++q) {
+      if (q != rank && is_peer[q]) pe.send(q, std::move(to_peer[q]));
+    }
+  }
+  std::vector<NodeWeight> ghost_weight(ghosts.size(), 0);
+  for (int q = 0; q < p; ++q) {
+    if (q == rank || !is_peer[q]) continue;
+    const Message msg = pe.receive(q);
+    for (std::size_t i = 0; i + 2 < msg.payload.size(); i += 3) {
+      const NodeID g = static_cast<NodeID>(msg.payload[i]);
+      const NodeID local = global_to_local_.at(g);
+      assert(local >= num_owned_);
+      ghost_weight[local - num_owned_] = bits_weight(msg.payload[i + 1]);
+      weighted_degrees_[local] = bits_weight(msg.payload[i + 2]);
+    }
+  }
+
+  // --- Ghost intake through the §5.2 hybrid structure: the received
+  // halo enters a DynamicOverlay over the owned core (ghosts as
+  // migrated nodes, owned boundary nodes gaining overlay edges into the
+  // halo), which is then sealed into the compact local CSR. ---
+  DynamicOverlay intake(core.graph, core.local_to_global);
+  for (std::size_t i = 0; i < ghosts.size(); ++i) {
+    intake.add_migrated_node(ghosts[i], ghost_weight[i]);
+  }
+  for (const GhostArc& arc : ghost_arcs) {
+    intake.add_migrated_edge(arc.u, arc.v, arc.w);  // owned -> ghost
+    intake.add_migrated_edge(arc.v, arc.u, arc.w);  // mirror arc
+  }
+
+  std::vector<EdgeID> xadj;
+  xadj.reserve(local_to_global_.size() + 1);
+  xadj.push_back(0);
+  std::vector<NodeID> adj;
+  std::vector<EdgeWeight> ewgt;
+  std::vector<NodeWeight> vwgt;
+  vwgt.reserve(local_to_global_.size());
+  for (NodeID local = 0; local < local_to_global_.size(); ++local) {
+    const NodeID global = local_to_global_[local];
+    vwgt.push_back(intake.node_weight(global));
+    intake.for_each_neighbor(global, [&](NodeID to_global, EdgeWeight w) {
+      adj.push_back(global_to_local_.at(to_global));
+      ewgt.push_back(w);
+    });
+    xadj.push_back(adj.size());
+  }
+  csr_ = StaticGraph(std::move(xadj), std::move(adj), std::move(ewgt),
+                     std::move(vwgt));
+}
+
+ShardFootprint ShardGraph::footprint() const {
+  ShardFootprint fp;
+  fp.owned_nodes = num_owned();
+  fp.ghost_nodes = num_ghost();
+  fp.arcs = csr_.num_arcs();
+  return fp;
+}
+
+// --------------------------------------------------------- BlockRowShard ----
+
+BlockRowShard::BlockRowShard(const StaticGraph& level,
+                             const std::vector<BlockID>& assignment, BlockID k,
+                             int rank, int num_pes)
+    : rank_(rank), num_pes_(num_pes), members_(k) {
+  std::vector<NodeID> mine;
+  for (NodeID u = 0; u < level.num_nodes(); ++u) {
+    const BlockID b = assignment[u];
+    if (owner_of_block(b, num_pes) != rank) continue;
+    mine.push_back(u);
+    members_[b].push_back(u);  // ascending u keeps the lists sorted
+  }
+  core_ = extract_rows(level, mine);
+  core_index_.reserve(core_.ids.size());
+  for (NodeID i = 0; i < core_.ids.size(); ++i) {
+    core_index_.emplace(core_.ids[i], i);
+  }
+  resident_nodes_ = mine.size();
+  resident_arcs_ = core_.num_arcs();
+}
+
+GraphRow BlockRowShard::row(NodeID global) const {
+  const GraphRowView view = row_view(global);
+  GraphRow result;
+  result.weight = view.weight;
+  result.targets.assign(view.targets.begin(), view.targets.end());
+  result.weights.assign(view.weights.begin(), view.weights.end());
+  return result;
+}
+
+GraphRowView BlockRowShard::row_view(NodeID global) const {
+  const auto mig = migrated_.find(global);
+  if (mig != migrated_.end()) {
+    return {mig->second.weight, mig->second.targets, mig->second.weights};
+  }
+  const auto it = core_index_.find(global);
+  assert(it != core_index_.end() && departed_.count(global) == 0 &&
+         "row lookup requires a resident node");
+  const NodeID i = it->second;
+  return {core_.vwgt[i],
+          std::span<const NodeID>(core_.adj.data() + core_.xadj[i],
+                                  core_.adj.data() + core_.xadj[i + 1]),
+          std::span<const EdgeWeight>(core_.ewgt.data() + core_.xadj[i],
+                                      core_.ewgt.data() + core_.xadj[i + 1])};
+}
+
+GraphRow BlockRowShard::apply_move(NodeID u, BlockID from, BlockID to,
+                                   const GraphRow* incoming_row) {
+  const bool from_mine = owns_block(from);
+  const bool to_mine = owns_block(to);
+  GraphRow departing;
+  if (from_mine) erase_member(from, u);
+  if (to_mine) insert_member(to, u);
+  if (from_mine && !to_mine) {
+    departing = row(u);
+    if (migrated_.erase(u) == 0) departed_.emplace(u, 1);
+    resident_nodes_ -= 1;
+    resident_arcs_ -= departing.targets.size();
+  } else if (!from_mine && to_mine) {
+    resident_nodes_ += 1;
+    if (departed_.erase(u) > 0) {
+      // The node returns home: its core row never left, un-tombstone it.
+      resident_arcs_ +=
+          core_.xadj[core_index_.at(u) + 1] - core_.xadj[core_index_.at(u)];
+    } else {
+      assert(incoming_row != nullptr &&
+             "a row migrating in must be shipped by its old owner");
+      resident_arcs_ += incoming_row->targets.size();
+      migrated_.emplace(u, *incoming_row);
+    }
+  }
+  return departing;
+}
+
+ShardFootprint BlockRowShard::footprint() const {
+  ShardFootprint fp;
+  fp.owned_nodes = resident_nodes_;
+  fp.arcs = resident_arcs_;
+  return fp;
+}
+
+void BlockRowShard::insert_member(BlockID b, NodeID u) {
+  std::vector<NodeID>& list = members_[b];
+  list.insert(std::lower_bound(list.begin(), list.end(), u), u);
+}
+
+void BlockRowShard::erase_member(BlockID b, NodeID u) {
+  std::vector<NodeID>& list = members_[b];
+  const auto it = std::lower_bound(list.begin(), list.end(), u);
+  assert(it != list.end() && *it == u);
+  list.erase(it);
+}
+
+}  // namespace kappa

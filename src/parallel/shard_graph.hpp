@@ -1,0 +1,206 @@
+/// \file shard_graph.hpp
+/// \brief Per-PE data sharding of the SPMD pipeline: the owned-node CSR
+/// with a one-hop ghost layer (§3.3) and the §5.2 block-row store.
+///
+/// The paper's distributed design gives every PE only its own node shard
+/// plus a halo of ghost nodes — resident graph memory is O(n/p + halo),
+/// not O(n). Two structures realize that here:
+///
+///   ShardGraph   — built per contraction level for the SPMD matcher: a
+///     compact CSR over the rank's owned nodes (union of its virtual
+///     shards) plus the one-hop ghost layer. The owned core comes from
+///     induced_subgraph(); ghosts are taken in through a DynamicOverlay
+///     (the §5.2 hybrid structure) and sealed into the final local CSR.
+///     Ghost node weights and weighted degrees are dynamic per level and
+///     are *not* read off the replica: they arrive over channels from
+///     the owning ranks, so the CommStats counters see every ghost
+///     refresh.
+///
+///   BlockRowShard — built per uncoarsening level for the SPMD refiner:
+///     the CSR rows of the nodes currently assigned to this rank's
+///     blocks (blocks are owned round-robin, block b -> rank b mod p).
+///     "Immediately after uncontracting a matching, every PE stores the
+///     partition it is responsible for in a static adjacency array
+///     representation ... In addition, we use a hash table to store
+///     migrated nodes and a second edge array" (§5.2): the level-start
+///     rows are the static core; nodes that migrate between blocks
+///     mid-level move their rows between ranks through the hash-table
+///     side store.
+///
+/// Rows travel verbatim (source id space, source arc order; see
+/// RowSet in graph/subgraph.hpp), so every structure assembled from them
+/// is a pure function of the replica content and the partition state —
+/// independent of which rank held or shipped the data. That invariant is
+/// what keeps the SPMD pipeline's results identical for every PE count.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/static_graph.hpp"
+#include "graph/subgraph.hpp"
+#include "parallel/comm_stats.hpp"
+#include "parallel/dist_graph.hpp"
+#include "parallel/pe_runtime.hpp"
+#include "util/types.hpp"
+
+namespace kappa {
+
+/// One rank's resident graph for one matching level: compact CSR over
+/// owned nodes (local ids [0, num_owned())) followed by the one-hop
+/// ghost layer (local ids [num_owned(), num_local())). Owned rows carry
+/// the node's full arc list (owned and ghost targets, as local ids);
+/// ghost rows carry only the mirror arcs back into the owned set.
+class ShardGraph {
+ public:
+  /// Builds the resident graph of \p pe's rank from the rank-filtered
+  /// \p dist over \p level. Ghost weights and weighted degrees are
+  /// exchanged with the neighboring ranks over \p pe's channels
+  /// (counted in its CommStats); with one PE the ghost layer is empty.
+  ShardGraph(const StaticGraph& level, const DistGraph& dist, PEContext& pe);
+
+  /// The sealed local CSR (owned rows first, then ghost rows).
+  [[nodiscard]] const StaticGraph& csr() const { return csr_; }
+
+  [[nodiscard]] NodeID num_owned() const { return num_owned_; }
+  [[nodiscard]] NodeID num_ghost() const {
+    return static_cast<NodeID>(local_to_global_.size()) - num_owned_;
+  }
+  [[nodiscard]] NodeID num_local() const {
+    return static_cast<NodeID>(local_to_global_.size());
+  }
+
+  [[nodiscard]] bool is_owned(NodeID local) const {
+    return local < num_owned_;
+  }
+
+  /// Global id of a resident node.
+  [[nodiscard]] NodeID global_of(NodeID local) const {
+    return local_to_global_[local];
+  }
+
+  /// Local id of a global node; kInvalidNode if not resident here.
+  [[nodiscard]] NodeID local_of(NodeID global) const {
+    const auto it = global_to_local_.find(global);
+    return it == global_to_local_.end() ? kInvalidNode : it->second;
+  }
+
+  /// Full-row weighted degrees by local id: owned entries computed from
+  /// the resident row, ghost entries received from the owner.
+  [[nodiscard]] const std::vector<EdgeWeight>& weighted_degrees() const {
+    return weighted_degrees_;
+  }
+
+  /// Resident size of this structure (owned + halo nodes, resident arcs).
+  [[nodiscard]] ShardFootprint footprint() const;
+
+ private:
+  NodeID num_owned_ = 0;
+  StaticGraph csr_;
+  std::vector<NodeID> local_to_global_;
+  std::unordered_map<NodeID, NodeID> global_to_local_;
+  std::vector<EdgeWeight> weighted_degrees_;
+};
+
+/// One full CSR row in global id space — the unit the refiner's stores
+/// exchange when a node's block (and with it the row's home rank)
+/// changes.
+struct GraphRow {
+  NodeWeight weight = 0;
+  std::vector<NodeID> targets;      ///< global ids, replica arc order
+  std::vector<EdgeWeight> weights;  ///< parallel to targets
+};
+
+/// Zero-copy view of a resident row (spans into the owning store).
+struct GraphRowView {
+  NodeWeight weight = 0;
+  std::span<const NodeID> targets;
+  std::span<const EdgeWeight> weights;
+};
+
+/// One rank's §5.2 block-row store for one uncoarsening level: the rows
+/// of all nodes currently assigned to the rank's blocks. The level-start
+/// extraction is the static core; rows that migrate in mid-level live in
+/// the hash-table side store; rows that migrate out are tombstoned.
+class BlockRowShard {
+ public:
+  /// Rank that owns block \p b in a runtime of \p num_pes PEs.
+  [[nodiscard]] static int owner_of_block(BlockID b, int num_pes) {
+    return static_cast<int>(b % static_cast<BlockID>(num_pes));
+  }
+
+  /// Extracts the rows of the nodes whose block \p assignment maps to
+  /// \p rank's blocks.
+  BlockRowShard(const StaticGraph& level,
+                const std::vector<BlockID>& assignment, BlockID k, int rank,
+                int num_pes);
+
+  [[nodiscard]] int rank() const { return rank_; }
+
+  /// Sorted global ids of the nodes currently in owned block \p b.
+  [[nodiscard]] const std::vector<NodeID>& members(BlockID b) const {
+    return members_[b];
+  }
+
+  /// Whether this rank owns block \p b.
+  [[nodiscard]] bool owns_block(BlockID b) const {
+    return owner_of_block(b, num_pes_) == rank_;
+  }
+
+  /// Read access to the row of a resident node (must be resident);
+  /// returns an owned copy (for shipping).
+  [[nodiscard]] GraphRow row(NodeID global) const;
+
+  /// Zero-copy view of a resident row (must be resident); invalidated by
+  /// apply_move() on the same node.
+  [[nodiscard]] GraphRowView row_view(NodeID global) const;
+
+  /// Visits every resident row as (global id, GraphRow view) without
+  /// materializing copies: \p visit(NodeID, NodeWeight, span targets,
+  /// span weights).
+  template <typename Visitor>
+  void for_each_resident_row(Visitor&& visit) const {
+    for (NodeID i = 0; i < core_.ids.size(); ++i) {
+      const NodeID u = core_.ids[i];
+      if (departed_.count(u) > 0) continue;
+      visit(u, core_.vwgt[i],
+            std::span<const NodeID>(core_.adj.data() + core_.xadj[i],
+                                    core_.adj.data() + core_.xadj[i + 1]),
+            std::span<const EdgeWeight>(core_.ewgt.data() + core_.xadj[i],
+                                        core_.ewgt.data() + core_.xadj[i + 1]));
+    }
+    for (const auto& [u, r] : migrated_) {
+      visit(u, r.weight, std::span<const NodeID>(r.targets),
+            std::span<const EdgeWeight>(r.weights));
+    }
+  }
+
+  /// Applies one committed move u: \p from -> \p to. Only membership and
+  /// row residency are updated; \p incoming_row must be set when \p to
+  /// is owned here but the row is not yet resident (shipped by the old
+  /// owner). Returns the departing row when \p from is owned here and
+  /// \p to is not (for shipping); empty otherwise.
+  GraphRow apply_move(NodeID u, BlockID from, BlockID to,
+                      const GraphRow* incoming_row);
+
+  /// Resident size of this structure (rows + arcs currently held).
+  [[nodiscard]] ShardFootprint footprint() const;
+
+ private:
+  void insert_member(BlockID b, NodeID u);
+  void erase_member(BlockID b, NodeID u);
+
+  int rank_ = 0;
+  int num_pes_ = 1;
+  RowSet core_;                                   ///< level-start rows
+  std::unordered_map<NodeID, NodeID> core_index_;  ///< global -> core slot
+  std::unordered_map<NodeID, GraphRow> migrated_;  ///< migrated-in rows
+  std::unordered_map<NodeID, char> departed_;      ///< tombstoned core rows
+  std::vector<std::vector<NodeID>> members_;       ///< per block, sorted
+  std::uint64_t resident_nodes_ = 0;
+  std::uint64_t resident_arcs_ = 0;
+};
+
+}  // namespace kappa

@@ -2,31 +2,62 @@
 
 #include <algorithm>
 #include <bit>
+#include <cassert>
 #include <limits>
+#include <map>
 #include <numeric>
 #include <tuple>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "graph/metrics.hpp"
-#include "graph/quotient_graph.hpp"
 #include "matching/tentative_match.hpp"
+#include "parallel/wire_format.hpp"
 #include "refinement/edge_coloring.hpp"
 
 namespace kappa {
 
 namespace {
 
-/// Canonical identity of an undirected edge, agreed on by both endpoint
-/// owners (candidate indices are PE-local and never cross the wire).
-std::uint64_t edge_key(NodeID u, NodeID v) {
-  const NodeID lo = std::min(u, v);
-  const NodeID hi = std::max(u, v);
-  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+/// Appends one row in the shared wire layout [id, weight, narcs,
+/// (target, weight)*], keeping only the arcs \p keep admits. The single
+/// encoder behind both the pair-side shipping and the row migration of
+/// the SPMD refiner.
+template <typename Keep>
+void append_row_words(std::vector<std::uint64_t>& words, NodeID id,
+                      const GraphRowView& row, Keep&& keep) {
+  words.push_back(id);
+  words.push_back(weight_bits(row.weight));
+  const std::size_t count_slot = words.size();
+  words.push_back(0);
+  std::uint64_t narcs = 0;
+  for (std::size_t i = 0; i < row.targets.size(); ++i) {
+    if (!keep(row.targets[i])) continue;
+    words.push_back(row.targets[i]);
+    words.push_back(weight_bits(row.weights[i]));
+    ++narcs;
+  }
+  words[count_slot] = narcs;
 }
 
-std::uint64_t pack_pair(NodeID u, NodeID v) {
-  return (static_cast<std::uint64_t>(u) << 32) | v;
+/// Decodes one row at \p cursor (inverse of append_row_words), advancing
+/// the cursor; returns the node id.
+NodeID decode_row_words(const std::vector<std::uint64_t>& words,
+                        std::size_t& cursor, GraphRow& row) {
+  const NodeID id = static_cast<NodeID>(words[cursor]);
+  row.weight = bits_weight(words[cursor + 1]);
+  const std::uint64_t narcs = words[cursor + 2];
+  cursor += 3;
+  row.targets.clear();
+  row.weights.clear();
+  row.targets.reserve(narcs);
+  row.weights.reserve(narcs);
+  for (std::uint64_t j = 0; j < narcs; ++j) {
+    row.targets.push_back(static_cast<NodeID>(words[cursor]));
+    row.weights.push_back(bits_weight(words[cursor + 1]));
+    cursor += 2;
+  }
+  return id;
 }
 
 }  // namespace
@@ -66,21 +97,37 @@ std::vector<NodeID> SpmdCoarsener::spmd_match(const StaticGraph& current,
     return compute_matching(current, config_.matcher, options, match_rng);
   }
 
-  const DistGraph dist(current, num_shards);
+  // The ownership map plus this rank's shard structure only; the level's
+  // resident data is the owned-node CSR with its one-hop ghost layer,
+  // whose weights and weighted degrees arrive over channels inside the
+  // ShardGraph build (counted in CommStats). Every matching inner loop
+  // below reads resident data only — never the shared replica.
+  const DistGraph dist(current, num_shards, rank, p);
   const std::vector<BlockID> my_shards = dist.shards_of_rank(rank, p);
+  const ShardGraph shard(current, dist, pe_);
+  const StaticGraph& resident = shard.csr();
+  const NodeID num_owned = shard.num_owned();
+  const NodeID num_local = shard.num_local();
+  stats_.footprint.merge_peak(shard.footprint());
 
-  // --- Phase 1: sequential matching per owned shard (§3.3). ---
-  std::vector<NodeID> partner(n);
+  // --- Phase 1: sequential matching per owned shard (§3.3), on shard
+  // subgraphs cut out of the resident CSR. Local ids are assigned in
+  // ascending global order, so the induced shard graphs — and with them
+  // the matcher streams — are identical for every p. ---
+  std::vector<NodeID> partner(num_local);  // local ids; ghosts stay unmatched
   std::iota(partner.begin(), partner.end(), NodeID{0});
   for (const BlockID s : my_shards) {
-    const GraphShard& shard = dist.shard(s);
-    if (shard.nodes.empty()) continue;
-    const Subgraph sub = shard.induced(current);
+    const GraphShard& shard_s = dist.shard(s);
+    if (shard_s.nodes.empty()) continue;
+    std::vector<NodeID> locals;
+    locals.reserve(shard_s.nodes.size());
+    for (const NodeID u : shard_s.nodes) locals.push_back(shard.local_of(u));
+    const Subgraph sub = induced_subgraph(resident, locals);
     Rng shard_rng = level_rng.fork(1 + s);
-    const std::vector<NodeID> local =
+    const std::vector<NodeID> matched =
         compute_matching(sub.graph, config_.matcher, options, shard_rng);
-    for (NodeID lu = 0; lu < local.size(); ++lu) {
-      const NodeID lv = local[lu];
+    for (NodeID lu = 0; lu < matched.size(); ++lu) {
+      const NodeID lv = matched[lu];
       if (lv <= lu) continue;  // handle each pair once, skip unmatched
       const NodeID u = sub.local_to_global[lu];
       const NodeID v = sub.local_to_global[lv];
@@ -88,26 +135,24 @@ std::vector<NodeID> SpmdCoarsener::spmd_match(const StaticGraph& current,
       partner[v] = u;
     }
   }
-  for (const BlockID s : my_shards) {
-    for (const NodeID u : dist.shard(s).nodes) {
-      if (partner[u] != u && u < partner[u]) ++stats_.local_pairs;
-    }
+  for (NodeID u = 0; u < num_owned; ++u) {
+    if (partner[u] != u && u < partner[u]) ++stats_.local_pairs;
   }
 
-  // Rating of the tentative local match at each of my nodes (0 if
-  // unmatched). Remote entries are filled by the exchange below.
-  const TentativeMatchRater rater(current, options);
-  std::vector<double> match_rating(n, 0.0);
-  for (const BlockID s : my_shards) {
-    for (const NodeID u : dist.shard(s).nodes) {
-      match_rating[u] = rater.match_rating(u, partner[u]);
-    }
+  // Rating of the tentative local match at each owned node (0 if
+  // unmatched); ghost entries are filled by the exchange below. The
+  // rater runs on the resident CSR with the exchanged ghost degrees.
+  const TentativeMatchRater rater(resident, options,
+                                  shard.weighted_degrees());
+  std::vector<double> match_rating(num_local, 0.0);
+  for (NodeID u = 0; u < num_owned; ++u) {
+    match_rating[u] = rater.match_rating(u, partner[u]);
   }
 
-  // --- Phase 2: boundary-candidate exchange over channels. Every PE tells
-  // every neighbor-owning PE the tentative match rating of its boundary
-  // nodes; both owners of a cross-shard edge can then evaluate the gap
-  // condition identically. ---
+  // --- Phase 2: boundary-candidate exchange over channels (global ids
+  // on the wire). Every PE tells every neighbor-owning PE the tentative
+  // match rating of its boundary nodes; both owners of a cross-shard
+  // edge can then evaluate the gap condition identically. ---
   {
     std::vector<std::vector<std::uint64_t>> to_peer(p);
     for (const BlockID s : my_shards) {
@@ -120,7 +165,7 @@ std::vector<NodeID> SpmdCoarsener::spmd_match(const StaticGraph& current,
         }
         // Unmatched boundary nodes stay at the receiver's default of 0.0,
         // so only matched ones need to cross the wire.
-        if (match_rating[arc.u] == 0.0) continue;
+        if (match_rating[shard.local_of(arc.u)] == 0.0) continue;
         const int q = dist.owner_of_node(arc.v, p);
         if (q == rank) continue;
         if (std::find(peers_of_u.begin(), peers_of_u.end(), q) !=
@@ -129,7 +174,8 @@ std::vector<NodeID> SpmdCoarsener::spmd_match(const StaticGraph& current,
         }
         peers_of_u.push_back(q);
         to_peer[q].push_back(arc.u);
-        to_peer[q].push_back(std::bit_cast<std::uint64_t>(match_rating[arc.u]));
+        to_peer[q].push_back(std::bit_cast<std::uint64_t>(
+            match_rating[shard.local_of(arc.u)]));
       }
     }
     for (int q = 0; q < p; ++q) {
@@ -139,7 +185,7 @@ std::vector<NodeID> SpmdCoarsener::spmd_match(const StaticGraph& current,
       if (q == rank) continue;
       const Message msg = pe_.receive(q);
       for (std::size_t i = 0; i + 1 < msg.payload.size(); i += 2) {
-        match_rating[static_cast<NodeID>(msg.payload[i])] =
+        match_rating[shard.local_of(static_cast<NodeID>(msg.payload[i]))] =
             std::bit_cast<double>(msg.payload[i + 1]);
       }
     }
@@ -150,31 +196,33 @@ std::vector<NodeID> SpmdCoarsener::spmd_match(const StaticGraph& current,
   // is materialized at both owners; an edge between two of my own shards
   // once. ---
   struct GapCandidate {
-    NodeID u;  ///< my endpoint
-    NodeID v;  ///< other endpoint (possibly also mine)
+    NodeID u;         ///< my endpoint (local id)
+    NodeID v;         ///< other endpoint (local id: owned or ghost)
+    NodeID u_global;
+    NodeID v_global;
     double rating;
   };
   std::vector<GapCandidate> cands;
   for (const BlockID s : my_shards) {
     for (const CrossShardArc& arc : dist.shard(s).cross_arcs) {
-      const NodeID u = arc.u;
-      const NodeID v = arc.v;
-      const bool v_mine = dist.owner_of_node(v, p) == rank;
-      if (v_mine && u > v) continue;  // the mirror arc covers it
+      const NodeID lu = shard.local_of(arc.u);
+      const NodeID lv = shard.local_of(arc.v);
+      const bool v_mine = shard.is_owned(lv);
+      if (v_mine && arc.u > arc.v) continue;  // the mirror arc covers it
       double r = 0.0;
-      if (rater.admits_gap_edge(u, v, arc.weight, match_rating[u],
-                                match_rating[v], &r)) {
-        cands.push_back({u, v, r});
+      if (rater.admits_gap_edge(lu, lv, arc.weight, match_rating[lu],
+                                match_rating[lv], &r)) {
+        cands.push_back({lu, lv, arc.u, arc.v, r});
       }
     }
   }
 
   constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
-  std::unordered_map<NodeID, std::vector<std::size_t>> incident;
+  std::unordered_map<NodeID, std::vector<std::size_t>> incident;  // local id
   std::vector<std::vector<std::size_t>> spanning(p);  // by remote owner
   for (std::size_t i = 0; i < cands.size(); ++i) {
     incident[cands[i].u].push_back(i);
-    const int q = dist.owner_of_node(cands[i].v, p);
+    const int q = dist.owner_of_node(cands[i].v_global, p);
     if (q == rank) {
       incident[cands[i].v].push_back(i);
     } else {
@@ -189,12 +237,13 @@ std::vector<NodeID> SpmdCoarsener::spmd_match(const StaticGraph& current,
   // all-gathered; a zero all-reduce terminates every PE in the same
   // round. ---
   std::vector<std::uint8_t> alive(cands.size(), 1);
-  std::vector<std::uint8_t> taken(n, 0);
+  std::vector<std::uint8_t> taken(num_local, 0);
   auto better = [&](std::size_t i, std::size_t b) {
     if (cands[i].rating != cands[b].rating) {
       return cands[i].rating > cands[b].rating;
     }
-    return edge_key(cands[i].u, cands[i].v) < edge_key(cands[b].u, cands[b].v);
+    return edge_key(cands[i].u_global, cands[i].v_global) <
+           edge_key(cands[b].u_global, cands[b].v_global);
   };
   while (true) {
     ++stats_.gap_rounds;
@@ -219,7 +268,7 @@ std::vector<NodeID> SpmdCoarsener::spmd_match(const StaticGraph& current,
       std::vector<std::uint64_t> words;
       for (const std::size_t i : spanning[q]) {
         if (alive[i] && best_at(cands[i].u, i)) {
-          words.push_back(edge_key(cands[i].u, cands[i].v));
+          words.push_back(edge_key(cands[i].u_global, cands[i].v_global));
         }
       }
       pe_.send(q, std::move(words));
@@ -245,10 +294,12 @@ std::vector<NodeID> SpmdCoarsener::spmd_match(const StaticGraph& current,
       if (!alive[i]) continue;
       const NodeID u = cands[i].u;
       const NodeID v = cands[i].v;
-      const bool v_mine = dist.owner_of_node(v, p) == rank;
+      const bool v_mine = shard.is_owned(v);
       const bool u_nominates = best_at(u, i);
       const bool v_nominates =
-          v_mine ? best_at(v, i) : remote_best.contains(edge_key(u, v));
+          v_mine ? best_at(v, i)
+                 : remote_best.contains(
+                       edge_key(cands[i].u_global, cands[i].v_global));
       if (u_nominates && v_nominates) {
         dissolve(u);
         partner[u] = v;
@@ -258,18 +309,21 @@ std::vector<NodeID> SpmdCoarsener::spmd_match(const StaticGraph& current,
         }
         taken[u] = 1;
         taken[v] = 1;
-        newly_taken.push_back(u);
-        newly_taken.push_back(v);
+        newly_taken.push_back(cands[i].u_global);
+        newly_taken.push_back(cands[i].v_global);
         alive[i] = 0;
-        if (v_mine || u < v) {  // count each pair once globally
-          ++matched_here;
+        if (v_mine || cands[i].u_global < cands[i].v_global) {
+          ++matched_here;  // count each pair once globally
           ++stats_.gap_pairs;
         }
       }
     }
 
     for (const auto& vec : pe_.all_gather_vectors(std::move(newly_taken))) {
-      for (const std::uint64_t w : vec) taken[static_cast<NodeID>(w)] = 1;
+      for (const std::uint64_t w : vec) {
+        const NodeID l = shard.local_of(static_cast<NodeID>(w));
+        if (l != kInvalidNode) taken[l] = 1;
+      }
     }
     // Retire candidates that lost an endpoint this round — after the
     // taken-sync, so every PE (and every p) kills the same set.
@@ -280,22 +334,20 @@ std::vector<NodeID> SpmdCoarsener::spmd_match(const StaticGraph& current,
   }
 
   // --- Phase 5: all-gather the contraction map. Each PE contributes the
-  // matched pairs whose canonical (lower) endpoint it owns; every PE
-  // assembles the identical full partner vector and contracts. ---
+  // matched pairs whose canonical (lower global id) endpoint it owns;
+  // every PE assembles the identical full partner vector and contracts. ---
   std::vector<std::uint64_t> pair_words;
-  for (const BlockID s : my_shards) {
-    for (const NodeID u : dist.shard(s).nodes) {
-      if (partner[u] != u && u < partner[u]) {
-        pair_words.push_back(pack_pair(u, partner[u]));
-      }
-    }
+  for (NodeID u = 0; u < num_owned; ++u) {
+    if (partner[u] == u) continue;
+    const NodeID gu = shard.global_of(u);
+    const NodeID gv = shard.global_of(partner[u]);
+    if (gu < gv) pair_words.push_back(pack_pair(gu, gv));
   }
   std::vector<NodeID> full(n);
   std::iota(full.begin(), full.end(), NodeID{0});
   for (const auto& vec : pe_.all_gather_vectors(std::move(pair_words))) {
     for (const std::uint64_t w : vec) {
-      const NodeID u = static_cast<NodeID>(w >> 32);
-      const NodeID v = static_cast<NodeID>(w & 0xffffffffULL);
+      const auto [u, v] = unpack_pair(w);
       full[u] = v;
       full[v] = u;
     }
@@ -378,6 +430,240 @@ Partition SpmdInitialPartitioner::partition(const StaticGraph& coarsest) {
 
 // -------------------------------------------------------- SPMD refinement ----
 
+QuotientGraph gather_quotient(const BlockRowShard& store,
+                              const Partition& partition, BlockID k,
+                              PEContext& pe) {
+  // Local contributions per block pair: the minimal (node, arc position)
+  // at which one of my resident rows sees the pair (the replica scan's
+  // first-encounter key), my share of the cut weight (counted from the
+  // bu < bv side, whose row is resident at exactly one rank), and my
+  // boundary nodes. The same shape accumulates the merged result below.
+  struct PairContribution {
+    NodeID first_u = kInvalidNode;
+    std::uint64_t first_pos = 0;
+    EdgeWeight cut = 0;
+    std::vector<NodeID> boundary;
+  };
+  std::map<std::pair<BlockID, BlockID>, PairContribution> local;
+  store.for_each_resident_row([&](NodeID u, NodeWeight /*weight*/,
+                                  std::span<const NodeID> targets,
+                                  std::span<const EdgeWeight> weights) {
+    const BlockID bu = partition.block(u);
+    for (std::size_t pos = 0; pos < targets.size(); ++pos) {
+      const BlockID bv = partition.block(targets[pos]);
+      if (bv == bu) continue;
+      const auto key = std::minmax(bu, bv);
+      PairContribution& c = local[{key.first, key.second}];
+      if (std::tie(u, pos) < std::tie(c.first_u, c.first_pos)) {
+        c.first_u = u;
+        c.first_pos = pos;
+      }
+      if (bu < bv) c.cut += weights[pos];
+      if (c.boundary.empty() || c.boundary.back() != u) {
+        c.boundary.push_back(u);  // each row is visited exactly once
+      }
+    }
+  });
+
+  std::vector<std::uint64_t> words;
+  for (const auto& [key, c] : local) {
+    words.push_back(pack_pair(key.first, key.second));
+    words.push_back(c.first_u);
+    words.push_back(c.first_pos);
+    words.push_back(weight_bits(c.cut));
+    words.push_back(c.boundary.size());
+    words.insert(words.end(), c.boundary.begin(), c.boundary.end());
+  }
+
+  // Merge the all-gathered contributions — identical code over identical
+  // data on every PE.
+  std::unordered_map<std::uint64_t, PairContribution> merged;
+  for (const auto& vec : pe.all_gather_vectors(std::move(words))) {
+    std::size_t i = 0;
+    while (i + 4 < vec.size()) {
+      const std::uint64_t key = vec[i];
+      const NodeID first_u = static_cast<NodeID>(vec[i + 1]);
+      const std::uint64_t first_pos = vec[i + 2];
+      const EdgeWeight cut = bits_weight(vec[i + 3]);
+      const std::size_t count = vec[i + 4];
+      PairContribution& m = merged[key];
+      if (std::tie(first_u, first_pos) < std::tie(m.first_u, m.first_pos)) {
+        m.first_u = first_u;
+        m.first_pos = first_pos;
+      }
+      m.cut += cut;
+      for (std::size_t j = 0; j < count; ++j) {
+        m.boundary.push_back(static_cast<NodeID>(vec[i + 5 + j]));
+      }
+      i += 5 + count;
+    }
+  }
+
+  // Order the pairs exactly as the sequential replica scan first
+  // encounters them, then finalize the boundary lists (sorted, unique —
+  // as the sequential construction leaves them).
+  std::vector<std::uint64_t> keys;
+  keys.reserve(merged.size());
+  for (const auto& [key, m] : merged) keys.push_back(key);
+  std::sort(keys.begin(), keys.end(), [&](std::uint64_t x, std::uint64_t y) {
+    const PairContribution& mx = merged.at(x);
+    const PairContribution& my = merged.at(y);
+    return std::tie(mx.first_u, mx.first_pos) <
+           std::tie(my.first_u, my.first_pos);
+  });
+  std::vector<QuotientEdge> edges;
+  edges.reserve(keys.size());
+  for (const std::uint64_t key : keys) {
+    PairContribution& m = merged.at(key);
+    std::sort(m.boundary.begin(), m.boundary.end());
+    m.boundary.erase(std::unique(m.boundary.begin(), m.boundary.end()),
+                     m.boundary.end());
+    const auto [a, b] = unpack_pair(key);
+    edges.push_back({static_cast<BlockID>(a), static_cast<BlockID>(b), m.cut,
+                     std::move(m.boundary)});
+  }
+  return QuotientGraph(k, std::move(edges));
+}
+
+namespace {
+
+/// Whether an arc target stays inside the pair {a, b}.
+auto in_pair(const Partition& partition, BlockID a, BlockID b) {
+  return [&partition, a, b](NodeID v) {
+    const BlockID bv = partition.block(v);
+    return bv == a || bv == b;
+  };
+}
+
+/// Encodes one rank's rows of block \p b for the pair {a, b}, in
+/// ascending global id order, arcs filtered to in-pair endpoints (the
+/// only arcs a pair search can read).
+std::vector<std::uint64_t> encode_block_rows(const BlockRowShard& store,
+                                             const Partition& partition,
+                                             BlockID a, BlockID b) {
+  std::vector<std::uint64_t> words;
+  for (const NodeID u : store.members(b)) {
+    append_row_words(words, u, store.row_view(u), in_pair(partition, a, b));
+  }
+  return words;
+}
+
+/// One side of a pair view: node ids (ascending) with their in-pair rows.
+struct SideRows {
+  std::vector<NodeID> ids;
+  std::vector<GraphRow> rows;
+};
+
+/// Materializes a side from the local store (filtering to in-pair arcs).
+SideRows local_side_rows(const BlockRowShard& store,
+                         const Partition& partition, BlockID a, BlockID b,
+                         BlockID side) {
+  const auto keep = in_pair(partition, a, b);
+  SideRows result;
+  for (const NodeID u : store.members(side)) {
+    const GraphRowView view = store.row_view(u);
+    GraphRow filtered;
+    filtered.weight = view.weight;
+    for (std::size_t i = 0; i < view.targets.size(); ++i) {
+      if (!keep(view.targets[i])) continue;
+      filtered.targets.push_back(view.targets[i]);
+      filtered.weights.push_back(view.weights[i]);
+    }
+    result.ids.push_back(u);
+    result.rows.push_back(std::move(filtered));
+  }
+  return result;
+}
+
+/// Decodes a side shipped by the partner owner (inverse of
+/// encode_block_rows, which applied the same filter at the sender).
+SideRows decode_side_rows(const std::vector<std::uint64_t>& words) {
+  SideRows result;
+  std::size_t i = 0;
+  while (i + 2 < words.size()) {
+    GraphRow row;
+    const NodeID u = decode_row_words(words, i, row);
+    result.ids.push_back(u);
+    result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+/// A pair-local view: the subgraph induced by the nodes of blocks a and b
+/// (view ids assigned in ascending global order — a pure function of the
+/// pair and the partition state, independent of p and of which rank
+/// executes), plus a k-block partition whose a/b weights equal the global
+/// block weights (every node of either block is in the view). Arcs to
+/// third blocks are dropped: they contribute zero to every two-way FM
+/// gain, so the search on the view is step-for-step the search the
+/// replica implementation would run.
+struct PairView {
+  StaticGraph graph;
+  Partition partition;
+  std::vector<NodeID> to_global;
+  std::vector<NodeID> seeds;  ///< boundary seeds, mapped into view ids
+};
+
+PairView build_pair_view(const SideRows& side_a, const SideRows& side_b,
+                         const Partition& partition, const QuotientEdge& edge,
+                         BlockID k) {
+  PairView view;
+  view.to_global.reserve(side_a.ids.size() + side_b.ids.size());
+  std::merge(side_a.ids.begin(), side_a.ids.end(), side_b.ids.begin(),
+             side_b.ids.end(), std::back_inserter(view.to_global));
+
+  std::unordered_map<NodeID, NodeID> to_view;
+  to_view.reserve(view.to_global.size());
+  for (NodeID i = 0; i < view.to_global.size(); ++i) {
+    to_view.emplace(view.to_global[i], i);
+  }
+  auto row_of = [&](NodeID global) -> const GraphRow& {
+    const auto a_it =
+        std::lower_bound(side_a.ids.begin(), side_a.ids.end(), global);
+    if (a_it != side_a.ids.end() && *a_it == global) {
+      return side_a.rows[static_cast<std::size_t>(a_it - side_a.ids.begin())];
+    }
+    const auto b_it =
+        std::lower_bound(side_b.ids.begin(), side_b.ids.end(), global);
+    assert(b_it != side_b.ids.end() && *b_it == global);
+    return side_b.rows[static_cast<std::size_t>(b_it - side_b.ids.begin())];
+  };
+
+  std::vector<EdgeID> xadj;
+  xadj.reserve(view.to_global.size() + 1);
+  xadj.push_back(0);
+  std::vector<NodeID> adj;
+  std::vector<EdgeWeight> ewgt;
+  std::vector<NodeWeight> vwgt;
+  vwgt.reserve(view.to_global.size());
+  std::vector<BlockID> assignment;
+  assignment.reserve(view.to_global.size());
+  for (const NodeID global : view.to_global) {
+    const GraphRow& row = row_of(global);
+    vwgt.push_back(row.weight);
+    assignment.push_back(partition.block(global));
+    for (std::size_t i = 0; i < row.targets.size(); ++i) {
+      adj.push_back(to_view.at(row.targets[i]));
+      ewgt.push_back(row.weights[i]);
+    }
+    xadj.push_back(adj.size());
+  }
+  view.graph = StaticGraph(std::move(xadj), std::move(adj), std::move(ewgt),
+                           std::move(vwgt));
+  view.partition = Partition(view.graph, std::move(assignment), k);
+
+  // Boundary seeds from the quotient construction; seeds that left the
+  // pair in an earlier color class of this iteration are simply absent
+  // from the view (the replica path skips them inside the band BFS).
+  for (const NodeID u : edge.boundary) {
+    const auto it = to_view.find(u);
+    if (it != to_view.end()) view.seeds.push_back(it->second);
+  }
+  return view;
+}
+
+}  // namespace
+
 SpmdRefiner::SpmdRefiner(const StaticGraph& finest, const Config& config,
                          PEContext& pe)
     : config_(config),
@@ -395,14 +681,24 @@ void SpmdRefiner::refine(const StaticGraph& graph, Partition& partition,
 
   const int p = pe_.size();
   const int rank = pe_.rank();
+  const BlockID k = partition.k();
   const Rng level_rng = rng_.fork(level);
+
+  // §5.2: "immediately after uncontracting a matching, every PE stores
+  // the partition it is responsible for in a static adjacency array
+  // representation" — this rank extracts the rows of its blocks' nodes
+  // once per level (the data distribution step); every refinement inner
+  // loop below reads resident rows, shipped rows, or the replicated
+  // partition state, never the shared graph replica.
+  BlockRowShard store(graph, partition.assignment(), k, rank, p);
+  footprint_.merge_peak(store.footprint());
 
   int no_change_streak = 0;
   for (int global = 0; global < options.max_global_iterations; ++global) {
-    // Quotient graph and coloring are computed replicated from identical
-    // partition state and identical streams, so every PE schedules the
-    // same pairs into the same color classes.
-    const QuotientGraph quotient(graph, partition);
+    // Quotient graph from all-gathered per-rank contributions; coloring
+    // runs replicated on the merged result with identical streams, so
+    // every PE schedules the same pairs into the same color classes.
+    const QuotientGraph quotient = gather_quotient(store, partition, k, pe_);
     if (quotient.edges().empty()) break;  // every block is isolated
 
     Rng color_rng = level_rng.fork(coloring_fork_tag(global));
@@ -414,43 +710,120 @@ void SpmdRefiner::refine(const StaticGraph& graph, Partition& partition,
       const std::vector<std::size_t> pairs = coloring.color_class(color);
       if (pairs.empty()) continue;
 
-      // My share of this color class. The pairs of one class touch
-      // disjoint blocks and pair searches read only pair-local state
-      // (bands, gains and imbalance are functions of the two blocks), so
-      // refining them on replicas and merging deltas is equivalent to
-      // refining them all on one shared partition.
-      std::vector<std::uint64_t> delta_words;
-      for (std::size_t j = static_cast<std::size_t>(rank); j < pairs.size();
-           j += static_cast<std::size_t>(p)) {
-        const QuotientEdge& edge = quotient.edges()[pairs[j]];
-        // Move tracking feeds the delta exchange; with a single PE there
-        // is nobody to send deltas to (p is identical on every PE, so
-        // this stays in lockstep).
-        const PairRefineResult result = refine_pair(
-            graph, partition, edge.a, edge.b, edge.boundary, options,
-            level_rng, pair_seed_tag(global, pairs[j]),
-            /*collect_moves=*/p > 1);
-        my_cut_gain += result.cut_gain;
-        my_imbalance_gain += result.imbalance_gain;
-        for (const auto& [u, b] : result.moves) {
-          delta_words.push_back(pack_pair(u, b));
+      // A pair {a, b} is executed by the owner of block a; the owner of
+      // block b ships its side of the pair (§5.2: "send copies of this
+      // boundary array to the partner PE"). All sends of the class are
+      // posted before any receive; per-source FIFO delivery pairs them
+      // with the executor's receives, which follow the same class order.
+      for (const std::size_t j : pairs) {
+        const QuotientEdge& edge = quotient.edges()[j];
+        const int executor = BlockRowShard::owner_of_block(edge.a, p);
+        const int partner_owner = BlockRowShard::owner_of_block(edge.b, p);
+        if (partner_owner == rank && executor != rank) {
+          pe_.send(executor,
+                   encode_block_rows(store, partition, edge.a, edge.b));
         }
       }
 
-      // Exchange moved-node deltas; apply everyone else's moves to the
-      // local replica. Deltas of one class are node-disjoint, so the
-      // application order does not matter.
-      const auto gathered = pe_.all_gather_vectors(std::move(delta_words));
-      for (int q = 0; q < p; ++q) {
-        if (q == rank) continue;
-        for (const std::uint64_t w : gathered[q]) {
-          const NodeID u = static_cast<NodeID>(w >> 32);
-          const BlockID b = static_cast<BlockID>(w & 0xffffffffULL);
-          if (partition.block(u) != b) {
-            partition.move(u, b, graph.node_weight(u));
+      std::vector<std::uint64_t> delta_words;
+      for (const std::size_t j : pairs) {
+        const QuotientEdge& edge = quotient.edges()[j];
+        if (BlockRowShard::owner_of_block(edge.a, p) != rank) continue;
+        const int partner_owner = BlockRowShard::owner_of_block(edge.b, p);
+        const SideRows side_a =
+            local_side_rows(store, partition, edge.a, edge.b, edge.a);
+        const SideRows side_b =
+            partner_owner == rank
+                ? local_side_rows(store, partition, edge.a, edge.b, edge.b)
+                : decode_side_rows(pe_.receive(partner_owner).payload);
+        PairView view = build_pair_view(side_a, side_b, partition, edge, k);
+        if (partner_owner != rank) {
+          // The shipped partner side is this pair's transient intake.
+          ShardFootprint with_intake = store.footprint();
+          with_intake.ghost_nodes += side_b.ids.size();
+          for (const GraphRow& row : side_b.rows) {
+            with_intake.arcs += row.targets.size();
           }
+          footprint_.merge_peak(with_intake);
+        }
+
+        const PairRefineResult result = refine_pair(
+            view.graph, view.partition, edge.a, edge.b, view.seeds, options,
+            level_rng, pair_seed_tag(global, j), /*collect_moves=*/true);
+        my_cut_gain += result.cut_gain;
+        my_imbalance_gain += result.imbalance_gain;
+        for (const auto& [vu, to] : result.moves) {
+          delta_words.push_back(pack_pair(view.to_global[vu], to));
+          delta_words.push_back(weight_bits(view.graph.node_weight(vu)));
         }
       }
+
+      // Moved-node delta exchange: every PE applies the gathered moves to
+      // its replicated partition state (executors included — their moves
+      // so far live only in the pair view), then the rows of nodes whose
+      // block owner changed migrate to their new home rank.
+      const auto gathered = pe_.all_gather_vectors(std::move(delta_words));
+      struct Migration {
+        NodeID u;
+        BlockID from;
+        BlockID to;
+      };
+      std::vector<Migration> migrations;
+      for (const auto& vec : gathered) {
+        for (std::size_t i = 0; i + 1 < vec.size(); i += 2) {
+          const auto [u, to_raw] = unpack_pair(vec[i]);
+          const BlockID to = static_cast<BlockID>(to_raw);
+          const NodeWeight w = bits_weight(vec[i + 1]);
+          const BlockID from = partition.block(u);
+          if (from == to) continue;
+          partition.move(u, to, w);
+          migrations.push_back({u, from, to});
+        }
+      }
+
+      // Row migration with a schedule every rank derives from the same
+      // gathered deltas: the old owner ships the full row, the new owner
+      // takes it into the §5.2 hash-table side store.
+      std::vector<std::vector<std::uint64_t>> outbox(p);
+      std::vector<int> expect_from(p, 0);
+      for (const Migration& m : migrations) {
+        const int old_owner = BlockRowShard::owner_of_block(m.from, p);
+        const int new_owner = BlockRowShard::owner_of_block(m.to, p);
+        if (old_owner == new_owner) {
+          if (old_owner == rank) store.apply_move(m.u, m.from, m.to, nullptr);
+          continue;
+        }
+        if (old_owner == rank) {
+          const GraphRow row = store.apply_move(m.u, m.from, m.to, nullptr);
+          append_row_words(outbox[new_owner], m.u,
+                           {row.weight, row.targets, row.weights},
+                           [](NodeID) { return true; });
+        } else if (new_owner == rank) {
+          ++expect_from[old_owner];
+        }
+      }
+      for (int q = 0; q < p; ++q) {
+        if (q != rank && !outbox[q].empty()) pe_.send(q, std::move(outbox[q]));
+      }
+      std::vector<std::vector<std::uint64_t>> inbox(p);
+      std::vector<std::size_t> cursor(p, 0);
+      for (int q = 0; q < p; ++q) {
+        if (expect_from[q] > 0) inbox[q] = pe_.receive(q).payload;
+      }
+      for (const Migration& m : migrations) {
+        const int old_owner = BlockRowShard::owner_of_block(m.from, p);
+        const int new_owner = BlockRowShard::owner_of_block(m.to, p);
+        if (new_owner != rank || old_owner == rank || old_owner == new_owner) {
+          continue;
+        }
+        GraphRow row;
+        const NodeID id =
+            decode_row_words(inbox[old_owner], cursor[old_owner], row);
+        assert(id == m.u);
+        (void)id;
+        store.apply_move(m.u, m.from, m.to, &row);
+      }
+      footprint_.merge_peak(store.footprint());
     }
 
     // Stop rule on the *global* iteration gains (modular arithmetic makes
@@ -468,9 +841,12 @@ void SpmdRefiner::refine(const StaticGraph& graph, Partition& partition,
 }
 
 void SpmdRefiner::rebalance(const StaticGraph& graph, Partition& partition) {
-  // The insurance loop runs replicated: with identical streams and
-  // single-threaded pair execution it is deterministic, so the replicas
-  // stay in lockstep without communication.
+  // The insurance loop runs replicated on the level replica: with
+  // identical streams and single-threaded pair execution it is
+  // deterministic, so the replicas stay in lockstep without
+  // communication. (It fires only when the finest level is still
+  // infeasible — distributing it is not worth a protocol; the main
+  // refinement loop above never touches the replica.)
   rebalance_until_feasible(graph, partition, config_, global_bound_, rng_,
                            /*num_threads=*/1);
 }

@@ -4,22 +4,30 @@
 /// Each class implements one phase interface of core/phases.hpp for
 /// execution on the PE runtime: every PE of the runtime constructs its own
 /// instance inside the SPMD program and runs the shared run_multilevel()
-/// driver on its replica of the graph. The phases synchronize internally:
+/// driver. The graph *data* is sharded (parallel/shard_graph.hpp): the
+/// phases' inner loops read each rank's resident structures, never the
+/// shared level replica — the replica is touched only at the per-level
+/// data-distribution step and by the replicated small-graph/rebalance
+/// fallbacks. The phases synchronize internally:
 ///
-///   SpmdCoarsener          — per level, the graph is sharded
-///     (parallel/dist_graph.hpp); each PE matches its shards' induced
-///     subgraphs locally, boundary match ratings are exchanged pairwise
-///     over channels, the gap graph is resolved in locally-heaviest rounds
-///     with per-round channel exchanges, and the matched pairs (the
-///     contraction map) are all-gathered so every PE contracts the level
-///     identically (§3.3).
+///   SpmdCoarsener          — per level, each rank builds its owned+ghost
+///     ShardGraph (ghost weights refreshed over channels, counted in
+///     CommStats), matches its shards' induced subgraphs locally,
+///     exchanges boundary match ratings pairwise over channels, resolves
+///     the gap graph in locally-heaviest rounds with per-round channel
+///     exchanges, and all-gathers the matched pairs (the contraction
+///     map) so every PE contracts the level identically (§3.3).
 ///   SpmdInitialPartitioner — best-of-p: the attempts (each with a private
 ///     RNG stream) are distributed over the PEs, an all-reduce picks the
 ///     winner and the owning PE broadcasts the partition (§4).
-///   SpmdRefiner            — per level, refinement rounds are scheduled
-///     by an edge coloring of the quotient graph; the pairs of one color
-///     class touch disjoint blocks, so PEs refine them concurrently on
-///     their replicas and exchange moved-node deltas afterwards (§5).
+///   SpmdRefiner            — per level, each rank stores the rows of the
+///     nodes in its blocks (§5.2 BlockRowShard); the quotient graph is
+///     merged from per-rank contributions, refinement rounds are
+///     scheduled by an edge coloring of it, a pair {a, b} is executed by
+///     block a's owner on a pair-local view assembled from its own rows
+///     plus block b's rows shipped by the partner owner, and moved-node
+///     deltas plus migrating rows are exchanged after every color class
+///     (§5).
 ///
 /// Determinism: all work units are keyed to *virtual* ids — shards, attempt
 /// indices, quotient-edge indices — and their RNG streams are forked from
@@ -32,10 +40,22 @@
 #include <vector>
 
 #include "core/phases.hpp"
+#include "graph/quotient_graph.hpp"
 #include "parallel/dist_graph.hpp"
 #include "parallel/pe_runtime.hpp"
+#include "parallel/shard_graph.hpp"
 
 namespace kappa {
+
+/// Distributed quotient-graph construction (§5.1 on sharded data): every
+/// rank contributes the cut arcs its resident block rows see; the
+/// all-gathered contributions are merged identically on every PE,
+/// reproducing the replica-scan QuotientGraph bit for bit — same edge
+/// order (first-encounter order of the scan), same cut weights, same
+/// sorted boundary lists. Exposed for the shard-graph test suite.
+[[nodiscard]] QuotientGraph gather_quotient(const BlockRowShard& store,
+                                            const Partition& partition,
+                                            BlockID k, PEContext& pe);
 
 /// Matching shape of the SPMD coarsening phase, accumulated over all
 /// levels on one PE (this PE's contribution, not a global total).
@@ -43,6 +63,9 @@ struct SpmdCoarseningStats {
   NodeID local_pairs = 0;      ///< pairs this PE matched inside its shards
   NodeID gap_pairs = 0;        ///< cross-shard pairs this PE decided
   std::size_t gap_rounds = 0;  ///< locally-heaviest rounds over all levels
+  /// Peak resident size of this PE's ghost-layer ShardGraph over all
+  /// levels (owned + one-hop halo).
+  ShardFootprint footprint;
 };
 
 class SpmdCoarsener final : public Coarsener {
@@ -99,11 +122,17 @@ class SpmdRefiner final : public Refiner {
               std::size_t level) override;
   void rebalance(const StaticGraph& graph, Partition& partition) override;
 
+  /// Peak resident size of this PE's §5.2 block-row store over all
+  /// levels, including the transient partner-block intake of pair
+  /// searches (reported as the ghost component).
+  [[nodiscard]] const ShardFootprint& footprint() const { return footprint_; }
+
  private:
   const Config& config_;
   PEContext& pe_;
   Rng rng_;
   NodeWeight global_bound_;
+  ShardFootprint footprint_;
 };
 
 }  // namespace kappa

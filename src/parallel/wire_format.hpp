@@ -1,0 +1,62 @@
+/// \file wire_format.hpp
+/// \brief Word encodings of the SPMD wire protocol.
+///
+/// Channel payloads are flat 64-bit word vectors (channel.hpp), so every
+/// structured value that crosses the wire is packed into words here, in
+/// one place. Two node ids share one word; the packing is only sound
+/// while NodeID fits 32 bits, which the static_asserts below pin down —
+/// if NodeID is ever widened, they fail the build at the packing site
+/// instead of letting the high bits truncate silently.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <utility>
+
+#include "util/types.hpp"
+
+namespace kappa {
+
+static_assert(sizeof(NodeID) * 8 <= 32,
+              "pack_pair()/edge_key() pack two NodeIDs into one 64-bit "
+              "word; widen the wire format before widening NodeID");
+static_assert(sizeof(BlockID) * 8 <= 32,
+              "pack_pair() carries (NodeID, BlockID) move deltas in one "
+              "word; widen the wire format before widening BlockID");
+
+/// Canonical identity of an undirected edge, agreed on by both endpoint
+/// owners regardless of which side packs it (candidate indices are
+/// PE-local and never cross the wire).
+[[nodiscard]] constexpr std::uint64_t edge_key(NodeID u, NodeID v) {
+  const NodeID lo = u < v ? u : v;
+  const NodeID hi = u < v ? v : u;
+  return (static_cast<std::uint64_t>(lo) << 32) |
+         static_cast<std::uint64_t>(hi);
+}
+
+/// Packs an ordered pair of 32-bit ids into one word (matched pairs,
+/// (node, block) move deltas).
+[[nodiscard]] constexpr std::uint64_t pack_pair(std::uint32_t first,
+                                                std::uint32_t second) {
+  return (static_cast<std::uint64_t>(first) << 32) |
+         static_cast<std::uint64_t>(second);
+}
+
+/// Inverse of pack_pair().
+[[nodiscard]] constexpr std::pair<std::uint32_t, std::uint32_t> unpack_pair(
+    std::uint64_t word) {
+  return {static_cast<std::uint32_t>(word >> 32),
+          static_cast<std::uint32_t>(word & 0xffffffffULL)};
+}
+
+/// Node and edge weights (signed 64-bit) travel as their bit pattern.
+[[nodiscard]] inline std::uint64_t weight_bits(std::int64_t w) {
+  return std::bit_cast<std::uint64_t>(w);
+}
+
+/// Inverse of weight_bits().
+[[nodiscard]] inline std::int64_t bits_weight(std::uint64_t bits) {
+  return std::bit_cast<std::int64_t>(bits);
+}
+
+}  // namespace kappa

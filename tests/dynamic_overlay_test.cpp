@@ -7,6 +7,7 @@
 #include <map>
 #include <vector>
 
+#include "core/partitioner.hpp"
 #include "graph/dynamic_overlay.hpp"
 #include "graph/graph_builder.hpp"
 #include "graph/subgraph.hpp"
@@ -92,6 +93,94 @@ TEST(DynamicOverlay, ClearMigratedRestoresCoreOnlyView) {
   EXPECT_EQ(overlay.num_overlay_edges(), 0u);
   EXPECT_FALSE(overlay.contains(10));
   EXPECT_TRUE(overlay.contains(0));
+}
+
+TEST(DynamicOverlay, CoreNodeWithAttachedOverlayEdges) {
+  // Ghost-layer intake: an owned boundary node (core) gains overlay arcs
+  // into the received halo. The static core row stays untouched; degree
+  // and iteration see the union.
+  const StaticGraph core = triangle();
+  DynamicOverlay overlay(core);
+  overlay.add_migrated_node(10, 2);
+  overlay.add_migrated_edge(0, 10, 4);   // core -> ghost
+  overlay.add_migrated_edge(10, 0, 4);   // mirror
+
+  EXPECT_FALSE(overlay.is_migrated(0));
+  EXPECT_EQ(overlay.degree(0), 3u);  // two core arcs + one overlay arc
+  std::map<NodeID, EdgeWeight> neighbors;
+  overlay.for_each_neighbor(0,
+                            [&](NodeID v, EdgeWeight w) { neighbors[v] = w; });
+  EXPECT_EQ(neighbors,
+            (std::map<NodeID, EdgeWeight>{{1, 2}, {2, 5}, {10, 4}}));
+  // The core's own storage is unchanged.
+  EXPECT_EQ(core.degree(0), 2u);
+
+  // clear_migrated() drops the attached core arcs too.
+  overlay.clear_migrated();
+  EXPECT_EQ(overlay.degree(0), 2u);
+  EXPECT_EQ(overlay.num_overlay_edges(), 0u);
+}
+
+TEST(DynamicOverlay, ClearAndReuseAcrossPairwiseRounds) {
+  // The §5.2 deployment: one overlay per PE, reused round after round —
+  // receive a band, search, clear, receive the next band.
+  const StaticGraph core = triangle();
+  DynamicOverlay overlay(core);
+  for (NodeID round = 0; round < 5; ++round) {
+    const NodeID ghost = 100 + round;
+    overlay.add_migrated_node(ghost, 1);
+    overlay.add_migrated_edge(ghost, 0, static_cast<EdgeWeight>(round + 1));
+    overlay.add_migrated_edge(0, ghost, static_cast<EdgeWeight>(round + 1));
+    EXPECT_EQ(overlay.num_migrated(), 1u);
+    EXPECT_EQ(overlay.num_overlay_edges(), 2u);
+    EXPECT_TRUE(overlay.contains(ghost));
+    EXPECT_EQ(overlay.degree(0), 3u);
+    // Previous rounds' ghosts are gone for good.
+    EXPECT_FALSE(overlay.contains(100 + round - 1));
+    overlay.clear_migrated();
+    EXPECT_EQ(overlay.num_migrated(), 0u);
+    EXPECT_EQ(overlay.num_overlay_edges(), 0u);
+    EXPECT_EQ(overlay.degree(0), 2u);
+  }
+}
+
+TEST(DynamicOverlay, GhostLayerIntakeThroughReceiveMigratedNodes) {
+  // receive_migrated_nodes() materializes one rank's repartitioning
+  // intake with the overlay; the reported volume must match the true
+  // diff between the two assignments.
+  Rng rng(5);
+  const StaticGraph g = random_geometric_graph(400, 0.1, rng);
+  const BlockID k = 4;
+  const int p = 2;
+  std::vector<BlockID> before_raw(g.num_nodes());
+  for (NodeID u = 0; u < g.num_nodes(); ++u) before_raw[u] = u % k;
+  std::vector<BlockID> after_raw = before_raw;
+  // Nodes 0..19 migrate to the next block (mod k).
+  for (NodeID u = 0; u < 20; ++u) after_raw[u] = (after_raw[u] + 1) % k;
+  const Partition before(g, std::move(before_raw), k);
+  const Partition after(g, std::move(after_raw), k);
+
+  NodeID total_nodes = 0;
+  for (int rank = 0; rank < p; ++rank) {
+    const MigrationIntake intake =
+        receive_migrated_nodes(g, before, after, rank, p);
+    total_nodes += intake.nodes;
+    // Expected: migrated-in nodes of this rank's blocks, and their arcs
+    // to nodes resident at this rank after the migration.
+    NodeID expected_nodes = 0;
+    std::size_t expected_edges = 0;
+    for (NodeID u = 0; u < g.num_nodes(); ++u) {
+      if (static_cast<int>(after.block(u) % p) != rank) continue;
+      if (after.block(u) == before.block(u)) continue;
+      ++expected_nodes;
+      for (const NodeID v : g.neighbors(u)) {
+        if (static_cast<int>(after.block(v) % p) == rank) ++expected_edges;
+      }
+    }
+    EXPECT_EQ(intake.nodes, expected_nodes) << "rank " << rank;
+    EXPECT_EQ(intake.edges, expected_edges) << "rank " << rank;
+  }
+  EXPECT_EQ(total_nodes, 20u);
 }
 
 TEST(DynamicOverlay, GlobalIdMappingForLocalSubgraphs) {

@@ -35,6 +35,25 @@ TEST_F(IOTest, RoundTripUnweighted) {
   std::remove(path.c_str());
 }
 
+TEST_F(IOTest, RoundTripWithIsolatedVertex) {
+  // An isolated vertex is written as an *empty* line — legal METIS.
+  // Regression: the reader used to swallow it as if it were a comment,
+  // shifting every following row and dying with "unexpected EOF".
+  GraphBuilder builder(5);
+  builder.add_edge(0, 1, 1);
+  builder.add_edge(3, 4, 1);  // vertex 2 stays isolated
+  const StaticGraph original = builder.finalize();
+  const std::string path = temp_path("isolated.graph");
+  write_metis_graph(original, path);
+  const StaticGraph read = read_metis_graph(path);
+  ASSERT_EQ(read.num_nodes(), original.num_nodes());
+  ASSERT_EQ(read.num_edges(), original.num_edges());
+  EXPECT_EQ(read.degree(2), 0u);
+  EXPECT_EQ(read.degree(0), 1u);
+  EXPECT_EQ(read.degree(4), 1u);
+  std::remove(path.c_str());
+}
+
 TEST_F(IOTest, RoundTripWeighted) {
   GraphBuilder builder(4);
   builder.add_edge(0, 1, 3);

@@ -1,28 +1,19 @@
 /// \file partitioner_api_test.cpp
-/// \brief Tests for the unified Context/Partitioner API: the legacy free
-/// functions are bit-identical thin wrappers, repartitioning runs through
-/// the phase interfaces (warm-started multilevel pipeline) in both
-/// execution contexts, and the SPMD repartitioner keeps the determinism
-/// contract of the from-scratch pipeline (fixed seed => identical
-/// partition and migration count for every PE count).
+/// \brief Tests for the unified Context/Partitioner API: repartitioning
+/// runs through the phase interfaces (warm-started multilevel pipeline)
+/// in both execution contexts, and the SPMD repartitioner keeps the
+/// determinism contract of the from-scratch pipeline (fixed seed =>
+/// identical partition and migration count for every PE count).
 #include <gtest/gtest.h>
 
 #include <numeric>
 
-#include "core/kappa.hpp"
 #include "core/partitioner.hpp"
-#include "core/repartition.hpp"
 #include "generators/generators.hpp"
 #include "graph/metrics.hpp"
 #include "graph/validation.hpp"
 #include "parallel/pe_runtime.hpp"
 #include "util/random.hpp"
-
-// This suite deliberately exercises the deprecated wrappers to pin down
-// their equivalence with the Partitioner.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
 
 namespace kappa {
 namespace {
@@ -41,13 +32,6 @@ Partition perturb(const StaticGraph& g, const Partition& p, BlockID k,
   return perturbed;
 }
 
-void expect_same_partition(const Partition& a, const Partition& b) {
-  ASSERT_EQ(a.num_nodes(), b.num_nodes());
-  for (NodeID u = 0; u < a.num_nodes(); ++u) {
-    ASSERT_EQ(a.block(u), b.block(u)) << "node " << u;
-  }
-}
-
 // ----------------------------------------------------------- the Context ----
 
 TEST(Context, CarriesConfigAndRuntime) {
@@ -64,55 +48,6 @@ TEST(Context, CarriesConfigAndRuntime) {
   const Context spmd = Context::spmd(config, runtime);
   EXPECT_TRUE(spmd.is_spmd());
   EXPECT_EQ(spmd.runtime(), &runtime);
-}
-
-// ------------------------------------------------------- legacy wrappers ----
-
-TEST(LegacyWrappers, KappaPartitionIsBitIdentical) {
-  const StaticGraph g = make_instance("rgg14", 4);
-  Config config = Config::preset(Preset::kFast, 8);
-  config.seed = 11;
-
-  const PartitionResult modern =
-      Partitioner(Context::sequential(config)).partition(g);
-  const KappaResult legacy = kappa_partition(g, config);
-  EXPECT_EQ(legacy.cut, modern.cut);
-  expect_same_partition(legacy.partition, modern.partition);
-}
-
-TEST(LegacyWrappers, KappaPartitionParallelIsBitIdentical) {
-  const StaticGraph g = make_instance("delaunay14", 4);
-  Config config = Config::preset(Preset::kMinimal, 4);
-  config.seed = 13;
-
-  PERuntime modern_runtime(2, config.seed);
-  const PartitionResult modern =
-      Partitioner(Context::spmd(config, modern_runtime)).partition(g);
-  PERuntime legacy_runtime(2, config.seed);
-  const KappaResult legacy =
-      kappa_partition_parallel(g, config, legacy_runtime);
-  EXPECT_EQ(legacy.cut, modern.cut);
-  EXPECT_EQ(legacy.num_pes, modern.num_pes);
-  expect_same_partition(legacy.partition, modern.partition);
-}
-
-TEST(LegacyWrappers, RepartitionIsBitIdentical) {
-  const StaticGraph g = make_instance("grid_m", 5);
-  Config config = Config::preset(Preset::kFast, 8);
-  config.seed = 3;
-  const PartitionResult fresh =
-      Partitioner(Context::sequential(config)).partition(g);
-  const Partition perturbed = perturb(g, fresh.partition, 8, 13);
-
-  // Repartition-via-phases (the Partitioner) against the legacy free
-  // function: the wrapper must reproduce the result bit for bit.
-  const PartitionResult modern =
-      Partitioner(Context::sequential(config)).repartition(g, perturbed);
-  const RepartitionResult legacy = repartition(g, perturbed, config);
-  EXPECT_EQ(legacy.cut, modern.cut);
-  EXPECT_EQ(legacy.initial_cut, modern.initial_cut);
-  EXPECT_EQ(legacy.migrated_nodes, modern.migrated_nodes);
-  expect_same_partition(legacy.partition, modern.partition);
 }
 
 // -------------------------------------- repartitioning through the phases ----

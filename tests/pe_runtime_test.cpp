@@ -124,10 +124,46 @@ TEST(PERuntime, AllGatherVectorsCountsTraffic) {
   const std::vector<CommStats> per_rank = runtime.run([&](PEContext& pe) {
     (void)pe.all_gather_vectors({1, 2, 3});
   });
-  // Every PE puts its 3-word contribution on the wire.
+  // Every PE delivers its 3-word contribution to the one other rank.
   const CommStats stats = total_comm_stats(per_rank);
   EXPECT_EQ(stats.words_sent, 6u);
   EXPECT_EQ(stats.messages_sent, 2u);
+}
+
+TEST(PERuntime, CollectivesCountPerDestinationRank) {
+  // Pinned counts for a known exchange at p = 4: a collective costs one
+  // message plus one payload copy per *destination* rank (3 here), never
+  // one per call.
+  PERuntime runtime(4);
+  const std::vector<CommStats> per_rank = runtime.run([&](PEContext& pe) {
+    (void)pe.all_gather(7);  // 1 word to each of 3 destinations
+    (void)pe.all_gather_vectors(
+        std::vector<std::uint64_t>(static_cast<std::size_t>(pe.rank()), 1));
+    std::vector<std::uint64_t> payload;
+    if (pe.rank() == 2) payload.assign(5, 9);
+    (void)pe.broadcast(payload, 2);  // only the root sends: 5 words x 3
+  });
+  ASSERT_EQ(per_rank.size(), 4u);
+  for (int r = 0; r < 4; ++r) {
+    const std::uint64_t rank = static_cast<std::uint64_t>(r);
+    const std::uint64_t root_msgs = r == 2 ? 3u : 0u;
+    const std::uint64_t root_words = r == 2 ? 15u : 0u;
+    EXPECT_EQ(per_rank[r].messages_sent, 6u + root_msgs) << "rank " << r;
+    EXPECT_EQ(per_rank[r].words_sent, 3u + 3u * rank + root_words)
+        << "rank " << r;
+  }
+}
+
+TEST(PERuntime, SinglePeCollectivesPutNothingOnTheWire) {
+  PERuntime runtime(1);
+  const std::vector<CommStats> per_rank = runtime.run([&](PEContext& pe) {
+    (void)pe.all_gather(1);
+    (void)pe.all_gather_vectors({1, 2});
+    (void)pe.broadcast({3}, 0);
+    EXPECT_EQ(pe.all_reduce_sum(5), 5u);
+  });
+  EXPECT_EQ(per_rank[0].messages_sent, 0u);
+  EXPECT_EQ(per_rank[0].words_sent, 0u);
 }
 
 TEST(PERuntime, BroadcastFromEveryRoot) {

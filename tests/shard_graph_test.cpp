@@ -1,0 +1,245 @@
+/// \file shard_graph_test.cpp
+/// \brief Tests for the per-PE data sharding: the ghost-layer ShardGraph
+/// of SPMD matching, the §5.2 BlockRowShard of SPMD refinement, the
+/// distributed quotient construction, and the wire-format packing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/partitioner.hpp"
+#include "generators/generators.hpp"
+#include "graph/quotient_graph.hpp"
+#include "parallel/dist_graph.hpp"
+#include "parallel/pe_runtime.hpp"
+#include "parallel/shard_graph.hpp"
+#include "parallel/spmd_phases.hpp"
+#include "parallel/wire_format.hpp"
+#include "util/random.hpp"
+
+namespace kappa {
+namespace {
+
+// ------------------------------------------------------------ wire format ----
+
+TEST(WireFormat, PacksNearInvalidIdsWithoutTruncation) {
+  // Regression for the silent-truncation hazard the static_asserts pin:
+  // ids near kInvalidNode must round-trip through the one-word packing.
+  const NodeID hi = kInvalidNode - 1;
+  const NodeID lo = 7;
+  const auto [first, second] = unpack_pair(pack_pair(hi, lo));
+  EXPECT_EQ(first, hi);
+  EXPECT_EQ(second, lo);
+  const auto [f2, s2] = unpack_pair(pack_pair(kInvalidNode, hi));
+  EXPECT_EQ(f2, kInvalidNode);
+  EXPECT_EQ(s2, hi);
+}
+
+TEST(WireFormat, EdgeKeyIsCanonicalAndInjective) {
+  const NodeID a = kInvalidNode - 2;
+  const NodeID b = 3;
+  EXPECT_EQ(edge_key(a, b), edge_key(b, a));
+  EXPECT_NE(edge_key(a, b), edge_key(a, b + 1));
+  EXPECT_NE(edge_key(a, b), edge_key(a - 1, b));
+  // The canonical (lo, hi) layout survives unpacking.
+  const auto [lo, hi] = unpack_pair(edge_key(a, b));
+  EXPECT_EQ(lo, b);
+  EXPECT_EQ(hi, a);
+}
+
+// ------------------------------------------------------------- ShardGraph ----
+
+TEST(ShardGraph, ResidentLayerIsOwnedPlusOneHopHalo) {
+  Rng rng(7);
+  const StaticGraph g = random_geometric_graph(2000, rng);
+  const BlockID num_shards = 8;
+  const int p = 4;
+  PERuntime runtime(p, 1);
+  std::vector<std::uint64_t> owned_count(p, 0);
+  runtime.run([&](PEContext& pe) {
+    const DistGraph dist(g, num_shards, pe.rank(), p);
+    const ShardGraph shard(g, dist, pe);
+    owned_count[pe.rank()] = shard.num_owned();
+
+    // Owned set: exactly the union of this rank's shards.
+    std::set<NodeID> owned;
+    for (const BlockID s : dist.shards_of_rank(pe.rank(), p)) {
+      for (const NodeID u : dist.shard(s).nodes) owned.insert(u);
+    }
+    ASSERT_EQ(owned.size(), shard.num_owned());
+
+    // Ghost layer: exactly the one-hop out-neighborhood of the owned set.
+    std::set<NodeID> expected_ghosts;
+    for (const NodeID u : owned) {
+      for (const NodeID v : g.neighbors(u)) {
+        if (owned.count(v) == 0) expected_ghosts.insert(v);
+      }
+    }
+    ASSERT_EQ(expected_ghosts.size(), shard.num_ghost());
+    EXPECT_LT(shard.footprint().resident_nodes(), g.num_nodes());
+
+    // Owned rows reproduce the replica rows (as multisets — the local
+    // CSR orders core arcs before ghost arcs); ghost weights and
+    // weighted degrees came over the wire and must match the replica.
+    for (NodeID local = 0; local < shard.num_local(); ++local) {
+      const NodeID global = shard.global_of(local);
+      EXPECT_EQ(shard.csr().node_weight(local), g.node_weight(global));
+      EXPECT_EQ(shard.weighted_degrees()[local], g.weighted_degree(global));
+      EXPECT_EQ(shard.local_of(global), local);
+      if (!shard.is_owned(local)) continue;
+      std::multiset<std::pair<NodeID, EdgeWeight>> resident_arcs;
+      for (EdgeID e = shard.csr().first_arc(local);
+           e < shard.csr().last_arc(local); ++e) {
+        resident_arcs.emplace(shard.global_of(shard.csr().arc_target(e)),
+                              shard.csr().arc_weight(e));
+      }
+      std::multiset<std::pair<NodeID, EdgeWeight>> replica_arcs;
+      for (EdgeID e = g.first_arc(global); e < g.last_arc(global); ++e) {
+        replica_arcs.emplace(g.arc_target(e), g.arc_weight(e));
+      }
+      EXPECT_EQ(resident_arcs, replica_arcs) << "node " << global;
+    }
+  });
+  // The owned sets partition the nodes.
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : owned_count) total += c;
+  EXPECT_EQ(total, g.num_nodes());
+}
+
+TEST(ShardGraph, SingleRankOwnsEverythingWithoutGhosts) {
+  const StaticGraph g = grid_graph(20, 20);
+  PERuntime runtime(1, 1);
+  runtime.run([&](PEContext& pe) {
+    const DistGraph dist(g, 4, pe.rank(), 1);
+    const ShardGraph shard(g, dist, pe);
+    EXPECT_EQ(shard.num_owned(), g.num_nodes());
+    EXPECT_EQ(shard.num_ghost(), 0u);
+    EXPECT_EQ(shard.csr().num_arcs(), g.num_arcs());
+  });
+}
+
+TEST(ShardGraph, GhostRefreshIsCountedInCommStats) {
+  Rng rng(3);
+  const StaticGraph g = random_geometric_graph(1500, rng);
+  PERuntime runtime(2, 1);
+  const std::vector<CommStats> per_rank = runtime.run([&](PEContext& pe) {
+    const DistGraph dist(g, 8, pe.rank(), 2);
+    const ShardGraph shard(g, dist, pe);
+    EXPECT_GT(shard.num_ghost(), 0u);
+  });
+  for (const CommStats& s : per_rank) {
+    EXPECT_GT(s.messages_sent, 0u);
+    EXPECT_GT(s.words_sent, 0u);
+  }
+}
+
+// -------------------------------------------- rank-filtered DistGraph ----
+
+TEST(DistGraph, RankFilteredBuildMaterializesOwnShardsOnly) {
+  const StaticGraph g = grid_graph(30, 30);
+  const DistGraph full(g, 6);
+  const int p = 2;
+  for (int rank = 0; rank < p; ++rank) {
+    const DistGraph filtered(g, 6, rank, p);
+    EXPECT_EQ(filtered.node_to_shard(), full.node_to_shard());
+    for (BlockID s = 0; s < 6; ++s) {
+      if (DistGraph::owner_of_shard(s, p) == rank) {
+        EXPECT_EQ(filtered.shard(s).nodes, full.shard(s).nodes);
+        EXPECT_EQ(filtered.shard(s).cross_arcs.size(),
+                  full.shard(s).cross_arcs.size());
+        EXPECT_EQ(filtered.shard(s).boundary_nodes,
+                  full.shard(s).boundary_nodes);
+      } else {
+        EXPECT_TRUE(filtered.shard(s).nodes.empty());
+        EXPECT_TRUE(filtered.shard(s).cross_arcs.empty());
+      }
+    }
+  }
+}
+
+// ------------------------------------------- distributed quotient graph ----
+
+TEST(BlockRowShard, GatherQuotientReproducesSequentialConstruction) {
+  const StaticGraph g = make_instance("rgg14", 4);
+  Config config = Config::preset(Preset::kMinimal, 5);
+  config.seed = 2;
+  const PartitionResult result =
+      Partitioner(Context::sequential(config)).partition(g);
+  const Partition& partition = result.partition;
+  const QuotientGraph sequential(g, partition);
+  ASSERT_GT(sequential.edges().size(), 3u);
+
+  for (const int p : {1, 2, 3}) {
+    PERuntime runtime(p, 1);
+    runtime.run([&](PEContext& pe) {
+      const BlockRowShard store(g, partition.assignment(), partition.k(),
+                                pe.rank(), p);
+      const QuotientGraph merged =
+          gather_quotient(store, partition, partition.k(), pe);
+      // Bit-for-bit: same edge order, same weights, same boundaries.
+      ASSERT_EQ(merged.edges().size(), sequential.edges().size())
+          << "p=" << p;
+      for (std::size_t i = 0; i < merged.edges().size(); ++i) {
+        const QuotientEdge& m = merged.edges()[i];
+        const QuotientEdge& s = sequential.edges()[i];
+        EXPECT_EQ(m.a, s.a) << "p=" << p << " edge " << i;
+        EXPECT_EQ(m.b, s.b) << "p=" << p << " edge " << i;
+        EXPECT_EQ(m.cut_weight, s.cut_weight) << "p=" << p << " edge " << i;
+        ASSERT_EQ(m.boundary, s.boundary) << "p=" << p << " edge " << i;
+      }
+      for (BlockID b = 0; b < partition.k(); ++b) {
+        EXPECT_EQ(merged.incident(b), sequential.incident(b));
+      }
+    });
+  }
+}
+
+// ------------------------------------------------------- BlockRowShard ----
+
+TEST(BlockRowShard, RowsMigrateBetweenStoresOnBlockMoves) {
+  const StaticGraph g = grid_graph(8, 8);
+  const BlockID k = 4;
+  const int p = 2;
+  std::vector<BlockID> assignment(g.num_nodes());
+  for (NodeID u = 0; u < g.num_nodes(); ++u) assignment[u] = u % k;
+
+  BlockRowShard store0(g, assignment, k, 0, p);  // owns blocks 0, 2
+  BlockRowShard store1(g, assignment, k, 1, p);  // owns blocks 1, 3
+  const std::uint64_t nodes0 = store0.footprint().owned_nodes;
+  const std::uint64_t nodes1 = store1.footprint().owned_nodes;
+  EXPECT_EQ(nodes0 + nodes1, g.num_nodes());
+
+  // Node 4 (block 0, rank 0) moves to block 1 (rank 1): the departing
+  // row is returned by the old owner and taken in by the new one.
+  const NodeID u = 4;
+  ASSERT_EQ(assignment[u], 0u);
+  const GraphRow shipped = store0.apply_move(u, 0, 1, nullptr);
+  ASSERT_EQ(shipped.targets.size(), g.degree(u));
+  store1.apply_move(u, 0, 1, &shipped);
+
+  EXPECT_EQ(store0.footprint().owned_nodes, nodes0 - 1);
+  EXPECT_EQ(store1.footprint().owned_nodes, nodes1 + 1);
+  EXPECT_TRUE(std::binary_search(store1.members(1).begin(),
+                                 store1.members(1).end(), u));
+  EXPECT_FALSE(std::binary_search(store0.members(0).begin(),
+                                  store0.members(0).end(), u));
+
+  // The migrated row answers exactly like the replica at its new home.
+  const GraphRow row = store1.row(u);
+  EXPECT_EQ(row.weight, g.node_weight(u));
+  std::vector<NodeID> targets(g.neighbors(u).begin(), g.neighbors(u).end());
+  EXPECT_EQ(row.targets, targets);
+
+  // Moving back home un-tombstones the core row, no shipping needed.
+  const GraphRow shipped_back = store1.apply_move(u, 1, 0, nullptr);
+  ASSERT_EQ(shipped_back.targets.size(), g.degree(u));
+  store0.apply_move(u, 1, 0, &shipped_back);
+  EXPECT_EQ(store0.footprint().owned_nodes, nodes0);
+  EXPECT_EQ(store0.row(u).targets, targets);
+}
+
+}  // namespace
+}  // namespace kappa

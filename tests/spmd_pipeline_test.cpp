@@ -208,6 +208,53 @@ TEST(SpmdPipeline, SurfacesCommunicationStats) {
   EXPECT_EQ(words, result.comm.words_sent);
 }
 
+TEST(SpmdPipeline, ResidentGraphMemoryIsShardedNotReplicated) {
+  // The data-sharding acceptance criterion: each rank's peak resident
+  // graph data (owned CSR + one-hop ghost halo, across the matcher's
+  // ShardGraph and the refiner's block-row store) must stay strictly
+  // below n for p >= 2 — the replica is no longer what the SPMD inner
+  // loops read.
+  const StaticGraph g = make_instance("rgg14", 11);
+  Config config = Config::preset(Preset::kFast, 8);
+  config.seed = 5;
+
+  // p = 1: the single rank owns all shards and all blocks.
+  {
+    PERuntime runtime(1, config.seed);
+    const PartitionResult result =
+        Partitioner(Context::spmd(config, runtime)).partition(g);
+    ASSERT_EQ(result.shard_memory_per_pe.size(), 1u);
+    EXPECT_EQ(result.shard_memory_per_pe[0].owned_nodes, g.num_nodes());
+    EXPECT_EQ(result.shard_memory_per_pe[0].ghost_nodes, 0u);
+  }
+
+  for (const int p : {2, 4}) {
+    PERuntime runtime(p, config.seed);
+    const PartitionResult result =
+        Partitioner(Context::spmd(config, runtime)).partition(g);
+    ASSERT_EQ(result.shard_memory_per_pe.size(), static_cast<std::size_t>(p));
+    std::uint64_t total_owned = 0;
+    for (int rank = 0; rank < p; ++rank) {
+      const ShardFootprint& fp = result.shard_memory_per_pe[rank];
+      EXPECT_GT(fp.owned_nodes, 0u) << "p=" << p << " rank " << rank;
+      // Strictly below the replicated O(n)…
+      EXPECT_LT(fp.resident_nodes(), g.num_nodes())
+          << "p=" << p << " rank " << rank;
+      // …and of the owned + one-hop-halo shape: roughly n/p owned (factor
+      // 2 covers shard/block imbalance), with the halo a minority share.
+      EXPECT_LE(fp.owned_nodes, 2u * g.num_nodes() / p)
+          << "p=" << p << " rank " << rank;
+      EXPECT_LT(fp.ghost_nodes, fp.owned_nodes)
+          << "p=" << p << " rank " << rank;
+      EXPECT_GT(fp.arcs, 0u);
+      total_owned += fp.owned_nodes;
+    }
+    // Owned peaks are per-rank maxima over the levels of node partitions,
+    // so they can exceed n only through the matcher/refiner mix.
+    EXPECT_LE(total_owned, 2u * g.num_nodes()) << "p=" << p;
+  }
+}
+
 TEST(SpmdPipeline, SingleBlockAndTinyGraphs) {
   // k = 1: no quotient edges, no refinement — must still terminate.
   const StaticGraph g = grid_graph(8, 8);
