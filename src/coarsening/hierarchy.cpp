@@ -18,20 +18,25 @@ NodeID contraction_stop_threshold(NodeID n, BlockID k, double alpha) {
   return static_cast<NodeID>(std::min<double>(global, n));
 }
 
+MatchingOptions hierarchy_match_options(const StaticGraph& graph,
+                                        const CoarseningOptions& options) {
+  MatchingOptions match_options;
+  match_options.rating = options.rating;
+  const double bound = options.max_pair_weight_factor *
+                       static_cast<double>(graph.total_node_weight()) /
+                       std::max<double>(options.contraction_limit, 1.0);
+  match_options.max_pair_weight = std::max<NodeWeight>(
+      std::min(static_cast<NodeWeight>(bound), options.max_pair_weight_cap),
+      2 * graph.max_node_weight());
+  return match_options;
+}
+
 Hierarchy build_hierarchy_with(const StaticGraph& graph,
                                const CoarseningOptions& options,
                                const LevelMatcher& matcher) {
   Hierarchy hierarchy(graph);
 
-  MatchingOptions match_options;
-  match_options.rating = options.rating;
-  {
-    const double bound = options.max_pair_weight_factor *
-                         static_cast<double>(graph.total_node_weight()) /
-                         std::max<double>(options.contraction_limit, 1.0);
-    match_options.max_pair_weight = std::max<NodeWeight>(
-        static_cast<NodeWeight>(bound), 2 * graph.max_node_weight());
-  }
+  MatchingOptions match_options = hierarchy_match_options(graph, options);
 
   // Warm start: the assignment the matchings must respect, projected level
   // by level alongside the hierarchy (intra-block contraction keeps the
@@ -44,20 +49,18 @@ Hierarchy build_hierarchy_with(const StaticGraph& graph,
   std::size_t level = 0;
   while (hierarchy.coarsest().num_nodes() > options.contraction_limit) {
     const StaticGraph& current = hierarchy.coarsest();
+    // The block-respecting policy: the matchers themselves filter
+    // cross-block candidates during rating (MatchingOptions::blocks), so
+    // a boundary node picks its best intra-block partner instead of
+    // losing its matched edge to a post-matching dissolve.
+    match_options.blocks = warm_blocks.empty() ? nullptr : &warm_blocks;
     std::vector<NodeID> partner = matcher(current, match_options, level);
-    if (!warm_blocks.empty()) {
-      // The block-respecting policy: dissolve every cross-block pair. The
-      // matcher ran unconstrained, so near block boundaries coarsening is
-      // merely less effective, never incorrect. Deterministic, hence safe
-      // for the replicated SPMD coarseners.
-      for (NodeID u = 0; u < current.num_nodes(); ++u) {
-        const NodeID v = partner[u];
-        if (v > u && warm_blocks[u] != warm_blocks[v]) {
-          partner[u] = u;
-          partner[v] = v;
-        }
-      }
+#ifndef NDEBUG
+    for (NodeID u = 0; !warm_blocks.empty() && u < current.num_nodes(); ++u) {
+      assert((partner[u] == u || warm_blocks[u] == warm_blocks[partner[u]]) &&
+             "matchers must respect the block constraint");
     }
+#endif
 
     const NodeID pairs = matching_size(partner);
     if (pairs == 0) break;  // nothing contractible is left

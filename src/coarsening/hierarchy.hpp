@@ -9,6 +9,7 @@
 #pragma once
 
 #include <functional>
+#include <limits>
 #include <vector>
 
 #include "graph/contraction.hpp"
@@ -37,6 +38,14 @@ struct CoarseningOptions {
   /// (keeps coarse node weights uniform enough for a feasible initial
   /// partition).
   double max_pair_weight_factor = 1.5;
+  /// Additional absolute cap on the pair weight (defaults to no cap).
+  /// Warm-started (repartitioning) coarsening caps pairs by the balance
+  /// slack: with the block constraint the matchers coarsen deep *inside*
+  /// blocks, and a coarse node heavier than the slack could never
+  /// migrate during rebalancing without breaking the Lmax bound — the
+  /// cap keeps every coarse node movable. The effective bound still
+  /// never drops below twice the max input node weight.
+  NodeWeight max_pair_weight_cap = std::numeric_limits<NodeWeight>::max();
   /// Warm start (repartitioning): pairs whose endpoints lie in different
   /// blocks of this finest-level assignment are never contracted, so the
   /// assignment projects exactly onto every level of the hierarchy.
@@ -89,6 +98,14 @@ class Hierarchy {
 using LevelMatcher = std::function<std::vector<NodeID>(
     const StaticGraph& current, const MatchingOptions& options,
     std::size_t level)>;
+
+/// Matching knobs shared by every level of one hierarchy build: the
+/// rating plus the max-pair-weight bound derived from the *input* graph
+/// (so it is identical on every level and every PE). The per-level block
+/// constraint (warm starts) is set by the level loop. One body for the
+/// sequential builder and the distributed hierarchy store.
+[[nodiscard]] MatchingOptions hierarchy_match_options(
+    const StaticGraph& graph, const CoarseningOptions& options);
 
 /// Builds the hierarchy by iterated match-and-contract with a caller-
 /// supplied per-level matcher. Owns everything both the sequential and

@@ -93,26 +93,30 @@ PartitionResult run_spmd(const StaticGraph& graph, const Config& config,
   PartitionResult result;
   std::vector<MigrationIntake> intake(p);
   std::vector<ShardFootprint> footprints(p);
+  std::vector<ShardFootprint> hierarchy_memory(p);
 
   const std::vector<CommStats> per_pe = runtime.run([&](PEContext& pe) {
     SpmdCoarsener coarsener(config, pe, warm);
-    SpmdRefiner refiner(graph, config, pe);
+    SpmdRefiner refiner(graph, config, pe, warm);
     PartitionResult local;
     if (warm != nullptr) {
       WarmStartInitialPartitioner initial(*warm, config.k);
-      local = run_multilevel(graph, config, coarsener, initial, refiner);
-      // Shard-local migration view (each block's delta is accounted at
-      // its owning rank; every PE holds the identical final partition).
-      intake[pe.rank()] = receive_migrated_nodes(graph, *warm,
-                                                 local.partition, pe.rank(), p);
+      local = run_multilevel_spmd(graph, config, coarsener, initial, refiner);
+      // Shard-local migration view, sealed from the refiner's
+      // incrementally maintained finest-level store (each block's delta
+      // is accounted at its owning rank; every PE holds the identical
+      // final partition).
+      intake[pe.rank()] = refiner.migration_intake(local.partition);
     } else {
       SpmdInitialPartitioner initial(config, pe);
-      local = run_multilevel(graph, config, coarsener, initial, refiner);
+      local = run_multilevel_spmd(graph, config, coarsener, initial, refiner);
     }
-    // Peak resident graph data of this rank across both sharded phases.
+    // Peak resident graph data of this rank across both sharded phases,
+    // plus the resident hierarchy store (all levels stay sharded).
     ShardFootprint footprint = coarsener.stats().footprint;
     footprint.merge_peak(refiner.footprint());
     footprints[pe.rank()] = footprint;
+    hierarchy_memory[pe.rank()] = coarsener.stats().hierarchy_resident;
     if (pe.rank() == 0) result = std::move(local);
   });
 
@@ -120,6 +124,7 @@ PartitionResult run_spmd(const StaticGraph& graph, const Config& config,
   result.comm = total_comm_stats(per_pe);
   result.comm_per_pe = per_pe;
   result.shard_memory_per_pe = std::move(footprints);
+  result.hierarchy_memory_per_pe = std::move(hierarchy_memory);
   if (warm != nullptr) {
     result.migrated_per_pe.reserve(p);
     result.migrated_edges_per_pe.reserve(p);

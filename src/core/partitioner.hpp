@@ -64,17 +64,29 @@ struct PartitionResult {
 
   std::size_t hierarchy_levels = 0;
   NodeID coarsest_nodes = 0;
+  /// Node count of every hierarchy level, finest first (SPMD runs; the
+  /// replicated per-rank baseline an old-style run would hold is the sum
+  /// of these).
+  std::vector<NodeID> hierarchy_level_nodes;
 
   // SPMD run shape (zero/empty on sequential runs).
   int num_pes = 0;                     ///< PEs of the runtime that ran this
   CommStats comm;                      ///< aggregate communication volume
   std::vector<CommStats> comm_per_pe;  ///< per-PE counters, indexed by rank
-  /// Peak resident footprint of the data-sharded graph structures per
-  /// rank (the §3.3 owned+ghost CSR of SPMD matching and the §5.2
-  /// block-row store of SPMD refinement), indexed by rank. With p >= 2
-  /// each rank's resident node count stays near n/p plus its one-hop
-  /// halo — strictly below n — instead of the replicated O(n).
+  /// Peak resident footprint of any single data-sharded graph structure
+  /// per rank (one level's §3.3 owned+ghost CSR, the §5.2 block-row
+  /// store with its transient pair intake, or the once-gathered coarsest
+  /// replica), indexed by rank. With p >= 2 each rank's resident node
+  /// count stays near n/p plus its one-hop halo — strictly below n —
+  /// instead of the replicated O(n).
   std::vector<ShardFootprint> shard_memory_per_pe;
+  /// Resident size of the whole distributed hierarchy store per rank:
+  /// the sum of the per-level owned+ghost footprints,
+  /// Σ_levels (n_level / p + halo). The replicated design this store
+  /// replaces held Σ_levels n_level on *every* rank (the sum of
+  /// hierarchy_level_nodes); the ratio is the memory payoff of
+  /// shard-owned contraction, tabulated in EXPERIMENTS.md.
+  std::vector<ShardFootprint> hierarchy_memory_per_pe;
 };
 
 /// One rank's post-repartitioning data intake (§5.2): the nodes migrated

@@ -7,6 +7,7 @@
 
 #include "graph/contraction.hpp"
 #include "graph/metrics.hpp"
+#include "parallel/dist_hierarchy.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
 
@@ -63,9 +64,18 @@ CoarseningOptions coarsening_options(const StaticGraph& graph,
   return coarsening;
 }
 
+NodeWeight repartition_pair_weight_cap(const StaticGraph& graph,
+                                       const Config& config) {
+  const NodeWeight average =
+      (graph.total_node_weight() + static_cast<NodeWeight>(config.k) - 1) /
+      static_cast<NodeWeight>(config.k);
+  return std::max<NodeWeight>(
+      max_block_weight_bound(graph, config.k, config.eps) - average, 1);
+}
+
 PairwiseRefinerOptions level_refine_options(const Config& config,
                                             NodeWeight global_bound,
-                                            const StaticGraph& current) {
+                                            NodeWeight level_max_node_weight) {
   PairwiseRefinerOptions refine;
   refine.fm.queue_selection = config.queue_selection;
   refine.fm.patience_alpha = config.fm_alpha;
@@ -74,8 +84,7 @@ PairwiseRefinerOptions level_refine_options(const Config& config,
   // against the final bound from the start makes every level pull toward
   // final feasibility; the lexicographic FM objective reduces overload as
   // far as each level's granularity permits.
-  refine.fm.max_block_weight =
-      std::max(global_bound, current.max_node_weight());
+  refine.fm.max_block_weight = std::max(global_bound, level_max_node_weight);
   refine.bfs_depth = config.bfs_depth;
   refine.local_iterations = config.local_iterations;
   refine.max_global_iterations = config.max_global_iterations;
@@ -135,6 +144,9 @@ Hierarchy SequentialCoarsener::coarsen(const StaticGraph& graph) {
   Rng coarsen_rng = rng_.fork(1);
   CoarseningOptions options = coarsening_options(graph, config_);
   options.warm_start = warm_start_;
+  if (warm_start_ != nullptr) {
+    options.max_pair_weight_cap = repartition_pair_weight_cap(graph, config_);
+  }
   return build_hierarchy(graph, options, coarsen_rng);
 }
 
@@ -157,6 +169,15 @@ void WarmStartInitialPartitioner::observe_hierarchy(
     assert(current_->block(u) < k_);
     projected_[coarse_id[u]] = current_->block(u);
   }
+}
+
+void WarmStartInitialPartitioner::observe_hierarchy(
+    const DistHierarchy& hierarchy) {
+  // The distributed store keeps the projection chain sharded: every rank
+  // walks its own ownership chain (coarse ownership is inherited from the
+  // canonical endpoint, so the chain never leaves the rank) and only the
+  // O(coarsest) result is gathered — no per-level map replica exists.
+  projected_ = hierarchy.coarsest_warm_assignment();
 }
 
 Partition WarmStartInitialPartitioner::partition(const StaticGraph& coarsest) {
@@ -183,7 +204,7 @@ SequentialRefiner::SequentialRefiner(const StaticGraph& finest,
 void SequentialRefiner::refine(const StaticGraph& graph, Partition& partition,
                                std::size_t level) {
   const PairwiseRefinerOptions options =
-      level_refine_options(config_, global_bound_, graph);
+      level_refine_options(config_, global_bound_, graph.max_node_weight());
   Rng level_rng = rng_.fork(level);
   const PairwiseRefineReport report =
       pairwise_refine(graph, partition, options, level_rng);

@@ -32,6 +32,8 @@
 
 namespace kappa {
 
+class DistHierarchy;
+
 /// Contraction phase (§3): graph -> multilevel hierarchy.
 class Coarsener {
  public:
@@ -50,6 +52,10 @@ class InitialPartitioner {
   /// lets warm-start implementations project an existing assignment
   /// through the hierarchy. From-scratch implementations ignore it.
   virtual void observe_hierarchy(const Hierarchy& /*hierarchy*/) {}
+
+  /// Same hook for the SPMD driver's distributed hierarchy store — the
+  /// warm-start projection reads the sharded maps instead of a replica.
+  virtual void observe_hierarchy(const DistHierarchy& /*hierarchy*/) {}
 
   [[nodiscard]] virtual Partition partition(const StaticGraph& coarsest) = 0;
 };
@@ -88,11 +94,23 @@ class Refiner {
 [[nodiscard]] CoarseningOptions coarsening_options(const StaticGraph& graph,
                                                    const Config& config);
 
+/// Pair-weight cap of warm-started (repartitioning) coarsening: the
+/// balance slack Lmax - ceil(c(V)/k). The block-constrained matchers
+/// coarsen deep inside blocks; capping pairs at the slack keeps every
+/// coarse node light enough to migrate during rebalancing without
+/// breaking the Lmax bound (floored at twice the max input node weight
+/// inside hierarchy_match_options()).
+[[nodiscard]] NodeWeight repartition_pair_weight_cap(const StaticGraph& graph,
+                                                     const Config& config);
+
 /// Refinement knobs for one hierarchy level. \p global_bound is the
 /// input-level Lmax (coarse levels refine against the final bound, lifted
-/// to at least one max-weight node of the level).
+/// to at least one max-weight node of the level, passed as
+/// \p level_max_node_weight — a replicated scalar even when the level
+/// itself is sharded).
 [[nodiscard]] PairwiseRefinerOptions level_refine_options(
-    const Config& config, NodeWeight global_bound, const StaticGraph& current);
+    const Config& config, NodeWeight global_bound,
+    NodeWeight level_max_node_weight);
 
 /// Knobs of one rebalancing insurance attempt (escalating band depth,
 /// MaxLoad queue selection, late attempts target the eps = 0 bound).
@@ -162,6 +180,7 @@ class WarmStartInitialPartitioner final : public InitialPartitioner {
       : current_(&current), k_(k) {}
 
   void observe_hierarchy(const Hierarchy& hierarchy) override;
+  void observe_hierarchy(const DistHierarchy& hierarchy) override;
 
   [[nodiscard]] Partition partition(const StaticGraph& coarsest) override;
 

@@ -36,6 +36,18 @@ class Partition {
     }
   }
 
+  /// Creates a partition from an explicit assignment and precomputed
+  /// block weights. Used where no full graph exists to sum the weights
+  /// from — the distributed hierarchy store holds each level's node
+  /// weights sharded and all-reduces the per-block sums instead.
+  Partition(std::vector<BlockID> assignment, BlockID k,
+            std::vector<NodeWeight> block_weights)
+      : block_of_(std::move(assignment)),
+        block_weight_(std::move(block_weights)),
+        k_(k) {
+    assert(block_weight_.size() == k_);
+  }
+
   [[nodiscard]] BlockID k() const { return k_; }
 
   [[nodiscard]] NodeID num_nodes() const {

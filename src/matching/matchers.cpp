@@ -46,7 +46,8 @@ void sort_edges_by_rating(std::vector<RatedEdge>& edges, Rng& rng) {
                    });
 }
 
-/// Removes edges whose combined endpoint weight exceeds the bound.
+/// Removes edges whose combined endpoint weight exceeds the bound or
+/// whose endpoints violate the block constraint.
 std::vector<RatedEdge> admissible_edges(const StaticGraph& graph,
                                         const MatchingOptions& options) {
   std::vector<RatedEdge> edges = collect_rated_edges(graph, options.rating);
@@ -54,6 +55,11 @@ std::vector<RatedEdge> admissible_edges(const StaticGraph& graph,
     std::erase_if(edges, [&](const RatedEdge& e) {
       return graph.node_weight(e.u) + graph.node_weight(e.v) >
              options.max_pair_weight;
+    });
+  }
+  if (options.blocks != nullptr) {
+    std::erase_if(edges, [&](const RatedEdge& e) {
+      return !options.same_block(e.u, e.v);
     });
   }
   return edges;
@@ -89,6 +95,7 @@ std::vector<NodeID> shem_matching(const StaticGraph& graph,
           options.max_pair_weight) {
         continue;
       }
+      if (!options.same_block(u, v)) continue;
       const EdgeWeight ou = out.empty() ? 0 : out[u];
       const EdgeWeight ov = out.empty() ? 0 : out[v];
       const double r = rate_edge(options.rating, graph.arc_weight(e),

@@ -34,6 +34,18 @@ struct MatchingOptions {
   /// coarse node weights below the balance bound so initial partitioning
   /// stays feasible.
   NodeWeight max_pair_weight = std::numeric_limits<NodeWeight>::max();
+  /// Block constraint of warm-started (repartitioning) coarsening: when
+  /// set, a pair whose endpoints carry different blocks is never a
+  /// candidate — the filter runs during rating, so a boundary node picks
+  /// its best intra-block partner instead of losing its matched edge to a
+  /// post-matching dissolve. Indexed by the node ids of the graph being
+  /// matched; borrowed, must outlive the call. nullptr = unconstrained.
+  const std::vector<BlockID>* blocks = nullptr;
+
+  /// Whether {u, v} may be matched under the block constraint.
+  [[nodiscard]] bool same_block(NodeID u, NodeID v) const {
+    return blocks == nullptr || (*blocks)[u] == (*blocks)[v];
+  }
 };
 
 /// Computes a matching of \p graph with the chosen algorithm. \p rng breaks

@@ -28,8 +28,18 @@ std::vector<NodeID> parallel_matching(const StaticGraph& graph,
     if (pe_nodes[pe].empty()) continue;
     const Subgraph sub = induced_subgraph(graph, pe_nodes[pe]);
     Rng pe_rng = rng.fork(pe);
+    // The block constraint travels into the subgraph's id space.
+    MatchingOptions sub_options = options;
+    std::vector<BlockID> sub_blocks;
+    if (options.blocks != nullptr) {
+      sub_blocks.reserve(sub.local_to_global.size());
+      for (const NodeID u : sub.local_to_global) {
+        sub_blocks.push_back((*options.blocks)[u]);
+      }
+      sub_options.blocks = &sub_blocks;
+    }
     const std::vector<NodeID> local =
-        compute_matching(sub.graph, algo, options, pe_rng);
+        compute_matching(sub.graph, algo, sub_options, pe_rng);
     for (NodeID lu = 0; lu < local.size(); ++lu) {
       const NodeID lv = local[lu];
       if (lv <= lu) continue;  // handle each pair once, skip unmatched

@@ -51,6 +51,7 @@ bool TentativeMatchRater::admits_gap_edge(NodeID u, NodeID v, EdgeWeight w,
           options_->max_pair_weight) {
     return false;
   }
+  if (!options_->same_block(u, v)) return false;
   const double r = rate_arc(u, v, w);
   if (r > rating_u && r > rating_v) {
     *rating_out = r;

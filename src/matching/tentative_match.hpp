@@ -40,10 +40,11 @@ class TentativeMatchRater {
   [[nodiscard]] double match_rating(NodeID u, NodeID partner_u) const;
 
   /// The §3.3 gap condition for a cross-PE edge {u, v} of weight \p w:
-  /// the edge enters the gap graph iff the pair weight bound admits the
-  /// contraction and the edge rating strictly beats the tentative match
-  /// ratings at both endpoints (\p rating_u, \p rating_v — possibly
-  /// received over the wire). On admission the edge rating is written to
+  /// the edge enters the gap graph iff the pair weight bound and the
+  /// block constraint (warm-started coarsening) admit the contraction
+  /// and the edge rating strictly beats the tentative match ratings at
+  /// both endpoints (\p rating_u, \p rating_v — possibly received over
+  /// the wire). On admission the edge rating is written to
   /// *\p rating_out.
   [[nodiscard]] bool admits_gap_edge(NodeID u, NodeID v, EdgeWeight w,
                                      double rating_u, double rating_v,

@@ -12,6 +12,16 @@
 
 namespace kappa {
 
+/// Halo-exchange traffic of one coarsening level: the point-to-point
+/// messages the distributed hierarchy store sends while building the
+/// level (ghost refreshes, boundary match decisions, coarse-edge
+/// contributions) — the per-level communication shape of shard-owned
+/// contraction.
+struct LevelHaloStats {
+  std::uint64_t messages = 0;
+  std::uint64_t words = 0;
+};
+
 /// Per-PE communication statistics. The wire model is uniform: every
 /// point-to-point send counts one message plus its payload words, and a
 /// collective counts one message plus one payload copy *per destination
@@ -22,6 +32,9 @@ struct CommStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t words_sent = 0;
   std::uint64_t barriers = 0;
+  /// Per-coarsening-level halo-exchange breakdown (subset of the totals
+  /// above), indexed by level; empty outside the SPMD coarsening path.
+  std::vector<LevelHaloStats> halo_per_level;
 };
 
 /// Peak resident footprint of the data-sharded SPMD graph structures on
@@ -58,6 +71,13 @@ struct ShardFootprint {
     total.messages_sent += s.messages_sent;
     total.words_sent += s.words_sent;
     total.barriers = std::max(total.barriers, s.barriers);
+    if (s.halo_per_level.size() > total.halo_per_level.size()) {
+      total.halo_per_level.resize(s.halo_per_level.size());
+    }
+    for (std::size_t l = 0; l < s.halo_per_level.size(); ++l) {
+      total.halo_per_level[l].messages += s.halo_per_level[l].messages;
+      total.halo_per_level[l].words += s.halo_per_level[l].words;
+    }
   }
   return total;
 }

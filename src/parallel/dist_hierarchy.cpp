@@ -1,0 +1,1000 @@
+/// \file dist_hierarchy.cpp
+/// \brief Shard-owned contraction with halo exchange (see dist_hierarchy.hpp).
+///
+/// Communication discipline of the coarsening loop: point-to-point
+/// messages travel only between halo peers, and the only collectives are
+/// scalar all-reduces/all-gathers (stop rules, per-shard coarse counts).
+/// No contraction map and no level graph is ever gathered; the tagged
+/// all_gather_vectors calls below belong to uncoarsening projection and
+/// the one-time coarsest gather, which the CI guard checks by tag.
+#include "parallel/dist_hierarchy.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <limits>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "graph/subgraph.hpp"
+#include "matching/tentative_match.hpp"
+#include "parallel/wire_format.hpp"
+
+namespace kappa {
+
+namespace {
+
+/// Adds a footprint into a running total (the hierarchy keeps every level
+/// resident, so the store's size is the sum, not the peak).
+void accumulate(ShardFootprint& total, const ShardFootprint& fp) {
+  total.owned_nodes += fp.owned_nodes;
+  total.ghost_nodes += fp.ghost_nodes;
+  total.arcs += fp.arcs;
+}
+
+/// Reassembles a full per-node value vector from the all-gathered
+/// per-rank owned contributions (each in ascending global-id order). The
+/// finest level merges in one O(n + p) scan with a read cursor per rank;
+/// coarse levels walk their O(num_shards) contiguous ranges.
+std::vector<BlockID> reassemble_owned(
+    const DistLevel& level, int p,
+    const std::vector<std::vector<std::uint64_t>>& gathered) {
+  std::vector<BlockID> values(level.global_n, 0);
+  if (!level.node_to_shard.empty()) {
+    std::vector<std::size_t> cursor(p, 0);
+    for (NodeID u = 0; u < level.global_n; ++u) {
+      const int q = DistGraph::owner_of_shard(level.node_to_shard[u], p);
+      values[u] = static_cast<BlockID>(gathered[q][cursor[q]++]);
+    }
+    return values;
+  }
+  for (int q = 0; q < p; ++q) {
+    std::size_t idx = 0;
+    level.for_each_owned_of_rank(q, p, [&](NodeID u) {
+      values[u] = static_cast<BlockID>(gathered[q][idx++]);
+    });
+  }
+  return values;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- DistLevel ----
+
+BlockID DistLevel::shard_of(NodeID global) const {
+  if (!node_to_shard.empty()) return node_to_shard[global];
+  assert(!shard_begin.empty());
+  const auto it =
+      std::upper_bound(shard_begin.begin(), shard_begin.end(), global);
+  return static_cast<BlockID>(it - shard_begin.begin()) - 1;
+}
+
+// --------------------------------------------------------- DistHierarchy ----
+
+DistHierarchy::DistHierarchy(const StaticGraph& finest,
+                             const CoarseningOptions& options, const Rng& rng,
+                             PEContext& pe, SpmdCoarseningStats* stats)
+    : finest_(&finest),
+      pe_(pe),
+      warm_(options.warm_start != nullptr),
+      stats_(stats),
+      rng_(rng) {
+  const MatchingOptions match_options = hierarchy_match_options(finest, options);
+
+  // Every loop decision below depends on replicated scalars only, so all
+  // PEs run the same number of levels (and hence the same exchanges).
+  pe_.set_halo_level(0);
+  levels_.push_back(build_finest_level(options));
+  pe_.set_halo_level(-1);
+  account_level(levels_.back());
+
+  std::size_t level = 0;
+  while (levels_.back().global_n > options.contraction_limit) {
+    DistLevel& current = levels_.back();
+    pe_.set_halo_level(static_cast<int>(level));
+    const Rng level_rng = rng_.fork(level);
+
+    MatchingOptions level_options = match_options;
+    if (warm_) level_options.blocks = &current.warm_blocks;
+    const std::vector<NodeID> partner =
+        match_level(current, level_options, options.matcher, level_rng);
+
+    // Stop rules on replicated scalars: the global pair count (each pair
+    // counted by the owner of its canonical endpoint) and the shrink.
+    std::uint64_t my_pairs = 0;
+    for (NodeID lu = 0; lu < current.shard.num_owned(); ++lu) {
+      const NodeID lv = partner[lu];
+      if (lv != lu &&
+          current.shard.global_of(lv) > current.shard.global_of(lu)) {
+        ++my_pairs;
+      }
+    }
+    const NodeID pairs = static_cast<NodeID>(pe_.all_reduce_sum(my_pairs));
+    if (pairs == 0) {
+      pe_.set_halo_level(-1);
+      break;  // nothing contractible is left
+    }
+    const double shrink =
+        static_cast<double>(pairs) / static_cast<double>(current.global_n);
+
+    DistLevel next = contract_level(current, partner);
+    pe_.set_halo_level(-1);
+    levels_.push_back(std::move(next));
+    account_level(levels_.back());
+    ++level;
+    if (shrink < options.min_shrink_factor) break;
+  }
+}
+
+void DistHierarchy::account_level(const DistLevel& level) {
+  if (stats_ == nullptr) return;
+  const ShardFootprint fp = level.footprint();
+  stats_->footprint.merge_peak(fp);
+  accumulate(stats_->hierarchy_resident, fp);
+}
+
+DistLevel DistHierarchy::build_finest_level(const CoarseningOptions& options) {
+  const int p = pe_.size();
+  const int rank = pe_.rank();
+
+  DistLevel level;
+  level.global_n = finest_->num_nodes();
+  level.max_node_weight = finest_->max_node_weight();
+  level.num_shards = std::max<BlockID>(options.matching_pes, 1);
+
+  // The input graph is the one level that is resident everywhere, so the
+  // prepartition may read it; the resulting ownership map is the finest
+  // level's replicated metadata.
+  const DistGraph dist(*finest_, level.num_shards, rank, p);
+  level.node_to_shard = dist.node_to_shard();
+  for (const BlockID s : dist.shards_of_rank(rank, p)) {
+    level.my_shard_ids.push_back(s);
+    level.my_shards.push_back(dist.shard(s));
+  }
+  level.shard = ShardGraph(*finest_, dist, pe_);
+
+  level.peer.assign(p, 0);
+  for (NodeID g = level.shard.num_owned(); g < level.shard.num_local(); ++g) {
+    level.peer[level.owner_of_node(level.shard.global_of(g), p)] = 1;
+  }
+
+  if (warm_) {
+    const std::vector<BlockID>& assignment = options.warm_start->assignment();
+    level.warm_blocks.reserve(level.shard.num_local());
+    for (NodeID l = 0; l < level.shard.num_local(); ++l) {
+      level.warm_blocks.push_back(assignment[level.shard.global_of(l)]);
+    }
+  }
+  return level;
+}
+
+std::vector<std::uint64_t> DistHierarchy::gather_per_shard(
+    BlockID num_shards, const std::vector<std::uint64_t>& mine) const {
+  const int p = pe_.size();
+  const int rank = pe_.rank();
+  std::vector<std::uint64_t> all(num_shards, 0);
+  const BlockID rounds =
+      (num_shards + static_cast<BlockID>(p) - 1) / static_cast<BlockID>(p);
+  for (BlockID t = 0; t < rounds; ++t) {
+    // Shard t*p + q is the t-th shard of rank q, so one scalar all-gather
+    // delivers one full stripe of shard values.
+    const BlockID sid = t * static_cast<BlockID>(p) + static_cast<BlockID>(rank);
+    const std::uint64_t value =
+        (sid < num_shards && t < mine.size()) ? mine[t] : 0;
+    const std::vector<std::uint64_t> stripe = pe_.all_gather(value);
+    for (int q = 0; q < p; ++q) {
+      const BlockID s = t * static_cast<BlockID>(p) + static_cast<BlockID>(q);
+      if (s < num_shards) all[s] = stripe[q];
+    }
+  }
+  return all;
+}
+
+// ----------------------------------------------------------- matching ----
+
+std::vector<NodeID> DistHierarchy::match_level(
+    const DistLevel& level, const MatchingOptions& options, MatcherAlgo matcher,
+    const Rng& level_rng) {
+  const int p = pe_.size();
+  const int rank = pe_.rank();
+  const StaticGraph& resident = level.shard.csr();
+  const NodeID num_owned = level.shard.num_owned();
+  const NodeID num_local = level.shard.num_local();
+
+  // --- Phase 1: sequential matching per owned shard (§3.3), on shard
+  // subgraphs cut out of the resident CSR. Local ids ascend with global
+  // ids, so the induced shard graphs — and with them the matcher
+  // streams — are identical for every p. ---
+  std::vector<NodeID> partner(num_local);  // local ids; ghosts stay unmatched
+  std::iota(partner.begin(), partner.end(), NodeID{0});
+  for (std::size_t i = 0; i < level.my_shard_ids.size(); ++i) {
+    const GraphShard& shard_s = level.my_shards[i];
+    if (shard_s.nodes.empty()) continue;
+    std::vector<NodeID> locals;
+    locals.reserve(shard_s.nodes.size());
+    for (const NodeID u : shard_s.nodes) {
+      locals.push_back(level.shard.local_of(u));
+    }
+    const Subgraph sub = induced_subgraph(resident, locals);
+    MatchingOptions sub_options = options;
+    std::vector<BlockID> sub_blocks;
+    if (options.blocks != nullptr) {
+      // The block constraint travels into the shard subgraph's id space.
+      sub_blocks.reserve(locals.size());
+      for (const NodeID l : locals) sub_blocks.push_back((*options.blocks)[l]);
+      sub_options.blocks = &sub_blocks;
+    }
+    Rng shard_rng = level_rng.fork(1 + level.my_shard_ids[i]);
+    const std::vector<NodeID> matched =
+        compute_matching(sub.graph, matcher, sub_options, shard_rng);
+    for (NodeID lu = 0; lu < matched.size(); ++lu) {
+      const NodeID lv = matched[lu];
+      if (lv <= lu) continue;  // handle each pair once, skip unmatched
+      const NodeID u = sub.local_to_global[lu];
+      const NodeID v = sub.local_to_global[lv];
+      partner[u] = v;
+      partner[v] = u;
+    }
+  }
+  if (stats_ != nullptr) {
+    for (NodeID u = 0; u < num_owned; ++u) {
+      if (partner[u] != u && u < partner[u]) ++stats_->local_pairs;
+    }
+  }
+
+  // Rating of the tentative local match at each owned node (0 if
+  // unmatched); ghost entries are filled by the exchange below. The
+  // rater runs on the resident CSR with the exchanged ghost degrees and
+  // enforces the pair-weight bound plus the block constraint.
+  const TentativeMatchRater rater(resident, options,
+                                  level.shard.weighted_degrees());
+  std::vector<double> match_rating(num_local, 0.0);
+  for (NodeID u = 0; u < num_owned; ++u) {
+    match_rating[u] = rater.match_rating(u, partner[u]);
+  }
+
+  // --- Phase 2: boundary-candidate exchange with the halo peers (global
+  // ids on the wire). Every PE tells every neighbor-owning peer the
+  // tentative match rating of its boundary nodes; both owners of a
+  // cross-shard edge can then evaluate the gap condition identically. ---
+  {
+    std::vector<std::vector<std::uint64_t>> to_peer(p);
+    for (const GraphShard& shard_s : level.my_shards) {
+      NodeID last_u = kInvalidNode;
+      std::vector<int> peers_of_u;  // ranks already served for last_u
+      for (const CrossShardArc& arc : shard_s.cross_arcs) {
+        if (arc.u != last_u) {
+          last_u = arc.u;
+          peers_of_u.clear();
+        }
+        // Unmatched boundary nodes stay at the receiver's default of 0.0,
+        // so only matched ones need to cross the wire.
+        if (match_rating[level.shard.local_of(arc.u)] == 0.0) continue;
+        const int q = level.owner_of_node(arc.v, p);
+        if (q == rank) continue;
+        if (std::find(peers_of_u.begin(), peers_of_u.end(), q) !=
+            peers_of_u.end()) {
+          continue;
+        }
+        peers_of_u.push_back(q);
+        to_peer[q].push_back(arc.u);
+        to_peer[q].push_back(std::bit_cast<std::uint64_t>(
+            match_rating[level.shard.local_of(arc.u)]));
+      }
+    }
+    for (int q = 0; q < p; ++q) {
+      if (q != rank && level.peer[q]) pe_.send(q, std::move(to_peer[q]));
+    }
+    for (int q = 0; q < p; ++q) {
+      if (q == rank || !level.peer[q]) continue;
+      const Message msg = pe_.receive(q);
+      for (std::size_t i = 0; i + 1 < msg.payload.size(); i += 2) {
+        match_rating[level.shard.local_of(static_cast<NodeID>(
+            msg.payload[i]))] = std::bit_cast<double>(msg.payload[i + 1]);
+      }
+    }
+  }
+
+  // --- Phase 3: the gap graph (§3.3): cross-shard edges whose rating
+  // beats the tentative local matches at both endpoints. A spanning edge
+  // is materialized at both owners; an edge between two of my own shards
+  // once. ---
+  struct GapCandidate {
+    NodeID u;  ///< my endpoint (local id)
+    NodeID v;  ///< other endpoint (local id: owned or ghost)
+    NodeID u_global;
+    NodeID v_global;
+    double rating;
+  };
+  std::vector<GapCandidate> cands;
+  for (const GraphShard& shard_s : level.my_shards) {
+    for (const CrossShardArc& arc : shard_s.cross_arcs) {
+      const NodeID lu = level.shard.local_of(arc.u);
+      const NodeID lv = level.shard.local_of(arc.v);
+      const bool v_mine = level.shard.is_owned(lv);
+      if (v_mine && arc.u > arc.v) continue;  // the mirror arc covers it
+      double r = 0.0;
+      if (rater.admits_gap_edge(lu, lv, arc.weight, match_rating[lu],
+                                match_rating[lv], &r)) {
+        cands.push_back({lu, lv, arc.u, arc.v, r});
+      }
+    }
+  }
+
+  constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+  std::unordered_map<NodeID, std::vector<std::size_t>> incident;  // local id
+  std::vector<std::vector<std::size_t>> spanning(p);  // by remote owner
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    incident[cands[i].u].push_back(i);
+    const int q = level.owner_of_node(cands[i].v_global, p);
+    if (q == rank) {
+      incident[cands[i].v].push_back(i);
+    } else {
+      spanning[q].push_back(i);
+    }
+  }
+
+  // --- Phase 4: iterated locally-heaviest rounds. Each round, every node
+  // nominates its best remaining gap edge; an edge nominated from both
+  // sides is matched and dissolves tentative local matches. Nominations
+  // for spanning edges cross the wire; taken flags of newly matched
+  // nodes travel point-to-point to exactly the peers that hold the node
+  // in their ghost layer (never gathered); a zero all-reduce terminates
+  // every PE in the same round. ---
+  std::vector<std::uint8_t> alive(cands.size(), 1);
+  std::vector<std::uint8_t> taken(num_local, 0);
+  auto better = [&](std::size_t i, std::size_t b) {
+    if (cands[i].rating != cands[b].rating) {
+      return cands[i].rating > cands[b].rating;
+    }
+    return edge_key(cands[i].u_global, cands[i].v_global) <
+           edge_key(cands[b].u_global, cands[b].v_global);
+  };
+  while (true) {
+    if (stats_ != nullptr) ++stats_->gap_rounds;
+    std::unordered_map<NodeID, std::size_t> best;
+    for (const auto& [x, list] : incident) {
+      if (taken[x]) continue;
+      std::size_t b = kNone;
+      for (const std::size_t i : list) {
+        if (alive[i] && (b == kNone || better(i, b))) b = i;
+      }
+      if (b != kNone) best[x] = b;
+    }
+    auto best_at = [&](NodeID x, std::size_t i) {
+      const auto it = best.find(x);
+      return it != best.end() && it->second == i;
+    };
+
+    // Nomination exchange for spanning candidates.
+    std::unordered_set<std::uint64_t> remote_best;
+    for (int q = 0; q < p; ++q) {
+      if (q == rank || !level.peer[q]) continue;
+      std::vector<std::uint64_t> words;
+      for (const std::size_t i : spanning[q]) {
+        if (alive[i] && best_at(cands[i].u, i)) {
+          words.push_back(edge_key(cands[i].u_global, cands[i].v_global));
+        }
+      }
+      pe_.send(q, std::move(words));
+    }
+    for (int q = 0; q < p; ++q) {
+      if (q == rank || !level.peer[q]) continue;
+      const Message msg = pe_.receive(q);
+      remote_best.insert(msg.payload.begin(), msg.payload.end());
+    }
+
+    // Decide on the nominations alone: two distinct both-nominated edges
+    // can never share an endpoint (best is one edge per node), so
+    // simultaneous resolution is safe — and unlike a mid-pass taken
+    // check, it is independent of candidate list order, which keeps the
+    // outcome identical for every p.
+    auto dissolve = [&](NodeID x) {
+      const NodeID prev = partner[x];  // tentative partner: same shard
+      if (prev != x) partner[prev] = prev;
+    };
+    // Taken notifications: an owned node that got matched must flip its
+    // taken flag at every peer holding it as a ghost — exactly the owners
+    // of its ghost neighbors.
+    std::vector<std::vector<std::uint64_t>> notify(p);
+    auto notify_taken = [&](NodeID lx) {
+      std::vector<int> served;
+      for (EdgeID e = resident.first_arc(lx); e < resident.last_arc(lx); ++e) {
+        const NodeID lt = resident.arc_target(e);
+        if (level.shard.is_owned(lt)) continue;
+        const int q = level.owner_of_node(level.shard.global_of(lt), p);
+        if (q == rank ||
+            std::find(served.begin(), served.end(), q) != served.end()) {
+          continue;
+        }
+        served.push_back(q);
+        notify[q].push_back(level.shard.global_of(lx));
+      }
+    };
+    std::uint64_t matched_here = 0;
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      if (!alive[i]) continue;
+      const NodeID u = cands[i].u;
+      const NodeID v = cands[i].v;
+      const bool v_mine = level.shard.is_owned(v);
+      const bool u_nominates = best_at(u, i);
+      const bool v_nominates =
+          v_mine ? best_at(v, i)
+                 : remote_best.contains(
+                       edge_key(cands[i].u_global, cands[i].v_global));
+      if (u_nominates && v_nominates) {
+        dissolve(u);
+        partner[u] = v;
+        if (v_mine) {
+          dissolve(v);
+          partner[v] = u;
+        }
+        taken[u] = 1;
+        taken[v] = 1;
+        notify_taken(u);
+        if (v_mine) notify_taken(v);
+        alive[i] = 0;
+        if (v_mine || cands[i].u_global < cands[i].v_global) {
+          ++matched_here;  // count each pair once globally
+          if (stats_ != nullptr) ++stats_->gap_pairs;
+        }
+      }
+    }
+
+    for (int q = 0; q < p; ++q) {
+      if (q != rank && level.peer[q]) pe_.send(q, std::move(notify[q]));
+    }
+    for (int q = 0; q < p; ++q) {
+      if (q == rank || !level.peer[q]) continue;
+      const Message msg = pe_.receive(q);
+      for (const std::uint64_t w : msg.payload) {
+        // Notifications target resident nodes by construction; the guard
+        // only shields against a malformed message.
+        const NodeID l = level.shard.local_of(static_cast<NodeID>(w));
+        if (l != kInvalidNode) taken[l] = 1;
+      }
+    }
+    // Retire candidates that lost an endpoint this round — after the
+    // taken-sync, so every PE (and every p) kills the same set.
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      if (alive[i] && (taken[cands[i].u] || taken[cands[i].v])) alive[i] = 0;
+    }
+    if (pe_.all_reduce_sum(matched_here) == 0) break;
+  }
+
+  return partner;
+}
+
+// --------------------------------------------------------- contraction ----
+
+DistLevel DistHierarchy::contract_level(DistLevel& fine,
+                                        const std::vector<NodeID>& partner) {
+  const int p = pe_.size();
+  const int rank = pe_.rank();
+  const ShardGraph& sg = fine.shard;
+  const StaticGraph& resident = sg.csr();
+  const NodeID num_owned = sg.num_owned();
+  const BlockID num_shards = fine.num_shards;
+
+  auto go = [&](NodeID l) { return sg.global_of(l); };
+  auto is_canonical = [&](NodeID lu) {
+    const NodeID lv = partner[lu];
+    return lv == lu || go(lv) > go(lu);
+  };
+
+  // --- Coarse ids by owner shard: shard s numbers its canonical
+  // endpoints in ascending global order; the per-shard counts are
+  // all-gathered scalar-wise and prefix-summed into the replicated
+  // coarse-id ranges. ---
+  std::vector<std::uint64_t> my_counts(fine.my_shard_ids.size(), 0);
+  for (std::size_t i = 0; i < fine.my_shards.size(); ++i) {
+    for (const NodeID u : fine.my_shards[i].nodes) {
+      if (is_canonical(sg.local_of(u))) ++my_counts[i];
+    }
+  }
+  const std::vector<std::uint64_t> counts =
+      gather_per_shard(num_shards, my_counts);
+  std::vector<NodeID> shard_begin(num_shards + 1, 0);
+  for (BlockID s = 0; s < num_shards; ++s) {
+    shard_begin[s + 1] = shard_begin[s] + static_cast<NodeID>(counts[s]);
+  }
+  const NodeID coarse_n = shard_begin.back();
+
+  // Resident fine -> coarse ids: canonical endpoints from the shard
+  // numbering, same-rank partners by copying, cross-rank partners and
+  // the ghost layer from the halo exchanges below.
+  std::vector<NodeID> coarse_of(sg.num_local(), kInvalidNode);
+  for (std::size_t i = 0; i < fine.my_shards.size(); ++i) {
+    NodeID next_id = shard_begin[fine.my_shard_ids[i]];
+    for (const NodeID u : fine.my_shards[i].nodes) {
+      const NodeID lu = sg.local_of(u);
+      if (is_canonical(lu)) coarse_of[lu] = next_id++;
+    }
+  }
+  for (NodeID lu = 0; lu < num_owned; ++lu) {
+    if (coarse_of[lu] != kInvalidNode) continue;
+    const NodeID lv = partner[lu];  // the canonical endpoint
+    if (sg.is_owned(lv)) coarse_of[lu] = coarse_of[lv];
+  }
+
+  // --- Halo exchange 1: boundary match decisions. The owner of a
+  // cross-rank pair's canonical endpoint assigned the coarse id; it
+  // ships the id to the partner's owner. ---
+  {
+    std::vector<std::vector<std::uint64_t>> outbox(p);
+    for (NodeID lu = 0; lu < num_owned; ++lu) {
+      const NodeID lv = partner[lu];
+      if (lv == lu || sg.is_owned(lv) || !is_canonical(lu)) continue;
+      const int q = fine.owner_of_node(go(lv), p);
+      outbox[q].push_back(go(lv));
+      outbox[q].push_back(coarse_of[lu]);
+    }
+    for (int q = 0; q < p; ++q) {
+      if (q != rank && fine.peer[q]) pe_.send(q, std::move(outbox[q]));
+    }
+    for (int q = 0; q < p; ++q) {
+      if (q == rank || !fine.peer[q]) continue;
+      const Message msg = pe_.receive(q);
+      for (std::size_t i = 0; i + 1 < msg.payload.size(); i += 2) {
+        const NodeID lu = sg.local_of(static_cast<NodeID>(msg.payload[i]));
+        assert(lu != kInvalidNode && sg.is_owned(lu));
+        coarse_of[lu] = static_cast<NodeID>(msg.payload[i + 1]);
+      }
+    }
+  }
+#ifndef NDEBUG
+  for (NodeID lu = 0; lu < num_owned; ++lu) {
+    assert(coarse_of[lu] != kInvalidNode && "every owned node got a coarse id");
+  }
+#endif
+
+  // --- Halo exchange 2: ghost coarse ids, so arc targets can be
+  // translated. Every peer learns the coarse id of each of my owned
+  // boundary nodes it holds as a ghost. ---
+  {
+    std::vector<std::vector<std::uint64_t>> outbox(p);
+    for (const GraphShard& shard_s : fine.my_shards) {
+      NodeID last_u = kInvalidNode;
+      std::vector<int> served;
+      for (const CrossShardArc& arc : shard_s.cross_arcs) {
+        if (arc.u != last_u) {
+          last_u = arc.u;
+          served.clear();
+        }
+        const int q = fine.owner_of_node(arc.v, p);
+        if (q == rank ||
+            std::find(served.begin(), served.end(), q) != served.end()) {
+          continue;
+        }
+        served.push_back(q);
+        outbox[q].push_back(arc.u);
+        outbox[q].push_back(coarse_of[sg.local_of(arc.u)]);
+      }
+    }
+    for (int q = 0; q < p; ++q) {
+      if (q != rank && fine.peer[q]) pe_.send(q, std::move(outbox[q]));
+    }
+    for (int q = 0; q < p; ++q) {
+      if (q == rank || !fine.peer[q]) continue;
+      const Message msg = pe_.receive(q);
+      for (std::size_t i = 0; i + 1 < msg.payload.size(); i += 2) {
+        const NodeID l = sg.local_of(static_cast<NodeID>(msg.payload[i]));
+        assert(l != kInvalidNode && !sg.is_owned(l));
+        coarse_of[l] = static_cast<NodeID>(msg.payload[i + 1]);
+      }
+    }
+  }
+
+  // --- Halo exchange 3: coarse-edge contributions of cross-rank pairs.
+  // The non-canonical owner translates its endpoint's full row into
+  // coarse target space (everything it needs is resident) and ships it
+  // to the canonical owner, which merges it into the coarse row. ---
+  std::unordered_map<NodeID, std::vector<std::pair<NodeID, EdgeWeight>>>
+      shipped;  // fine global id of the remote member -> coarse arcs
+  {
+    std::vector<std::vector<std::uint64_t>> outbox(p);
+    for (NodeID lu = 0; lu < num_owned; ++lu) {
+      const NodeID lv = partner[lu];
+      if (lv == lu || sg.is_owned(lv) || is_canonical(lu)) continue;
+      const int q = fine.owner_of_node(go(lv), p);
+      std::vector<std::uint64_t>& words = outbox[q];
+      words.push_back(go(lu));
+      words.push_back(resident.last_arc(lu) - resident.first_arc(lu));
+      for (EdgeID e = resident.first_arc(lu); e < resident.last_arc(lu); ++e) {
+        words.push_back(coarse_of[resident.arc_target(e)]);
+        words.push_back(weight_bits(resident.arc_weight(e)));
+      }
+    }
+    for (int q = 0; q < p; ++q) {
+      if (q != rank && fine.peer[q]) pe_.send(q, std::move(outbox[q]));
+    }
+    for (int q = 0; q < p; ++q) {
+      if (q == rank || !fine.peer[q]) continue;
+      const Message msg = pe_.receive(q);
+      std::size_t i = 0;
+      while (i + 1 < msg.payload.size()) {
+        const NodeID member = static_cast<NodeID>(msg.payload[i]);
+        const std::uint64_t narcs = msg.payload[i + 1];
+        i += 2;
+        auto& arcs = shipped[member];
+        arcs.reserve(narcs);
+        for (std::uint64_t j = 0; j < narcs; ++j) {
+          arcs.emplace_back(static_cast<NodeID>(msg.payload[i]),
+                            bits_weight(msg.payload[i + 1]));
+          i += 2;
+        }
+      }
+    }
+  }
+
+  // --- Owner-computes coarse rows: merge the members' coarse-translated
+  // arcs, drop the self-arc, sort by coarse target. The sorted canonical
+  // row form makes every downstream stream (shard subgraphs, cross-arc
+  // scans) a pure function of the graph content, independent of p. ---
+  DistLevel next;
+  next.global_n = coarse_n;
+  next.num_shards = num_shards;
+  next.shard_begin = shard_begin;
+  next.my_shard_ids = fine.my_shard_ids;
+  next.my_shards.resize(fine.my_shard_ids.size());
+
+  RowSet rows;
+  rows.xadj.push_back(0);
+  std::vector<EdgeWeight> owned_wdeg;  // full-row weighted degrees
+  std::vector<BlockID> owned_warm;
+  std::vector<std::pair<NodeID, EdgeWeight>> acc;
+  for (std::size_t i = 0; i < fine.my_shards.size(); ++i) {
+    const BlockID s = fine.my_shard_ids[i];
+    GraphShard& coarse_shard = next.my_shards[i];
+    for (const NodeID u : fine.my_shards[i].nodes) {
+      const NodeID lu = sg.local_of(u);
+      if (!is_canonical(lu)) continue;
+      const NodeID c = coarse_of[lu];
+      acc.clear();
+      auto add_member = [&](NodeID l) {
+        for (EdgeID e = resident.first_arc(l); e < resident.last_arc(l); ++e) {
+          const NodeID ct = coarse_of[resident.arc_target(e)];
+          if (ct != c) acc.emplace_back(ct, resident.arc_weight(e));
+        }
+      };
+      add_member(lu);
+      NodeWeight weight = resident.node_weight(lu);
+      const NodeID lv = partner[lu];
+      if (lv != lu) {
+        weight += resident.node_weight(lv);
+        if (sg.is_owned(lv)) {
+          add_member(lv);
+        } else {
+          const auto it = shipped.find(go(lv));
+          assert(it != shipped.end() && "remote member must have shipped");
+          for (const auto& [ct, w] : it->second) {
+            if (ct != c) acc.emplace_back(ct, w);
+          }
+        }
+      }
+      std::sort(acc.begin(), acc.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+
+      rows.ids.push_back(c);
+      rows.vwgt.push_back(weight);
+      EdgeWeight wdeg = 0;
+      bool boundary = false;
+      for (std::size_t j = 0; j < acc.size(); ++j) {
+        if (j > 0 && acc[j].first == rows.adj.back()) {
+          rows.ewgt.back() += acc[j].second;  // merge parallel coarse arcs
+        } else {
+          rows.adj.push_back(acc[j].first);
+          rows.ewgt.push_back(acc[j].second);
+        }
+        wdeg += acc[j].second;
+      }
+      for (EdgeID e = rows.xadj.back(); e < rows.adj.size(); ++e) {
+        const NodeID ct = rows.adj[e];
+        if (next.shard_of(ct) != s) {
+          coarse_shard.cross_arcs.push_back({c, ct, rows.ewgt[e]});
+          boundary = true;
+        }
+      }
+      rows.xadj.push_back(rows.adj.size());
+      owned_wdeg.push_back(wdeg);
+      if (warm_) owned_warm.push_back(fine.warm_blocks[lu]);
+      if (boundary) coarse_shard.boundary_nodes.push_back(c);
+    }
+    coarse_shard.nodes.resize(shard_begin[s + 1] - shard_begin[s]);
+    std::iota(coarse_shard.nodes.begin(), coarse_shard.nodes.end(),
+              shard_begin[s]);
+  }
+
+  // The coarse ghost layer: remote cross-arc targets, refreshed over the
+  // coarse peer channels exactly like a fine level's (weights, full-row
+  // weighted degrees, and the warm block when warm-started).
+  std::vector<NodeID> ghosts;
+  for (const GraphShard& coarse_shard : next.my_shards) {
+    for (const CrossShardArc& arc : coarse_shard.cross_arcs) {
+      if (DistGraph::owner_of_shard(next.shard_of(arc.v), p) != rank) {
+        ghosts.push_back(arc.v);
+      }
+    }
+  }
+  std::sort(ghosts.begin(), ghosts.end());
+  ghosts.erase(std::unique(ghosts.begin(), ghosts.end()), ghosts.end());
+
+  next.peer.assign(p, 0);
+  for (const NodeID g : ghosts) {
+    next.peer[DistGraph::owner_of_shard(next.shard_of(g), p)] = 1;
+  }
+
+  std::vector<NodeWeight> ghost_weights(ghosts.size(), 0);
+  std::vector<EdgeWeight> ghost_wdeg(ghosts.size(), 0);
+  std::vector<BlockID> ghost_warm(warm_ ? ghosts.size() : 0, 0);
+  {
+    const std::uint64_t stride = warm_ ? 4 : 3;
+    auto ghost_index = [&](NodeID g) {
+      return static_cast<std::size_t>(
+          std::lower_bound(ghosts.begin(), ghosts.end(), g) - ghosts.begin());
+    };
+    // Row index of an owned coarse id: rows were appended per shard in
+    // my_shard_ids order, contiguous coarse-id ranges within each.
+    std::vector<std::size_t> shard_row_offset(next.my_shards.size() + 1, 0);
+    for (std::size_t i = 0; i < next.my_shards.size(); ++i) {
+      shard_row_offset[i + 1] =
+          shard_row_offset[i] + next.my_shards[i].nodes.size();
+    }
+    std::vector<std::vector<std::uint64_t>> outbox(p);
+    for (std::size_t i = 0; i < next.my_shards.size(); ++i) {
+      NodeID last_c = kInvalidNode;
+      std::vector<int> served;
+      for (const CrossShardArc& arc : next.my_shards[i].cross_arcs) {
+        if (arc.u != last_c) {
+          last_c = arc.u;
+          served.clear();
+        }
+        const int q = DistGraph::owner_of_shard(next.shard_of(arc.v), p);
+        if (q == rank ||
+            std::find(served.begin(), served.end(), q) != served.end()) {
+          continue;
+        }
+        served.push_back(q);
+        const std::size_t row =
+            shard_row_offset[i] +
+            static_cast<std::size_t>(arc.u - shard_begin[next.my_shard_ids[i]]);
+        outbox[q].push_back(arc.u);
+        outbox[q].push_back(weight_bits(rows.vwgt[row]));
+        outbox[q].push_back(weight_bits(owned_wdeg[row]));
+        if (warm_) outbox[q].push_back(owned_warm[row]);
+      }
+    }
+    for (int q = 0; q < p; ++q) {
+      if (q != rank && next.peer[q]) pe_.send(q, std::move(outbox[q]));
+    }
+    for (int q = 0; q < p; ++q) {
+      if (q == rank || !next.peer[q]) continue;
+      const Message msg = pe_.receive(q);
+      for (std::size_t i = 0; i + (stride - 1) < msg.payload.size();
+           i += stride) {
+        const std::size_t g = ghost_index(static_cast<NodeID>(msg.payload[i]));
+        assert(g < ghosts.size());
+        ghost_weights[g] = bits_weight(msg.payload[i + 1]);
+        ghost_wdeg[g] = bits_weight(msg.payload[i + 2]);
+        if (warm_) ghost_warm[g] = static_cast<BlockID>(msg.payload[i + 3]);
+      }
+    }
+  }
+
+  // Seal the resident structures of the coarse level.
+  next.max_node_weight = static_cast<NodeWeight>(pe_.all_reduce_max(
+      static_cast<std::uint64_t>(std::max<NodeWeight>(
+          rows.vwgt.empty()
+              ? 0
+              : *std::max_element(rows.vwgt.begin(), rows.vwgt.end()),
+          0))));
+  ShardGraphParts parts;
+  parts.owned = rows.ids;
+  parts.owned_rows = std::move(rows);
+  parts.ghosts = std::move(ghosts);
+  parts.ghost_weights = std::move(ghost_weights);
+  parts.ghost_weighted_degrees = std::move(ghost_wdeg);
+  next.shard = ShardGraph(std::move(parts));
+  if (warm_) {
+    next.warm_blocks = std::move(owned_warm);
+    next.warm_blocks.insert(next.warm_blocks.end(), ghost_warm.begin(),
+                            ghost_warm.end());
+  }
+
+  // The sharded contraction map of the fine level (owned nodes only —
+  // this *is* the per-level map; nothing is gathered).
+  fine.owned_to_coarse.assign(coarse_of.begin(), coarse_of.begin() + num_owned);
+  return next;
+}
+
+// -------------------------------------------------------- uncoarsening ----
+
+const StaticGraph& DistHierarchy::coarsest() {
+  if (levels_.size() == 1) return *finest_;
+  if (!coarsest_replica_.has_value()) {
+    // The one permitted gather: the coarsest level is tiny (the stop
+    // rule bounds it by the contraction limit) and initial partitioning
+    // wants it whole on every PE, as in the paper.
+    const DistLevel& L = levels_.back();
+    const StaticGraph& resident = L.shard.csr();
+    const NodeID num_owned = L.shard.num_owned();
+    std::vector<std::uint64_t> words;
+    GraphRow scratch;
+    for (NodeID i = 0; i < num_owned; ++i) {
+      scratch.weight = resident.node_weight(i);
+      scratch.targets.clear();
+      scratch.weights.clear();
+      for (EdgeID e = resident.first_arc(i); e < resident.last_arc(i); ++e) {
+        scratch.targets.push_back(L.shard.global_of(resident.arc_target(e)));
+        scratch.weights.push_back(resident.arc_weight(e));
+      }
+      append_row_words(words, L.shard.global_of(i),
+                       {scratch.weight, scratch.targets, scratch.weights},
+                       [](NodeID) { return true; });
+    }
+    const auto gathered =
+        pe_.all_gather_vectors(std::move(words));  // coarsest-gather-ok
+    std::vector<GraphRow> by_id(L.global_n);
+    for (const auto& vec : gathered) {
+      std::size_t cursor = 0;
+      GraphRow row;
+      while (cursor + 2 < vec.size()) {
+        const NodeID id = decode_row_words(vec, cursor, row);
+        by_id[id] = std::move(row);
+      }
+    }
+    std::vector<EdgeID> xadj;
+    xadj.reserve(L.global_n + 1);
+    xadj.push_back(0);
+    std::vector<NodeID> adj;
+    std::vector<EdgeWeight> ewgt;
+    std::vector<NodeWeight> vwgt;
+    vwgt.reserve(L.global_n);
+    for (NodeID u = 0; u < L.global_n; ++u) {
+      vwgt.push_back(by_id[u].weight);
+      adj.insert(adj.end(), by_id[u].targets.begin(), by_id[u].targets.end());
+      ewgt.insert(ewgt.end(), by_id[u].weights.begin(),
+                  by_id[u].weights.end());
+      xadj.push_back(adj.size());
+    }
+    coarsest_replica_.emplace(std::move(xadj), std::move(adj), std::move(ewgt),
+                              std::move(vwgt));
+    if (stats_ != nullptr) {
+      ShardFootprint replica;
+      replica.owned_nodes = num_owned;
+      replica.ghost_nodes = L.global_n - num_owned;
+      replica.arcs = coarsest_replica_->num_arcs();
+      stats_->footprint.merge_peak(replica);
+    }
+  }
+  return *coarsest_replica_;
+}
+
+std::vector<BlockID> DistHierarchy::coarsest_warm_assignment() const {
+  assert(warm_ && "only warm-started builds carry block constraints");
+  const int p = pe_.size();
+  const DistLevel& L = levels_.back();
+  const NodeID num_owned = L.shard.num_owned();
+  std::vector<std::uint64_t> words;
+  words.reserve(num_owned);
+  for (NodeID i = 0; i < num_owned; ++i) words.push_back(L.warm_blocks[i]);
+  const auto gathered =
+      pe_.all_gather_vectors(std::move(words));  // coarsest-gather-ok
+  return reassemble_owned(L, p, gathered);
+}
+
+Partition DistHierarchy::project(std::size_t l, const Partition& coarse) const {
+  const int p = pe_.size();
+  const DistLevel& L = levels_[l];
+  const BlockID k = coarse.k();
+  const StaticGraph& resident = L.shard.csr();
+  const NodeID num_owned = L.shard.num_owned();
+  assert(L.owned_to_coarse.size() == num_owned &&
+         "projection needs the sharded contraction map");
+
+  // Each rank projects its owned nodes; the replicated assignment is
+  // reassembled from the per-rank pieces (ids are derivable from the
+  // replicated ownership map, so only blocks travel).
+  std::vector<std::uint64_t> words;
+  words.reserve(num_owned);
+  for (NodeID i = 0; i < num_owned; ++i) {
+    words.push_back(coarse.block(L.owned_to_coarse[i]));
+  }
+  const auto gathered =
+      pe_.all_gather_vectors(std::move(words));  // uncoarsen-gather-ok
+  std::vector<BlockID> assignment = reassemble_owned(L, p, gathered);
+
+  // Block weights from the sharded node weights: partial sums over the
+  // owned nodes, all-reduced.
+  std::vector<std::uint64_t> partial(k, 0);
+  for (NodeID i = 0; i < num_owned; ++i) {
+    partial[coarse.block(L.owned_to_coarse[i])] +=
+        static_cast<std::uint64_t>(resident.node_weight(i));
+  }
+  const std::vector<std::uint64_t> sums =
+      pe_.all_reduce_sum_vec(std::move(partial));
+  std::vector<NodeWeight> block_weights;
+  block_weights.reserve(k);
+  for (const std::uint64_t w : sums) {
+    block_weights.push_back(static_cast<NodeWeight>(w));
+  }
+  return Partition(std::move(assignment), k, std::move(block_weights));
+}
+
+BlockRowShard DistHierarchy::distribute_block_rows(std::size_t l,
+                                                   const Partition& partition,
+                                                   BlockID k) const {
+  const int p = pe_.size();
+  const int rank = pe_.rank();
+  if (l == 0) {
+    // The finest level is the always-resident input graph; extract
+    // directly, as the replicated path always could.
+    return BlockRowShard(*finest_, partition.assignment(), k, rank, p);
+  }
+
+  // §5.2 data distribution: rows move from shard owners to block owners.
+  const DistLevel& L = levels_[l];
+  const StaticGraph& resident = L.shard.csr();
+  const NodeID num_owned = L.shard.num_owned();
+  struct Incoming {
+    NodeID id;
+    GraphRow row;
+  };
+  std::vector<Incoming> incoming;
+  std::vector<std::vector<std::uint64_t>> outbox(p);
+  GraphRow scratch;
+  for (NodeID i = 0; i < num_owned; ++i) {
+    const NodeID u = L.shard.global_of(i);
+    const int dest = BlockRowShard::owner_of_block(partition.block(u), p);
+    scratch.weight = resident.node_weight(i);
+    scratch.targets.clear();
+    scratch.weights.clear();
+    for (EdgeID e = resident.first_arc(i); e < resident.last_arc(i); ++e) {
+      scratch.targets.push_back(L.shard.global_of(resident.arc_target(e)));
+      scratch.weights.push_back(resident.arc_weight(e));
+    }
+    if (dest == rank) {
+      incoming.push_back({u, scratch});
+    } else {
+      append_row_words(outbox[dest], u,
+                       {scratch.weight, scratch.targets, scratch.weights},
+                       [](NodeID) { return true; });
+    }
+  }
+  // Deterministic all-to-all rendezvous: one (possibly empty) message to
+  // every other rank, one receive from each.
+  for (int q = 0; q < p; ++q) {
+    if (q != rank) pe_.send(q, std::move(outbox[q]));
+  }
+  for (int q = 0; q < p; ++q) {
+    if (q == rank) continue;
+    const Message msg = pe_.receive(q);
+    std::size_t cursor = 0;
+    GraphRow row;
+    while (cursor + 2 < msg.payload.size()) {
+      const NodeID id = decode_row_words(msg.payload, cursor, row);
+      incoming.push_back({id, std::move(row)});
+    }
+  }
+  std::sort(incoming.begin(), incoming.end(),
+            [](const Incoming& a, const Incoming& b) { return a.id < b.id; });
+
+  RowSet core;
+  core.ids.reserve(incoming.size());
+  core.xadj.reserve(incoming.size() + 1);
+  core.xadj.push_back(0);
+  for (Incoming& in : incoming) {
+    core.ids.push_back(in.id);
+    core.vwgt.push_back(in.row.weight);
+    core.adj.insert(core.adj.end(), in.row.targets.begin(),
+                    in.row.targets.end());
+    core.ewgt.insert(core.ewgt.end(), in.row.weights.begin(),
+                     in.row.weights.end());
+    core.xadj.push_back(core.adj.size());
+  }
+  return BlockRowShard(std::move(core), partition.assignment(), k, rank, p);
+}
+
+}  // namespace kappa

@@ -1,6 +1,7 @@
 #include "parallel/pe_runtime.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <thread>
 
 namespace kappa {
@@ -13,6 +14,14 @@ int PEContext::size() const { return runtime_.num_pes_; }
 void PEContext::send(int dest, std::vector<std::uint64_t> payload) {
   ++stats_.messages_sent;
   stats_.words_sent += payload.size();
+  if (halo_level_ >= 0) {
+    const std::size_t level = static_cast<std::size_t>(halo_level_);
+    if (stats_.halo_per_level.size() <= level) {
+      stats_.halo_per_level.resize(level + 1);
+    }
+    ++stats_.halo_per_level[level].messages;
+    stats_.halo_per_level[level].words += payload.size();
+  }
   runtime_.mailboxes_[dest].push({rank_, std::move(payload)});
 }
 
@@ -32,6 +41,17 @@ void PEContext::barrier() {
 std::uint64_t PEContext::all_reduce_sum(std::uint64_t value) {
   std::uint64_t sum = 0;
   for (const std::uint64_t v : all_gather(value)) sum += v;
+  return sum;
+}
+
+std::vector<std::uint64_t> PEContext::all_reduce_sum_vec(
+    std::vector<std::uint64_t> values) {
+  const std::size_t len = values.size();
+  std::vector<std::uint64_t> sum(len, 0);
+  for (const auto& contribution : all_gather_vectors(std::move(values))) {
+    assert(contribution.size() == len && "all PEs must contribute equally");
+    for (std::size_t i = 0; i < len; ++i) sum[i] += contribution[i];
+  }
   return sum;
 }
 

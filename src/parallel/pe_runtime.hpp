@@ -56,6 +56,13 @@ class PEContext {
   /// Sum of one value over all PEs (returned on every PE).
   [[nodiscard]] std::uint64_t all_reduce_sum(std::uint64_t value);
 
+  /// Elementwise sum of a fixed-length vector over all PEs (every PE must
+  /// contribute the same length). The small-vector reduction behind the
+  /// per-block weight sums of the distributed hierarchy's uncoarsening
+  /// projection (MPI_Allreduce in the paper's terms).
+  [[nodiscard]] std::vector<std::uint64_t> all_reduce_sum_vec(
+      std::vector<std::uint64_t> values);
+
   /// Maximum of one value over all PEs.
   [[nodiscard]] std::uint64_t all_reduce_max(std::uint64_t value);
 
@@ -76,11 +83,17 @@ class PEContext {
   /// Communication counters of this PE.
   [[nodiscard]] const CommStats& stats() const { return stats_; }
 
+  /// Attributes subsequent point-to-point sends to the halo-exchange
+  /// counters of coarsening level \p level (see CommStats::halo_per_level);
+  /// pass -1 to stop attributing. The totals always count everything.
+  void set_halo_level(int level) { halo_level_ = level; }
+
  private:
   PERuntime& runtime_;
   int rank_;
   Rng rng_;
   CommStats stats_;
+  int halo_level_ = -1;
 };
 
 /// Owns the PE threads and their mailboxes; runs SPMD programs.

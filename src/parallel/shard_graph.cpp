@@ -8,6 +8,24 @@
 
 namespace kappa {
 
+NodeID decode_row_words(const std::vector<std::uint64_t>& words,
+                        std::size_t& cursor, GraphRow& row) {
+  const NodeID id = static_cast<NodeID>(words[cursor]);
+  row.weight = bits_weight(words[cursor + 1]);
+  const std::uint64_t narcs = words[cursor + 2];
+  cursor += 3;
+  row.targets.clear();
+  row.weights.clear();
+  row.targets.reserve(narcs);
+  row.weights.reserve(narcs);
+  for (std::uint64_t j = 0; j < narcs; ++j) {
+    row.targets.push_back(static_cast<NodeID>(words[cursor]));
+    row.weights.push_back(bits_weight(words[cursor + 1]));
+    cursor += 2;
+  }
+  return id;
+}
+
 // ------------------------------------------------------------ ShardGraph ----
 
 ShardGraph::ShardGraph(const StaticGraph& level, const DistGraph& dist,
@@ -149,6 +167,73 @@ ShardGraph::ShardGraph(const StaticGraph& level, const DistGraph& dist,
                      std::move(vwgt));
 }
 
+ShardGraph::ShardGraph(ShardGraphParts parts) {
+  num_owned_ = static_cast<NodeID>(parts.owned.size());
+  assert(parts.owned_rows.ids.size() == parts.owned.size());
+  assert(parts.ghost_weights.size() == parts.ghosts.size());
+  assert(parts.ghost_weighted_degrees.size() == parts.ghosts.size());
+
+  local_to_global_ = std::move(parts.owned);
+  local_to_global_.insert(local_to_global_.end(), parts.ghosts.begin(),
+                          parts.ghosts.end());
+  global_to_local_.reserve(local_to_global_.size());
+  for (NodeID local = 0; local < local_to_global_.size(); ++local) {
+    global_to_local_.emplace(local_to_global_[local], local);
+  }
+
+  // Ghost mirror rows: the arcs back into the owned set, derived from the
+  // owned rows' ghost targets (kept sorted by owned endpoint — the order
+  // is resident-only state that never feeds a p-sensitive stream).
+  std::vector<std::vector<std::pair<NodeID, EdgeWeight>>> mirror(
+      parts.ghosts.size());
+  for (NodeID i = 0; i < num_owned_; ++i) {
+    for (EdgeID e = parts.owned_rows.xadj[i]; e < parts.owned_rows.xadj[i + 1];
+         ++e) {
+      const NodeID local = global_to_local_.at(parts.owned_rows.adj[e]);
+      if (local >= num_owned_) {
+        mirror[local - num_owned_].emplace_back(i, parts.owned_rows.ewgt[e]);
+      }
+    }
+  }
+
+  std::vector<EdgeID> xadj;
+  xadj.reserve(local_to_global_.size() + 1);
+  xadj.push_back(0);
+  std::vector<NodeID> adj;
+  std::vector<EdgeWeight> ewgt;
+  std::vector<NodeWeight> vwgt;
+  vwgt.reserve(local_to_global_.size());
+  for (NodeID i = 0; i < num_owned_; ++i) {
+    vwgt.push_back(parts.owned_rows.vwgt[i]);
+    for (EdgeID e = parts.owned_rows.xadj[i]; e < parts.owned_rows.xadj[i + 1];
+         ++e) {
+      adj.push_back(global_to_local_.at(parts.owned_rows.adj[e]));
+      ewgt.push_back(parts.owned_rows.ewgt[e]);
+    }
+    xadj.push_back(adj.size());
+  }
+  for (std::size_t g = 0; g < parts.ghosts.size(); ++g) {
+    vwgt.push_back(parts.ghost_weights[g]);
+    for (const auto& [owned_local, w] : mirror[g]) {
+      adj.push_back(owned_local);
+      ewgt.push_back(w);
+    }
+    xadj.push_back(adj.size());
+  }
+  csr_ = StaticGraph(std::move(xadj), std::move(adj), std::move(ewgt),
+                     std::move(vwgt));
+
+  // Owned weighted degrees from the full resident rows, ghost entries as
+  // received from the owners.
+  weighted_degrees_.assign(local_to_global_.size(), 0);
+  for (NodeID i = 0; i < num_owned_; ++i) {
+    weighted_degrees_[i] = csr_.weighted_degree(i);
+  }
+  for (std::size_t g = 0; g < parts.ghosts.size(); ++g) {
+    weighted_degrees_[num_owned_ + g] = parts.ghost_weighted_degrees[g];
+  }
+}
+
 ShardFootprint ShardGraph::footprint() const {
   ShardFootprint fp;
   fp.owned_nodes = num_owned();
@@ -177,6 +262,29 @@ BlockRowShard::BlockRowShard(const StaticGraph& level,
   }
   resident_nodes_ = mine.size();
   resident_arcs_ = core_.num_arcs();
+}
+
+BlockRowShard::BlockRowShard(RowSet core,
+                             const std::vector<BlockID>& assignment, BlockID k,
+                             int rank, int num_pes)
+    : rank_(rank), num_pes_(num_pes), core_(std::move(core)), members_(k) {
+  for (NodeID u = 0; u < assignment.size(); ++u) {
+    const BlockID b = assignment[u];
+    if (owner_of_block(b, num_pes) != rank) continue;
+    members_[b].push_back(u);  // ascending u keeps the lists sorted
+  }
+  core_index_.reserve(core_.ids.size());
+  for (NodeID i = 0; i < core_.ids.size(); ++i) {
+    core_index_.emplace(core_.ids[i], i);
+  }
+  resident_nodes_ = core_.ids.size();
+  resident_arcs_ = core_.num_arcs();
+#ifndef NDEBUG
+  std::size_t expected = 0;
+  for (const auto& list : members_) expected += list.size();
+  assert(expected == core_.ids.size() &&
+         "core must hold exactly the rows of this rank's block members");
+#endif
 }
 
 GraphRow BlockRowShard::row(NodeID global) const {

@@ -44,9 +44,23 @@
 #include "parallel/comm_stats.hpp"
 #include "parallel/dist_graph.hpp"
 #include "parallel/pe_runtime.hpp"
+#include "parallel/wire_format.hpp"
 #include "util/types.hpp"
 
 namespace kappa {
+
+/// Pre-assembled ingredients of a ShardGraph when no replica exists to
+/// extract them from: the distributed hierarchy store builds each coarse
+/// level's parts shard-locally (owned rows from the halo-exchanged
+/// contraction, ghost weights/degrees from the peer refresh) and seals
+/// them here. Rows are in *global* id space; ids must be sorted.
+struct ShardGraphParts {
+  std::vector<NodeID> owned;                        ///< sorted global ids
+  RowSet owned_rows;                                ///< rows of `owned`
+  std::vector<NodeID> ghosts;                       ///< sorted global ids
+  std::vector<NodeWeight> ghost_weights;            ///< parallel to ghosts
+  std::vector<EdgeWeight> ghost_weighted_degrees;   ///< parallel to ghosts
+};
 
 /// One rank's resident graph for one matching level: compact CSR over
 /// owned nodes (local ids [0, num_owned())) followed by the one-hop
@@ -55,11 +69,18 @@ namespace kappa {
 /// ghost rows carry only the mirror arcs back into the owned set.
 class ShardGraph {
  public:
+  ShardGraph() = default;
+
   /// Builds the resident graph of \p pe's rank from the rank-filtered
   /// \p dist over \p level. Ghost weights and weighted degrees are
   /// exchanged with the neighboring ranks over \p pe's channels
   /// (counted in its CommStats); with one PE the ghost layer is empty.
   ShardGraph(const StaticGraph& level, const DistGraph& dist, PEContext& pe);
+
+  /// Seals pre-assembled \p parts into the local CSR — the replica-free
+  /// construction path of the distributed hierarchy store. Ghost mirror
+  /// rows are derived from the owned rows' ghost targets.
+  explicit ShardGraph(ShardGraphParts parts);
 
   /// The sealed local CSR (owned rows first, then ghost rows).
   [[nodiscard]] const StaticGraph& csr() const { return csr_; }
@@ -120,6 +141,19 @@ struct GraphRowView {
   std::span<const EdgeWeight> weights;
 };
 
+/// Appends one row in the shared wire layout [id, weight, narcs,
+/// (target, weight)*], keeping only the arcs \p keep admits. The single
+/// encoder behind pair-side shipping, row migration and the block-row
+/// distribution of the SPMD pipeline.
+template <typename Keep>
+void append_row_words(std::vector<std::uint64_t>& words, NodeID id,
+                      const GraphRowView& row, Keep&& keep);
+
+/// Decodes one row at \p cursor (inverse of append_row_words), advancing
+/// the cursor; returns the node id.
+NodeID decode_row_words(const std::vector<std::uint64_t>& words,
+                        std::size_t& cursor, GraphRow& row);
+
 /// One rank's §5.2 block-row store for one uncoarsening level: the rows
 /// of all nodes currently assigned to the rank's blocks. The level-start
 /// extraction is the static core; rows that migrate in mid-level live in
@@ -136,6 +170,14 @@ class BlockRowShard {
   BlockRowShard(const StaticGraph& level,
                 const std::vector<BlockID>& assignment, BlockID k, int rank,
                 int num_pes);
+
+  /// Assembles the store from pre-distributed rows — the replica-free
+  /// path for coarse hierarchy levels, whose rows arrive from the shard
+  /// owners over channels. \p core must hold exactly the rows of the
+  /// nodes assigned to this rank's blocks, sorted by global id, targets
+  /// in global id space.
+  BlockRowShard(RowSet core, const std::vector<BlockID>& assignment, BlockID k,
+                int rank, int num_pes);
 
   [[nodiscard]] int rank() const { return rank_; }
 
@@ -202,5 +244,22 @@ class BlockRowShard {
   std::uint64_t resident_nodes_ = 0;
   std::uint64_t resident_arcs_ = 0;
 };
+
+template <typename Keep>
+void append_row_words(std::vector<std::uint64_t>& words, NodeID id,
+                      const GraphRowView& row, Keep&& keep) {
+  words.push_back(id);
+  words.push_back(weight_bits(row.weight));
+  const std::size_t count_slot = words.size();
+  words.push_back(0);
+  std::uint64_t narcs = 0;
+  for (std::size_t i = 0; i < row.targets.size(); ++i) {
+    if (!keep(row.targets[i])) continue;
+    words.push_back(row.targets[i]);
+    words.push_back(weight_bits(row.weights[i]));
+    ++narcs;
+  }
+  words[count_slot] = narcs;
+}
 
 }  // namespace kappa

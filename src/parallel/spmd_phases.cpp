@@ -1,7 +1,6 @@
 #include "parallel/spmd_phases.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <cassert>
 #include <limits>
 #include <map>
@@ -10,349 +9,29 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "graph/dynamic_overlay.hpp"
 #include "graph/metrics.hpp"
-#include "matching/tentative_match.hpp"
 #include "parallel/wire_format.hpp"
 #include "refinement/edge_coloring.hpp"
+#include "util/timer.hpp"
 
 namespace kappa {
 
-namespace {
-
-/// Appends one row in the shared wire layout [id, weight, narcs,
-/// (target, weight)*], keeping only the arcs \p keep admits. The single
-/// encoder behind both the pair-side shipping and the row migration of
-/// the SPMD refiner.
-template <typename Keep>
-void append_row_words(std::vector<std::uint64_t>& words, NodeID id,
-                      const GraphRowView& row, Keep&& keep) {
-  words.push_back(id);
-  words.push_back(weight_bits(row.weight));
-  const std::size_t count_slot = words.size();
-  words.push_back(0);
-  std::uint64_t narcs = 0;
-  for (std::size_t i = 0; i < row.targets.size(); ++i) {
-    if (!keep(row.targets[i])) continue;
-    words.push_back(row.targets[i]);
-    words.push_back(weight_bits(row.weights[i]));
-    ++narcs;
-  }
-  words[count_slot] = narcs;
-}
-
-/// Decodes one row at \p cursor (inverse of append_row_words), advancing
-/// the cursor; returns the node id.
-NodeID decode_row_words(const std::vector<std::uint64_t>& words,
-                        std::size_t& cursor, GraphRow& row) {
-  const NodeID id = static_cast<NodeID>(words[cursor]);
-  row.weight = bits_weight(words[cursor + 1]);
-  const std::uint64_t narcs = words[cursor + 2];
-  cursor += 3;
-  row.targets.clear();
-  row.weights.clear();
-  row.targets.reserve(narcs);
-  row.weights.reserve(narcs);
-  for (std::uint64_t j = 0; j < narcs; ++j) {
-    row.targets.push_back(static_cast<NodeID>(words[cursor]));
-    row.weights.push_back(bits_weight(words[cursor + 1]));
-    cursor += 2;
-  }
-  return id;
-}
-
-}  // namespace
-
 // -------------------------------------------------------- SPMD coarsening ----
+//
+// The whole coarsening phase lives in the distributed hierarchy store
+// (parallel/dist_hierarchy.cpp): shard-local matching, gap resolution over
+// peer channels, owner-computes contraction with halo exchange. Nothing in
+// this section may gather contraction maps or level graphs — the CI guard
+// checks that no all_gather appears above the initial-partitioning marker.
 
-Hierarchy SpmdCoarsener::coarsen(const StaticGraph& graph) {
-  // The shared level loop makes all stop rules, the pair-weight bound and
-  // the warm-start filter common with the sequential coarsener; only the
-  // matcher differs. All loop decisions depend on replicated state, so
-  // every PE executes the same number of levels (and hence the same
-  // collectives).
+DistHierarchy SpmdCoarsener::coarsen(const StaticGraph& graph) {
   CoarseningOptions options = coarsening_options(graph, config_);
   options.warm_start = warm_start_;
-  return build_hierarchy_with(
-      graph, options,
-      [this](const StaticGraph& current, const MatchingOptions& match_options,
-             std::size_t level) {
-        return spmd_match(current, match_options, level);
-      });
-}
-
-std::vector<NodeID> SpmdCoarsener::spmd_match(const StaticGraph& current,
-                                              const MatchingOptions& options,
-                                              std::size_t level) {
-  const NodeID n = current.num_nodes();
-  const int p = pe_.size();
-  const int rank = pe_.rank();
-  const Rng level_rng = rng_.fork(level);
-
-  // Small levels are matched replicated with identical streams (the paper
-  // replicates the coarsest graphs anyway). The threshold depends only on
-  // the config — never on p — to keep the result p-invariant.
-  const BlockID num_shards = config_.matching_pes;
-  if (num_shards <= 1 || n <= 4 * num_shards) {
-    Rng match_rng = level_rng.fork(0);
-    return compute_matching(current, config_.matcher, options, match_rng);
+  if (warm_start_ != nullptr) {
+    options.max_pair_weight_cap = repartition_pair_weight_cap(graph, config_);
   }
-
-  // The ownership map plus this rank's shard structure only; the level's
-  // resident data is the owned-node CSR with its one-hop ghost layer,
-  // whose weights and weighted degrees arrive over channels inside the
-  // ShardGraph build (counted in CommStats). Every matching inner loop
-  // below reads resident data only — never the shared replica.
-  const DistGraph dist(current, num_shards, rank, p);
-  const std::vector<BlockID> my_shards = dist.shards_of_rank(rank, p);
-  const ShardGraph shard(current, dist, pe_);
-  const StaticGraph& resident = shard.csr();
-  const NodeID num_owned = shard.num_owned();
-  const NodeID num_local = shard.num_local();
-  stats_.footprint.merge_peak(shard.footprint());
-
-  // --- Phase 1: sequential matching per owned shard (§3.3), on shard
-  // subgraphs cut out of the resident CSR. Local ids are assigned in
-  // ascending global order, so the induced shard graphs — and with them
-  // the matcher streams — are identical for every p. ---
-  std::vector<NodeID> partner(num_local);  // local ids; ghosts stay unmatched
-  std::iota(partner.begin(), partner.end(), NodeID{0});
-  for (const BlockID s : my_shards) {
-    const GraphShard& shard_s = dist.shard(s);
-    if (shard_s.nodes.empty()) continue;
-    std::vector<NodeID> locals;
-    locals.reserve(shard_s.nodes.size());
-    for (const NodeID u : shard_s.nodes) locals.push_back(shard.local_of(u));
-    const Subgraph sub = induced_subgraph(resident, locals);
-    Rng shard_rng = level_rng.fork(1 + s);
-    const std::vector<NodeID> matched =
-        compute_matching(sub.graph, config_.matcher, options, shard_rng);
-    for (NodeID lu = 0; lu < matched.size(); ++lu) {
-      const NodeID lv = matched[lu];
-      if (lv <= lu) continue;  // handle each pair once, skip unmatched
-      const NodeID u = sub.local_to_global[lu];
-      const NodeID v = sub.local_to_global[lv];
-      partner[u] = v;
-      partner[v] = u;
-    }
-  }
-  for (NodeID u = 0; u < num_owned; ++u) {
-    if (partner[u] != u && u < partner[u]) ++stats_.local_pairs;
-  }
-
-  // Rating of the tentative local match at each owned node (0 if
-  // unmatched); ghost entries are filled by the exchange below. The
-  // rater runs on the resident CSR with the exchanged ghost degrees.
-  const TentativeMatchRater rater(resident, options,
-                                  shard.weighted_degrees());
-  std::vector<double> match_rating(num_local, 0.0);
-  for (NodeID u = 0; u < num_owned; ++u) {
-    match_rating[u] = rater.match_rating(u, partner[u]);
-  }
-
-  // --- Phase 2: boundary-candidate exchange over channels (global ids
-  // on the wire). Every PE tells every neighbor-owning PE the tentative
-  // match rating of its boundary nodes; both owners of a cross-shard
-  // edge can then evaluate the gap condition identically. ---
-  {
-    std::vector<std::vector<std::uint64_t>> to_peer(p);
-    for (const BlockID s : my_shards) {
-      NodeID last_u = kInvalidNode;
-      std::vector<int> peers_of_u;  // ranks already served for last_u
-      for (const CrossShardArc& arc : dist.shard(s).cross_arcs) {
-        if (arc.u != last_u) {
-          last_u = arc.u;
-          peers_of_u.clear();
-        }
-        // Unmatched boundary nodes stay at the receiver's default of 0.0,
-        // so only matched ones need to cross the wire.
-        if (match_rating[shard.local_of(arc.u)] == 0.0) continue;
-        const int q = dist.owner_of_node(arc.v, p);
-        if (q == rank) continue;
-        if (std::find(peers_of_u.begin(), peers_of_u.end(), q) !=
-            peers_of_u.end()) {
-          continue;
-        }
-        peers_of_u.push_back(q);
-        to_peer[q].push_back(arc.u);
-        to_peer[q].push_back(std::bit_cast<std::uint64_t>(
-            match_rating[shard.local_of(arc.u)]));
-      }
-    }
-    for (int q = 0; q < p; ++q) {
-      if (q != rank) pe_.send(q, std::move(to_peer[q]));
-    }
-    for (int q = 0; q < p; ++q) {
-      if (q == rank) continue;
-      const Message msg = pe_.receive(q);
-      for (std::size_t i = 0; i + 1 < msg.payload.size(); i += 2) {
-        match_rating[shard.local_of(static_cast<NodeID>(msg.payload[i]))] =
-            std::bit_cast<double>(msg.payload[i + 1]);
-      }
-    }
-  }
-
-  // --- Phase 3: the gap graph (§3.3): cross-shard edges whose rating
-  // beats the tentative local matches at both endpoints. A spanning edge
-  // is materialized at both owners; an edge between two of my own shards
-  // once. ---
-  struct GapCandidate {
-    NodeID u;         ///< my endpoint (local id)
-    NodeID v;         ///< other endpoint (local id: owned or ghost)
-    NodeID u_global;
-    NodeID v_global;
-    double rating;
-  };
-  std::vector<GapCandidate> cands;
-  for (const BlockID s : my_shards) {
-    for (const CrossShardArc& arc : dist.shard(s).cross_arcs) {
-      const NodeID lu = shard.local_of(arc.u);
-      const NodeID lv = shard.local_of(arc.v);
-      const bool v_mine = shard.is_owned(lv);
-      if (v_mine && arc.u > arc.v) continue;  // the mirror arc covers it
-      double r = 0.0;
-      if (rater.admits_gap_edge(lu, lv, arc.weight, match_rating[lu],
-                                match_rating[lv], &r)) {
-        cands.push_back({lu, lv, arc.u, arc.v, r});
-      }
-    }
-  }
-
-  constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
-  std::unordered_map<NodeID, std::vector<std::size_t>> incident;  // local id
-  std::vector<std::vector<std::size_t>> spanning(p);  // by remote owner
-  for (std::size_t i = 0; i < cands.size(); ++i) {
-    incident[cands[i].u].push_back(i);
-    const int q = dist.owner_of_node(cands[i].v_global, p);
-    if (q == rank) {
-      incident[cands[i].v].push_back(i);
-    } else {
-      spanning[q].push_back(i);
-    }
-  }
-
-  // --- Phase 4: iterated locally-heaviest rounds. Each round, every node
-  // nominates its best remaining gap edge; an edge nominated from both
-  // sides is matched and dissolves tentative local matches. Nominations
-  // for spanning edges cross the wire; newly matched nodes are
-  // all-gathered; a zero all-reduce terminates every PE in the same
-  // round. ---
-  std::vector<std::uint8_t> alive(cands.size(), 1);
-  std::vector<std::uint8_t> taken(num_local, 0);
-  auto better = [&](std::size_t i, std::size_t b) {
-    if (cands[i].rating != cands[b].rating) {
-      return cands[i].rating > cands[b].rating;
-    }
-    return edge_key(cands[i].u_global, cands[i].v_global) <
-           edge_key(cands[b].u_global, cands[b].v_global);
-  };
-  while (true) {
-    ++stats_.gap_rounds;
-    std::unordered_map<NodeID, std::size_t> best;
-    for (const auto& [x, list] : incident) {
-      if (taken[x]) continue;
-      std::size_t b = kNone;
-      for (const std::size_t i : list) {
-        if (alive[i] && (b == kNone || better(i, b))) b = i;
-      }
-      if (b != kNone) best[x] = b;
-    }
-    auto best_at = [&](NodeID x, std::size_t i) {
-      const auto it = best.find(x);
-      return it != best.end() && it->second == i;
-    };
-
-    // Nomination exchange for spanning candidates.
-    std::unordered_set<std::uint64_t> remote_best;
-    for (int q = 0; q < p; ++q) {
-      if (q == rank) continue;
-      std::vector<std::uint64_t> words;
-      for (const std::size_t i : spanning[q]) {
-        if (alive[i] && best_at(cands[i].u, i)) {
-          words.push_back(edge_key(cands[i].u_global, cands[i].v_global));
-        }
-      }
-      pe_.send(q, std::move(words));
-    }
-    for (int q = 0; q < p; ++q) {
-      if (q == rank) continue;
-      const Message msg = pe_.receive(q);
-      remote_best.insert(msg.payload.begin(), msg.payload.end());
-    }
-
-    // Decide on the nominations alone: two distinct both-nominated edges
-    // can never share an endpoint (best is one edge per node), so
-    // simultaneous resolution is safe — and unlike a mid-pass taken
-    // check, it is independent of candidate list order, which keeps the
-    // outcome identical for every p.
-    auto dissolve = [&](NodeID x) {
-      const NodeID prev = partner[x];  // tentative partner: same shard
-      if (prev != x) partner[prev] = prev;
-    };
-    std::vector<std::uint64_t> newly_taken;
-    std::uint64_t matched_here = 0;
-    for (std::size_t i = 0; i < cands.size(); ++i) {
-      if (!alive[i]) continue;
-      const NodeID u = cands[i].u;
-      const NodeID v = cands[i].v;
-      const bool v_mine = shard.is_owned(v);
-      const bool u_nominates = best_at(u, i);
-      const bool v_nominates =
-          v_mine ? best_at(v, i)
-                 : remote_best.contains(
-                       edge_key(cands[i].u_global, cands[i].v_global));
-      if (u_nominates && v_nominates) {
-        dissolve(u);
-        partner[u] = v;
-        if (v_mine) {
-          dissolve(v);
-          partner[v] = u;
-        }
-        taken[u] = 1;
-        taken[v] = 1;
-        newly_taken.push_back(cands[i].u_global);
-        newly_taken.push_back(cands[i].v_global);
-        alive[i] = 0;
-        if (v_mine || cands[i].u_global < cands[i].v_global) {
-          ++matched_here;  // count each pair once globally
-          ++stats_.gap_pairs;
-        }
-      }
-    }
-
-    for (const auto& vec : pe_.all_gather_vectors(std::move(newly_taken))) {
-      for (const std::uint64_t w : vec) {
-        const NodeID l = shard.local_of(static_cast<NodeID>(w));
-        if (l != kInvalidNode) taken[l] = 1;
-      }
-    }
-    // Retire candidates that lost an endpoint this round — after the
-    // taken-sync, so every PE (and every p) kills the same set.
-    for (std::size_t i = 0; i < cands.size(); ++i) {
-      if (alive[i] && (taken[cands[i].u] || taken[cands[i].v])) alive[i] = 0;
-    }
-    if (pe_.all_reduce_sum(matched_here) == 0) break;
-  }
-
-  // --- Phase 5: all-gather the contraction map. Each PE contributes the
-  // matched pairs whose canonical (lower global id) endpoint it owns;
-  // every PE assembles the identical full partner vector and contracts. ---
-  std::vector<std::uint64_t> pair_words;
-  for (NodeID u = 0; u < num_owned; ++u) {
-    if (partner[u] == u) continue;
-    const NodeID gu = shard.global_of(u);
-    const NodeID gv = shard.global_of(partner[u]);
-    if (gu < gv) pair_words.push_back(pack_pair(gu, gv));
-  }
-  std::vector<NodeID> full(n);
-  std::iota(full.begin(), full.end(), NodeID{0});
-  for (const auto& vec : pe_.all_gather_vectors(std::move(pair_words))) {
-    for (const std::uint64_t w : vec) {
-      const auto [u, v] = unpack_pair(w);
-      full[u] = v;
-      full[v] = u;
-    }
-  }
-  return full;
+  return DistHierarchy(graph, options, rng_, pe_, &stats_);
 }
 
 // ------------------------------------------------ SPMD initial partition ----
@@ -434,8 +113,8 @@ QuotientGraph gather_quotient(const BlockRowShard& store,
                               const Partition& partition, BlockID k,
                               PEContext& pe) {
   // Local contributions per block pair: the minimal (node, arc position)
-  // at which one of my resident rows sees the pair (the replica scan's
-  // first-encounter key), my share of the cut weight (counted from the
+  // at which one of my resident rows sees the pair (the first-encounter
+  // key of a full row scan), my share of the cut weight (counted from the
   // bu < bv side, whose row is resident at exactly one rank), and my
   // boundary nodes. The same shape accumulates the merged result below.
   struct PairContribution {
@@ -499,9 +178,8 @@ QuotientGraph gather_quotient(const BlockRowShard& store,
     }
   }
 
-  // Order the pairs exactly as the sequential replica scan first
-  // encounters them, then finalize the boundary lists (sorted, unique —
-  // as the sequential construction leaves them).
+  // Order the pairs exactly as a sequential row scan first encounters
+  // them, then finalize the boundary lists (sorted, unique).
   std::vector<std::uint64_t> keys;
   keys.reserve(merged.size());
   for (const auto& [key, m] : merged) keys.push_back(key);
@@ -595,8 +273,8 @@ SideRows decode_side_rows(const std::vector<std::uint64_t>& words) {
 /// executes), plus a k-block partition whose a/b weights equal the global
 /// block weights (every node of either block is in the view). Arcs to
 /// third blocks are dropped: they contribute zero to every two-way FM
-/// gain, so the search on the view is step-for-step the search the
-/// replica implementation would run.
+/// gain, so the search on the view is step-for-step the search a
+/// replicated implementation would run.
 struct PairView {
   StaticGraph graph;
   Partition partition;
@@ -654,7 +332,7 @@ PairView build_pair_view(const SideRows& side_a, const SideRows& side_b,
 
   // Boundary seeds from the quotient construction; seeds that left the
   // pair in an earlier color class of this iteration are simply absent
-  // from the view (the replica path skips them inside the band BFS).
+  // from the view (a replicated path skips them inside the band BFS).
   for (const NodeID u : edge.boundary) {
     const auto it = to_view.find(u);
     if (it != to_view.end()) view.seeds.push_back(it->second);
@@ -665,33 +343,49 @@ PairView build_pair_view(const SideRows& side_a, const SideRows& side_b,
 }  // namespace
 
 SpmdRefiner::SpmdRefiner(const StaticGraph& finest, const Config& config,
-                         PEContext& pe)
-    : config_(config),
+                         PEContext& pe, const Partition* warm)
+    : finest_(finest),
+      config_(config),
       pe_(pe),
       rng_(Rng(config.seed).fork(3)),
-      global_bound_(max_block_weight_bound(finest, config.k, config.eps)) {}
+      global_bound_(max_block_weight_bound(finest, config.k, config.eps)),
+      warm_(warm) {}
 
-void SpmdRefiner::refine(const StaticGraph& graph, Partition& partition,
-                         std::size_t level) {
-  PairwiseRefinerOptions options =
-      level_refine_options(config_, global_bound_, graph);
+void SpmdRefiner::refine(const DistHierarchy& hierarchy, std::size_t level,
+                         Partition& partition) {
+  PairwiseRefinerOptions options = level_refine_options(
+      config_, global_bound_, hierarchy.level_max_node_weight(level));
   // Within a PE the pairs run sequentially; concurrency comes from the
   // PEs themselves.
   options.num_threads = 1;
-
-  const int p = pe_.size();
-  const int rank = pe_.rank();
   const BlockID k = partition.k();
   const Rng level_rng = rng_.fork(level);
 
   // §5.2: "immediately after uncontracting a matching, every PE stores
   // the partition it is responsible for in a static adjacency array
-  // representation" — this rank extracts the rows of its blocks' nodes
-  // once per level (the data distribution step); every refinement inner
-  // loop below reads resident rows, shipped rows, or the replicated
-  // partition state, never the shared graph replica.
-  BlockRowShard store(graph, partition.assignment(), k, rank, p);
+  // representation" — the data distribution step. For coarse levels the
+  // rows arrive from their shard owners over channels; every refinement
+  // inner loop below reads resident rows, shipped rows, or the
+  // replicated partition state. The finest level's store is retained: it
+  // drives the rebalancing insurance and doubles as the incrementally
+  // maintained §5.2 migration view.
+  if (level == 0) {
+    finest_store_.emplace(hierarchy.distribute_block_rows(0, partition, k));
+    footprint_.merge_peak(finest_store_->footprint());
+    run_pairwise(*finest_store_, partition, options, level_rng);
+    return;
+  }
+  BlockRowShard store = hierarchy.distribute_block_rows(level, partition, k);
   footprint_.merge_peak(store.footprint());
+  run_pairwise(store, partition, options, level_rng);
+}
+
+void SpmdRefiner::run_pairwise(BlockRowShard& store, Partition& partition,
+                               const PairwiseRefinerOptions& options,
+                               const Rng& base_rng) {
+  const int p = pe_.size();
+  const int rank = pe_.rank();
+  const BlockID k = partition.k();
 
   int no_change_streak = 0;
   for (int global = 0; global < options.max_global_iterations; ++global) {
@@ -701,7 +395,7 @@ void SpmdRefiner::refine(const StaticGraph& graph, Partition& partition,
     const QuotientGraph quotient = gather_quotient(store, partition, k, pe_);
     if (quotient.edges().empty()) break;  // every block is isolated
 
-    Rng color_rng = level_rng.fork(coloring_fork_tag(global));
+    Rng color_rng = base_rng.fork(coloring_fork_tag(global));
     const EdgeColoring coloring = color_quotient_edges(quotient, color_rng);
 
     EdgeWeight my_cut_gain = 0;
@@ -749,7 +443,7 @@ void SpmdRefiner::refine(const StaticGraph& graph, Partition& partition,
 
         const PairRefineResult result = refine_pair(
             view.graph, view.partition, edge.a, edge.b, view.seeds, options,
-            level_rng, pair_seed_tag(global, j), /*collect_moves=*/true);
+            base_rng, pair_seed_tag(global, j), /*collect_moves=*/true);
         my_cut_gain += result.cut_gain;
         my_imbalance_gain += result.imbalance_gain;
         for (const auto& [vu, to] : result.moves) {
@@ -840,15 +534,140 @@ void SpmdRefiner::refine(const StaticGraph& graph, Partition& partition,
   }
 }
 
-void SpmdRefiner::rebalance(const StaticGraph& graph, Partition& partition) {
-  // The insurance loop runs replicated on the level replica: with
-  // identical streams and single-threaded pair execution it is
-  // deterministic, so the replicas stay in lockstep without
-  // communication. (It fires only when the finest level is still
-  // infeasible — distributing it is not worth a protocol; the main
-  // refinement loop above never touches the replica.)
-  rebalance_until_feasible(graph, partition, config_, global_bound_, rng_,
-                           /*num_threads=*/1);
+void SpmdRefiner::rebalance(Partition& partition) {
+  assert(finest_store_.has_value() &&
+         "refine(level 0) must run before rebalance");
+  // The insurance loop (§5.2 exception rule): should the finest level
+  // still be overloaded, run additional MaxLoad-driven iterations with
+  // escalating band depth through the same distributed color-class
+  // machinery — on the retained finest-level store, never on a replica.
+  // Mirrors rebalance_until_feasible() in loop shape and RNG forks.
+  for (int attempt = 0; attempt < kMaxRebalanceAttempts &&
+                        !is_balanced(finest_, partition, config_.eps);
+       ++attempt) {
+    PairwiseRefinerOptions options =
+        rebalance_options(config_, finest_, global_bound_, attempt);
+    options.num_threads = 1;
+    run_pairwise(*finest_store_, partition, options, rng_.fork(100 + attempt));
+  }
+}
+
+MigrationIntake SpmdRefiner::migration_intake(
+    const Partition& final_partition) const {
+  assert(warm_ != nullptr && "migration accounting needs the warm input");
+  assert(finest_store_.has_value());
+  const BlockRowShard& store = *finest_store_;
+
+  // The store was maintained incrementally by the moved-node deltas and
+  // row migrations of refine/rebalance, so at this point it holds exactly
+  // the rows of the nodes in this rank's final blocks — the population of
+  // the §5.2 migration view. Seal the view from it: kept nodes (same
+  // block as the warm input) form the static core, everything else is a
+  // migrated-in node in the overlay's hash-addressed secondary edge
+  // array.
+  std::vector<NodeID> residents;
+  store.for_each_resident_row(
+      [&](NodeID u, NodeWeight, std::span<const NodeID>,
+          std::span<const EdgeWeight>) { residents.push_back(u); });
+  std::sort(residents.begin(), residents.end());
+
+  std::vector<NodeID> kept;
+  std::vector<NodeID> incoming;
+  for (const NodeID u : residents) {
+    assert(final_partition.block(u) != kInvalidBlock);
+    if (final_partition.block(u) == warm_->block(u)) {
+      kept.push_back(u);
+    } else {
+      incoming.push_back(u);
+    }
+  }
+
+  // Static core: the subgraph induced by the kept nodes, assembled from
+  // resident rows.
+  std::unordered_map<NodeID, NodeID> kept_index;
+  kept_index.reserve(kept.size());
+  for (NodeID i = 0; i < kept.size(); ++i) kept_index.emplace(kept[i], i);
+  std::vector<EdgeID> xadj;
+  xadj.reserve(kept.size() + 1);
+  xadj.push_back(0);
+  std::vector<NodeID> adj;
+  std::vector<EdgeWeight> ewgt;
+  std::vector<NodeWeight> vwgt;
+  vwgt.reserve(kept.size());
+  for (const NodeID u : kept) {
+    const GraphRowView row = store.row_view(u);
+    vwgt.push_back(row.weight);
+    for (std::size_t i = 0; i < row.targets.size(); ++i) {
+      const auto it = kept_index.find(row.targets[i]);
+      if (it == kept_index.end()) continue;
+      adj.push_back(it->second);
+      ewgt.push_back(row.weights[i]);
+    }
+    xadj.push_back(adj.size());
+  }
+  const StaticGraph core(std::move(xadj), std::move(adj), std::move(ewgt),
+                         std::move(vwgt));
+
+  DynamicOverlay view(core, kept);
+  for (const NodeID u : incoming) {
+    view.add_migrated_node(u, store.row_view(u).weight);
+  }
+  for (const NodeID u : incoming) {
+    const GraphRowView row = store.row_view(u);
+    for (std::size_t i = 0; i < row.targets.size(); ++i) {
+      if (view.contains(row.targets[i])) {
+        view.add_migrated_edge(u, row.targets[i], row.weights[i]);
+      }
+    }
+  }
+  return {static_cast<NodeID>(view.num_migrated()), view.num_overlay_edges()};
+}
+
+// ------------------------------------------------------------ SPMD driver ----
+
+PartitionResult run_multilevel_spmd(const StaticGraph& graph,
+                                    const Config& config,
+                                    SpmdCoarsener& coarsener,
+                                    InitialPartitioner& initial,
+                                    SpmdRefiner& refiner) {
+  Timer total_timer;
+  PartitionResult result;
+
+  // --- Phase 1: contraction into the distributed hierarchy store (§3). ---
+  Timer phase_timer;
+  DistHierarchy hierarchy = coarsener.coarsen(graph);
+  result.coarsening_time = phase_timer.elapsed_s();
+  result.hierarchy_levels = hierarchy.num_levels();
+  result.coarsest_nodes = hierarchy.level_nodes(hierarchy.num_levels() - 1);
+  result.hierarchy_level_nodes.reserve(hierarchy.num_levels());
+  for (std::size_t l = 0; l < hierarchy.num_levels(); ++l) {
+    result.hierarchy_level_nodes.push_back(hierarchy.level_nodes(l));
+  }
+
+  // --- Phase 2: initial partitioning on the once-gathered coarsest (§4). ---
+  phase_timer.restart();
+  initial.observe_hierarchy(hierarchy);
+  Partition partition = initial.partition(hierarchy.coarsest());
+  result.initial_time = phase_timer.elapsed_s();
+
+  // --- Phase 3: uncoarsening with pairwise refinement (§5), projecting
+  // through the sharded contraction maps. ---
+  phase_timer.restart();
+  for (std::size_t level = hierarchy.num_levels(); level-- > 0;) {
+    if (level + 1 < hierarchy.num_levels()) {
+      partition = hierarchy.project(level, partition);
+    }
+    refiner.refine(hierarchy, level, partition);
+  }
+  refiner.rebalance(partition);
+  result.refinement_time = phase_timer.elapsed_s();
+
+  result.cut = edge_cut(graph, partition);
+  result.balance = balance(graph, partition);
+  result.balanced = is_balanced(graph, partition, config.eps);
+  result.partition = std::move(partition);
+  result.total_time = total_timer.elapsed_s();
+  return result;
 }
 
 }  // namespace kappa

@@ -1,33 +1,35 @@
 /// \file spmd_phases.hpp
 /// \brief SPMD implementations of the three pipeline phases (§3-§5).
 ///
-/// Each class implements one phase interface of core/phases.hpp for
-/// execution on the PE runtime: every PE of the runtime constructs its own
-/// instance inside the SPMD program and runs the shared run_multilevel()
-/// driver. The graph *data* is sharded (parallel/shard_graph.hpp): the
-/// phases' inner loops read each rank's resident structures, never the
-/// shared level replica — the replica is touched only at the per-level
-/// data-distribution step and by the replicated small-graph/rebalance
-/// fallbacks. The phases synchronize internally:
+/// Every PE of the runtime constructs its own phase instances inside the
+/// SPMD program and runs the shared run_multilevel_spmd() driver. The
+/// graph *data* is sharded end to end: every coarsening level exists only
+/// as per-PE shards of the distributed hierarchy store
+/// (parallel/dist_hierarchy.hpp) — there is no level replica. The phases
+/// synchronize internally:
 ///
-///   SpmdCoarsener          — per level, each rank builds its owned+ghost
-///     ShardGraph (ghost weights refreshed over channels, counted in
-///     CommStats), matches its shards' induced subgraphs locally,
-///     exchanges boundary match ratings pairwise over channels, resolves
-///     the gap graph in locally-heaviest rounds with per-round channel
-///     exchanges, and all-gathers the matched pairs (the contraction
-///     map) so every PE contracts the level identically (§3.3).
-///   SpmdInitialPartitioner — best-of-p: the attempts (each with a private
-///     RNG stream) are distributed over the PEs, an all-reduce picks the
-///     winner and the owning PE broadcasts the partition (§4).
-///   SpmdRefiner            — per level, each rank stores the rows of the
-///     nodes in its blocks (§5.2 BlockRowShard); the quotient graph is
-///     merged from per-rank contributions, refinement rounds are
-///     scheduled by an edge coloring of it, a pair {a, b} is executed by
-///     block a's owner on a pair-local view assembled from its own rows
-///     plus block b's rows shipped by the partner owner, and moved-node
-///     deltas plus migrating rows are exchanged after every color class
-///     (§5).
+///   SpmdCoarsener          — builds the DistHierarchy: shard-local
+///     matching with gap resolution over peer channels, owner-computes
+///     contraction with halo exchange of boundary match decisions and
+///     coarse-edge contributions (§3.3). No contraction map and no level
+///     graph is ever gathered.
+///   SpmdInitialPartitioner — best-of-p on the once-gathered coarsest
+///     graph: the attempts (each with a private RNG stream) are
+///     distributed over the PEs, an all-reduce picks the winner and the
+///     owning PE broadcasts the partition (§4).
+///   SpmdRefiner            — per level, the rows travel from their shard
+///     owners to the owners of their nodes' blocks (§5.2 BlockRowShard
+///     data distribution); the quotient graph is merged from per-rank
+///     contributions, refinement rounds are scheduled by an edge coloring
+///     of it, a pair {a, b} is executed by block a's owner on a pair-local
+///     view assembled from its own rows plus block b's rows shipped by
+///     the partner owner, and moved-node deltas plus migrating rows are
+///     exchanged after every color class (§5). The rebalancing insurance
+///     loop runs through the same distributed color-class machinery on
+///     the finest-level store — the replica-driven fallback is gone — and
+///     that store doubles as the §5.2 migration view: on warm starts the
+///     final DynamicOverlay intake is sealed from it incrementally, not
+///     rebuilt from the replica.
 ///
 /// Determinism: all work units are keyed to *virtual* ids — shards, attempt
 /// indices, quotient-edge indices — and their RNG streams are forked from
@@ -37,11 +39,13 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "core/phases.hpp"
 #include "graph/quotient_graph.hpp"
 #include "parallel/dist_graph.hpp"
+#include "parallel/dist_hierarchy.hpp"
 #include "parallel/pe_runtime.hpp"
 #include "parallel/shard_graph.hpp"
 
@@ -49,31 +53,18 @@ namespace kappa {
 
 /// Distributed quotient-graph construction (§5.1 on sharded data): every
 /// rank contributes the cut arcs its resident block rows see; the
-/// all-gathered contributions are merged identically on every PE,
-/// reproducing the replica-scan QuotientGraph bit for bit — same edge
-/// order (first-encounter order of the scan), same cut weights, same
-/// sorted boundary lists. Exposed for the shard-graph test suite.
+/// all-gathered contributions are merged identically on every PE — same
+/// edge order (first-encounter order of a row scan), same cut weights,
+/// same sorted boundary lists. Exposed for the shard-graph test suite.
 [[nodiscard]] QuotientGraph gather_quotient(const BlockRowShard& store,
                                             const Partition& partition,
                                             BlockID k, PEContext& pe);
 
-/// Matching shape of the SPMD coarsening phase, accumulated over all
-/// levels on one PE (this PE's contribution, not a global total).
-struct SpmdCoarseningStats {
-  NodeID local_pairs = 0;      ///< pairs this PE matched inside its shards
-  NodeID gap_pairs = 0;        ///< cross-shard pairs this PE decided
-  std::size_t gap_rounds = 0;  ///< locally-heaviest rounds over all levels
-  /// Peak resident size of this PE's ghost-layer ShardGraph over all
-  /// levels (owned + one-hop halo).
-  ShardFootprint footprint;
-};
-
-class SpmdCoarsener final : public Coarsener {
+class SpmdCoarsener {
  public:
   /// A non-null \p warm_start restricts contraction to intra-block pairs
-  /// of that assignment (the repartitioning coarsening policy); the
-  /// filter runs replicated inside the shared hierarchy builder, so the
-  /// PEs stay in lockstep.
+  /// of that assignment (the repartitioning coarsening policy) by giving
+  /// the matchers the block constraint.
   SpmdCoarsener(const Config& config, PEContext& pe,
                 const Partition* warm_start = nullptr)
       : config_(config),
@@ -81,19 +72,12 @@ class SpmdCoarsener final : public Coarsener {
         rng_(Rng(config.seed).fork(1)),
         warm_start_(warm_start) {}
 
-  [[nodiscard]] Hierarchy coarsen(const StaticGraph& graph) override;
+  /// Builds the distributed hierarchy store of \p graph.
+  [[nodiscard]] DistHierarchy coarsen(const StaticGraph& graph);
 
   [[nodiscard]] const SpmdCoarseningStats& stats() const { return stats_; }
 
  private:
-  /// One SPMD matching round on \p current: local matching per owned
-  /// shard, boundary-rating exchange, gap resolution, all-gather of the
-  /// matched pairs. Returns the full partner vector (identical on every
-  /// PE).
-  [[nodiscard]] std::vector<NodeID> spmd_match(const StaticGraph& current,
-                                               const MatchingOptions& options,
-                                               std::size_t level);
-
   const Config& config_;
   PEContext& pe_;
   Rng rng_;
@@ -114,13 +98,32 @@ class SpmdInitialPartitioner final : public InitialPartitioner {
   Rng rng_;
 };
 
-class SpmdRefiner final : public Refiner {
+class SpmdRefiner {
  public:
-  SpmdRefiner(const StaticGraph& finest, const Config& config, PEContext& pe);
+  /// \p warm is the repartitioning input assignment (nullptr on
+  /// from-scratch runs); it anchors the migration view.
+  SpmdRefiner(const StaticGraph& finest, const Config& config, PEContext& pe,
+              const Partition* warm = nullptr);
 
-  void refine(const StaticGraph& graph, Partition& partition,
-              std::size_t level) override;
-  void rebalance(const StaticGraph& graph, Partition& partition) override;
+  /// Refines \p partition on hierarchy level \p level in place. The
+  /// level's rows are distributed into this rank's block-row store; the
+  /// finest level's store is retained for rebalance() and the migration
+  /// view.
+  void refine(const DistHierarchy& hierarchy, std::size_t level,
+              Partition& partition);
+
+  /// Post-pass on the finest level: the §5.2 exception rule applied until
+  /// the Lmax bound holds (or attempts run out), running through the same
+  /// distributed color-class machinery as refine() on the retained
+  /// finest-level store.
+  void rebalance(Partition& partition);
+
+  /// Warm starts only: this rank's §5.2 migration view, sealed from the
+  /// incrementally maintained finest-level store (rows arrived with the
+  /// moved-node deltas and row migrations — the input replica is never
+  /// consulted). \p final_partition must be the pipeline's result.
+  [[nodiscard]] MigrationIntake migration_intake(
+      const Partition& final_partition) const;
 
   /// Peak resident size of this PE's §5.2 block-row store over all
   /// levels, including the transient partner-block intake of pair
@@ -128,11 +131,36 @@ class SpmdRefiner final : public Refiner {
   [[nodiscard]] const ShardFootprint& footprint() const { return footprint_; }
 
  private:
+  /// One pairwise_refine()-shaped run on the distributed store: global
+  /// iterations over the merged quotient's edge coloring, pair execution
+  /// at the block-a owner, moved-node delta exchange and row migration
+  /// after every color class. Mirrors the replicated implementation's
+  /// loop, RNG forks and stop rules, so the outcome is a pure function of
+  /// (store content, partition, options, rng) — independent of p.
+  void run_pairwise(BlockRowShard& store, Partition& partition,
+                    const PairwiseRefinerOptions& options, const Rng& base_rng);
+
+  const StaticGraph& finest_;
   const Config& config_;
   PEContext& pe_;
   Rng rng_;
   NodeWeight global_bound_;
+  const Partition* warm_;
   ShardFootprint footprint_;
+  /// The finest level's store, retained after refine(level 0) for the
+  /// rebalancing insurance loop and the migration view.
+  std::optional<BlockRowShard> finest_store_;
 };
+
+/// The SPMD twin of run_multilevel(): coarsen into the distributed
+/// hierarchy store, initial-partition the once-gathered coarsest graph,
+/// project and refine level by level through the sharded maps, then run
+/// the distributed rebalancing insurance. Every PE calls this with
+/// identical arguments; the phases synchronize internally.
+[[nodiscard]] PartitionResult run_multilevel_spmd(const StaticGraph& graph,
+                                                  const Config& config,
+                                                  SpmdCoarsener& coarsener,
+                                                  InitialPartitioner& initial,
+                                                  SpmdRefiner& refiner);
 
 }  // namespace kappa

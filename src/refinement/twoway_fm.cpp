@@ -181,11 +181,17 @@ TwoWayFMResult twoway_fm(const StaticGraph& graph, Partition& partition,
     const NodeID u = ws.pq[side].top();
     const EdgeWeight gain = ws.pq[side].top_key();
     ws.pq[side].pop();
-    ws.moved_stamp[u] = epoch;
 
     const BlockID from = blocks[side];
     const BlockID to = blocks[side ^ 1];
     const NodeWeight w = graph.node_weight(u);
+    if (weight[side] - w < 1) {
+      // Never empty a block: an empty block loses its quotient edges and
+      // can never be refilled by pairwise refinement, which bricks the
+      // k-way partition. Cut gain must not annihilate small blocks.
+      continue;
+    }
+    ws.moved_stamp[u] = epoch;
     partition.move(u, to, w);
     weight[side] -= w;
     weight[side ^ 1] += w;

@@ -116,6 +116,43 @@ TEST_P(MatcherProperty, RespectsPairWeightBound) {
   EXPECT_EQ(partner[4], 5u);
 }
 
+TEST_P(MatcherProperty, BlockConstraintFiltersDuringRating) {
+  // Warm-start coarsening: with the block constraint the matcher never
+  // proposes a cross-block pair — and because the filter runs during
+  // rating (not after matching), a boundary node picks its best
+  // intra-block partner instead of staying unmatched.
+  const auto& [algo, rating] = GetParam();
+  Rng graph_rng(5);
+  const StaticGraph g = random_geometric_graph(800, 0.06, graph_rng);
+  std::vector<BlockID> blocks(g.num_nodes());
+  for (NodeID u = 0; u < g.num_nodes(); ++u) blocks[u] = u % 2;
+
+  MatchingOptions options;
+  options.rating = rating;
+  options.blocks = &blocks;
+  Rng rng(9);
+  const auto constrained = compute_matching(g, algo, options, rng);
+  EXPECT_EQ(validate_matching(g, constrained), "");
+  for (NodeID u = 0; u < g.num_nodes(); ++u) {
+    ASSERT_TRUE(constrained[u] == u || blocks[u] == blocks[constrained[u]]);
+  }
+
+  // Baseline: the old policy matched unconstrained and dissolved every
+  // cross-block pair afterwards. Rating-time filtering must never do
+  // worse, and on this half/half split it finds strictly more pairs.
+  options.blocks = nullptr;
+  Rng rng2(9);
+  auto dissolved = compute_matching(g, algo, options, rng2);
+  for (NodeID u = 0; u < g.num_nodes(); ++u) {
+    const NodeID v = dissolved[u];
+    if (v > u && blocks[u] != blocks[v]) {
+      dissolved[u] = u;
+      dissolved[v] = v;
+    }
+  }
+  EXPECT_GT(matching_size(constrained), matching_size(dissolved));
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllCombos, MatcherProperty,
     ::testing::Combine(::testing::Values(MatcherAlgo::kSHEM,

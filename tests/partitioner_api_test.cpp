@@ -131,7 +131,7 @@ TEST(SpmdRepartition, IsPInvariantWithMigrationAccounting) {
   const Partition perturbed = perturb(g, fresh.partition, 8, 19);
 
   PartitionResult reference;
-  for (const int p : {1, 2, 4}) {
+  for (const int p : {1, 2, 3, 4, 9}) {  // ragged p and p > k included
     PERuntime runtime(p, config.seed);
     const PartitionResult result =
         Partitioner(Context::spmd(config, runtime)).repartition(g, perturbed);
@@ -152,6 +152,34 @@ TEST(SpmdRepartition, IsPInvariantWithMigrationAccounting) {
     for (NodeID u = 0; u < g.num_nodes(); ++u) {
       ASSERT_EQ(result.partition.block(u), reference.partition.block(u))
           << "p=" << p << " node " << u;
+    }
+  }
+}
+
+TEST(SpmdRepartition, IncrementalMigrationViewMatchesPostHocComputation) {
+  // The refiner's migration view is sealed from its incrementally
+  // maintained finest-level store; the numbers must equal what the
+  // post-hoc replica computation (receive_migrated_nodes, kept as the
+  // oracle) derives from the final assignment.
+  const StaticGraph g = make_instance("rgg14", 5);
+  Config config = Config::preset(Preset::kFast, 8);
+  config.seed = 4;
+  const PartitionResult fresh =
+      Partitioner(Context::sequential(config)).partition(g);
+  const Partition perturbed = perturb(g, fresh.partition, 8, 29);
+
+  for (const int p : {1, 3, 4}) {
+    PERuntime runtime(p, config.seed);
+    const PartitionResult result =
+        Partitioner(Context::spmd(config, runtime)).repartition(g, perturbed);
+    ASSERT_EQ(result.migrated_per_pe.size(), static_cast<std::size_t>(p));
+    for (int rank = 0; rank < p; ++rank) {
+      const MigrationIntake oracle =
+          receive_migrated_nodes(g, perturbed, result.partition, rank, p);
+      EXPECT_EQ(result.migrated_per_pe[rank], oracle.nodes)
+          << "p=" << p << " rank " << rank;
+      EXPECT_EQ(result.migrated_edges_per_pe[rank], oracle.edges)
+          << "p=" << p << " rank " << rank;
     }
   }
 }

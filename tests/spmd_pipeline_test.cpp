@@ -134,6 +134,35 @@ INSTANTIATE_TEST_SUITE_P(Generators, SpmdDeterminism,
                          ::testing::Values("rgg14", "delaunay14", "road_s",
                                            "annulus_m"));
 
+TEST(SpmdPipeline, BitIdenticalForP1Through9) {
+  // The distributed-hierarchy acceptance criterion: bit-identity and
+  // p-invariance over the full runtime-size range, including ragged p
+  // (3, 5, 6, 7 do not divide the shard count) and p > k (9 PEs for
+  // k = 8 leaves rank 8 without shards or blocks — it must idle in
+  // lockstep).
+  const StaticGraph g = make_instance("rgg14", 11);
+  Config config = Config::preset(Preset::kMinimal, 8);
+  config.seed = 42;
+
+  PartitionResult reference;
+  for (int p = 1; p <= 9; ++p) {
+    PERuntime runtime(p, config.seed);
+    const PartitionResult result =
+        Partitioner(Context::spmd(config, runtime)).partition(g);
+    EXPECT_EQ(validate_partition(g, result.partition), "");
+    if (p == 1) {
+      reference = result;
+      continue;
+    }
+    EXPECT_EQ(result.cut, reference.cut) << "p=" << p;
+    EXPECT_EQ(result.hierarchy_levels, reference.hierarchy_levels) << p;
+    for (NodeID u = 0; u < g.num_nodes(); ++u) {
+      ASSERT_EQ(result.partition.block(u), reference.partition.block(u))
+          << "p=" << p << " node " << u;
+    }
+  }
+}
+
 TEST(SpmdPipeline, RepeatedRunsAreIdentical) {
   const StaticGraph g = make_instance("delaunay14", 3);
   Config config = Config::preset(Preset::kMinimal, 4);
@@ -252,6 +281,66 @@ TEST(SpmdPipeline, ResidentGraphMemoryIsShardedNotReplicated) {
     // Owned peaks are per-rank maxima over the levels of node partitions,
     // so they can exceed n only through the matcher/refiner mix.
     EXPECT_LE(total_owned, 2u * g.num_nodes()) << "p=" << p;
+  }
+}
+
+TEST(SpmdPipeline, HierarchyStoreIsShardedAndHaloTrafficIsPerLevel) {
+  const StaticGraph g = make_instance("rgg14", 11);
+  Config config = Config::preset(Preset::kFast, 8);
+  config.seed = 5;
+
+  for (const int p : {1, 4}) {
+    PERuntime runtime(p, config.seed);
+    const PartitionResult result =
+        Partitioner(Context::spmd(config, runtime)).partition(g);
+
+    // Level shape surfaced with the result.
+    ASSERT_EQ(result.hierarchy_level_nodes.size(), result.hierarchy_levels);
+    ASSERT_GE(result.hierarchy_levels, 3u);
+    EXPECT_EQ(result.hierarchy_level_nodes.front(), g.num_nodes());
+    EXPECT_EQ(result.hierarchy_level_nodes.back(), result.coarsest_nodes);
+    std::uint64_t replicated_baseline = 0;  // Σ n_level: the old design
+    for (const NodeID n_level : result.hierarchy_level_nodes) {
+      replicated_baseline += n_level;
+    }
+
+    // The resident hierarchy store: Σ_levels (n_level/p + halo) per rank,
+    // strictly below the replicated Σ_levels n_level for p >= 2.
+    ASSERT_EQ(result.hierarchy_memory_per_pe.size(),
+              static_cast<std::size_t>(p));
+    std::uint64_t total_owned = 0;
+    for (const ShardFootprint& fp : result.hierarchy_memory_per_pe) {
+      EXPECT_GT(fp.owned_nodes, 0u);
+      if (p >= 2) {
+        EXPECT_LT(fp.resident_nodes(), replicated_baseline) << "p=" << p;
+        EXPECT_LE(fp.owned_nodes, 2 * replicated_baseline / p) << "p=" << p;
+      }
+      total_owned += fp.owned_nodes;
+    }
+    // Owned sets partition every level: the ranks' owned sums add up to
+    // the replicated baseline exactly.
+    EXPECT_EQ(total_owned, replicated_baseline) << "p=" << p;
+
+    // Per-level halo-exchange breakdown: present for p >= 2, one entry
+    // per contraction step, a subset of the totals.
+    if (p == 1) {
+      for (const LevelHaloStats& h : result.comm.halo_per_level) {
+        EXPECT_EQ(h.messages, 0u);  // a single PE has no halo peers
+      }
+      continue;
+    }
+    ASSERT_FALSE(result.comm.halo_per_level.empty());
+    EXPECT_LE(result.comm.halo_per_level.size(), result.hierarchy_levels);
+    std::uint64_t halo_messages = 0;
+    std::uint64_t halo_words = 0;
+    for (const LevelHaloStats& h : result.comm.halo_per_level) {
+      halo_messages += h.messages;
+      halo_words += h.words;
+    }
+    EXPECT_GT(halo_messages, 0u);
+    EXPECT_GT(halo_words, 0u);
+    EXPECT_LE(halo_messages, result.comm.messages_sent);
+    EXPECT_LE(halo_words, result.comm.words_sent);
   }
 }
 
