@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
     for (const std::string& name : small_suite()) {
       const StaticGraph g = make_instance(name);
       Config config = Config::preset(Preset::kFast, 16);
-      config.use_flow_refinement = use_flow;
+      config.enable_flow_refinement = use_flow;
       accumulator.add(run_kappa(g, config, reps));
     }
     const SuiteSummary s = accumulator.summary();

@@ -53,9 +53,21 @@ struct Config {
   /// Worker threads standing in for PEs during refinement (pairs of one
   /// color class run concurrently). 1 = sequential execution.
   int num_threads = 1;
-  /// Extension (§8 future work): add a min-cut pass per pair after FM.
-  /// Off in all paper presets; the ablation bench quantifies its effect.
-  bool use_flow_refinement = false;
+  /// §5.2 band shipping in the SPMD refiner: the partner owner ships only
+  /// the boundary band of its block (bounded BFS of depth bfs_depth on
+  /// its resident rows, plus a one-hop fringe of frozen context nodes)
+  /// instead of the whole block, and the pair search is confined to the
+  /// shipped band. Off = legacy whole-block shipping, kept for the
+  /// volume-equivalence property tests ("band depth = infinity reproduces
+  /// whole-block shipping bit for bit").
+  bool band_shipping = true;
+  /// Extension (§8 future work): add a min-cut pass on the boundary band
+  /// of each pair after the FM local iterations, in the sequential
+  /// pairwise refiner and in the SPMD band-limited pair views alike. The
+  /// flow move is adopted only when it strictly improves the pair cut
+  /// without increasing overload, so a pair is never made worse. Off in
+  /// all paper presets; the ablation bench quantifies its effect.
+  bool enable_flow_refinement = false;
 
   /// The Table 2 preset for a given k and eps.
   [[nodiscard]] static Config preset(Preset preset, BlockID k,

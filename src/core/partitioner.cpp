@@ -94,6 +94,8 @@ PartitionResult run_spmd(const StaticGraph& graph, const Config& config,
   std::vector<MigrationIntake> intake(p);
   std::vector<ShardFootprint> footprints(p);
   std::vector<ShardFootprint> hierarchy_memory(p);
+  std::vector<ShardFootprint> partition_memory(p);
+  std::vector<PairShipStats> pair_ship(p);
 
   const std::vector<CommStats> per_pe = runtime.run([&](PEContext& pe) {
     SpmdCoarsener coarsener(config, pe, warm);
@@ -104,19 +106,22 @@ PartitionResult run_spmd(const StaticGraph& graph, const Config& config,
       local = run_multilevel_spmd(graph, config, coarsener, initial, refiner);
       // Shard-local migration view, sealed from the refiner's
       // incrementally maintained finest-level store (each block's delta
-      // is accounted at its owning rank; every PE holds the identical
-      // final partition).
-      intake[pe.rank()] = refiner.migration_intake(local.partition);
+      // is accounted at its owning rank, with membership read off the
+      // store itself).
+      intake[pe.rank()] = refiner.migration_intake();
     } else {
       SpmdInitialPartitioner initial(config, pe);
       local = run_multilevel_spmd(graph, config, coarsener, initial, refiner);
     }
     // Peak resident graph data of this rank across both sharded phases,
-    // plus the resident hierarchy store (all levels stay sharded).
+    // plus the resident hierarchy store (all levels stay sharded) and the
+    // sharded partition state.
     ShardFootprint footprint = coarsener.stats().footprint;
     footprint.merge_peak(refiner.footprint());
     footprints[pe.rank()] = footprint;
     hierarchy_memory[pe.rank()] = coarsener.stats().hierarchy_resident;
+    partition_memory[pe.rank()] = refiner.partition_footprint();
+    pair_ship[pe.rank()] = refiner.ship_stats();
     if (pe.rank() == 0) result = std::move(local);
   });
 
@@ -125,6 +130,8 @@ PartitionResult run_spmd(const StaticGraph& graph, const Config& config,
   result.comm_per_pe = per_pe;
   result.shard_memory_per_pe = std::move(footprints);
   result.hierarchy_memory_per_pe = std::move(hierarchy_memory);
+  result.partition_memory_per_pe = std::move(partition_memory);
+  result.pair_ship_per_pe = std::move(pair_ship);
   if (warm != nullptr) {
     result.migrated_per_pe.reserve(p);
     result.migrated_edges_per_pe.reserve(p);

@@ -87,6 +87,17 @@ struct PartitionResult {
   /// hierarchy_level_nodes); the ratio is the memory payoff of
   /// shard-owned contraction, tabulated in EXPERIMENTS.md.
   std::vector<ShardFootprint> hierarchy_memory_per_pe;
+  /// Peak resident partition state per rank (parallel/dist_partition.hpp):
+  /// owned_nodes = block ids of the rank's shard-owned nodes (n_l / p),
+  /// ghost_nodes = ghost-block cache entries (block members + resident-row
+  /// targets). The replicated design held the full O(n_l) assignment on
+  /// every rank; with the sharded store the per-rank resident share drops
+  /// sub-linearly, tabulated in EXPERIMENTS.md.
+  std::vector<ShardFootprint> partition_memory_per_pe;
+  /// §5.2 pair-shipping volume per rank: what the refiner's partner-side
+  /// shipments put on the wire (band-limited by default) against the
+  /// whole-block volume the legacy mode would have sent.
+  std::vector<PairShipStats> pair_ship_per_pe;
 };
 
 /// One rank's post-repartitioning data intake (§5.2): the nodes migrated

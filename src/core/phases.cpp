@@ -91,7 +91,7 @@ PairwiseRefinerOptions level_refine_options(const Config& config,
   refine.stop_no_change = config.stop_no_change;
   refine.num_threads = config.num_threads;
   refine.duplicate_search = config.duplicate_search;
-  refine.use_flow = config.use_flow_refinement;
+  refine.use_flow = config.enable_flow_refinement;
   return refine;
 }
 

@@ -61,6 +61,29 @@ struct ShardFootprint {
   }
 };
 
+/// Volume of the §5.2 partner-side shipping during SPMD pairwise
+/// refinement, accumulated per rank. Sender-side counters compare what
+/// band shipping put on the wire against the whole block the legacy mode
+/// would have sent for the same pairs; the executor side counts the pairs
+/// it ran. With band shipping on, `rows_shipped` tracks the band (plus
+/// its one-hop fringe stubs), bounded by — and on large blocks far below
+/// — `whole_block_rows`.
+struct PairShipStats {
+  std::uint64_t pairs_executed = 0;   ///< pairs this rank executed
+  std::uint64_t pairs_shipped = 0;    ///< partner sides this rank sent
+  std::uint64_t rows_shipped = 0;     ///< band rows + fringe stubs sent
+  std::uint64_t words_shipped = 0;    ///< wire words of the sent sides
+  std::uint64_t whole_block_rows = 0; ///< rows a whole-block send needed
+
+  void operator+=(const PairShipStats& other) {
+    pairs_executed += other.pairs_executed;
+    pairs_shipped += other.pairs_shipped;
+    rows_shipped += other.rows_shipped;
+    words_shipped += other.words_shipped;
+    whole_block_rows += other.whole_block_rows;
+  }
+};
+
 /// Aggregates per-rank counters into one total: messages and words add
 /// up; barriers are synchronization points every rank passes together, so
 /// the aggregate is the maximum, not the sum.

@@ -5,8 +5,9 @@
 /// messages travel only between halo peers, and the only collectives are
 /// scalar all-reduces/all-gathers (stop rules, per-shard coarse counts).
 /// No contraction map and no level graph is ever gathered; the tagged
-/// all_gather_vectors calls below belong to uncoarsening projection and
-/// the one-time coarsest gather, which the CI guard checks by tag.
+/// all_gather_vectors calls below belong to the one-time coarsest gather
+/// (uncoarsening projection is shard-local through the sharded partition
+/// state, parallel/dist_partition.hpp), which the CI guard checks by tag.
 #include "parallel/dist_hierarchy.hpp"
 
 #include <algorithm>
@@ -20,6 +21,7 @@
 
 #include "graph/subgraph.hpp"
 #include "matching/tentative_match.hpp"
+#include "parallel/dist_partition.hpp"
 #include "parallel/wire_format.hpp"
 
 namespace kappa {
@@ -885,61 +887,77 @@ std::vector<BlockID> DistHierarchy::coarsest_warm_assignment() const {
   return reassemble_owned(L, p, gathered);
 }
 
-Partition DistHierarchy::project(std::size_t l, const Partition& coarse) const {
-  const int p = pe_.size();
-  const DistLevel& L = levels_[l];
-  const BlockID k = coarse.k();
-  const StaticGraph& resident = L.shard.csr();
-  const NodeID num_owned = L.shard.num_owned();
-  assert(L.owned_to_coarse.size() == num_owned &&
-         "projection needs the sharded contraction map");
-
-  // Each rank projects its owned nodes; the replicated assignment is
-  // reassembled from the per-rank pieces (ids are derivable from the
-  // replicated ownership map, so only blocks travel).
-  std::vector<std::uint64_t> words;
-  words.reserve(num_owned);
-  for (NodeID i = 0; i < num_owned; ++i) {
-    words.push_back(coarse.block(L.owned_to_coarse[i]));
-  }
-  const auto gathered =
-      pe_.all_gather_vectors(std::move(words));  // uncoarsen-gather-ok
-  std::vector<BlockID> assignment = reassemble_owned(L, p, gathered);
-
-  // Block weights from the sharded node weights: partial sums over the
-  // owned nodes, all-reduced.
-  std::vector<std::uint64_t> partial(k, 0);
-  for (NodeID i = 0; i < num_owned; ++i) {
-    partial[coarse.block(L.owned_to_coarse[i])] +=
-        static_cast<std::uint64_t>(resident.node_weight(i));
-  }
-  const std::vector<std::uint64_t> sums =
-      pe_.all_reduce_sum_vec(std::move(partial));
-  std::vector<NodeWeight> block_weights;
-  block_weights.reserve(k);
-  for (const std::uint64_t w : sums) {
-    block_weights.push_back(static_cast<NodeWeight>(w));
-  }
-  return Partition(std::move(assignment), k, std::move(block_weights));
+DistPartition DistHierarchy::lift(const Partition& coarsest_partition) const {
+  return DistPartition(levels_.back(), coarsest_partition, pe_);
 }
 
-BlockRowShard DistHierarchy::distribute_block_rows(std::size_t l,
-                                                   const Partition& partition,
-                                                   BlockID k) const {
+DistPartition DistHierarchy::project(std::size_t l,
+                                     const DistPartition& coarse) const {
+  return DistPartition::project(levels_[l], levels_[l + 1], coarse, pe_);
+}
+
+Partition DistHierarchy::materialize(const DistPartition& partition) const {
+  return partition.materialize(pe_);
+}
+
+BlockRowShard DistHierarchy::distribute_block_rows(
+    std::size_t l, const DistPartition& partition, BlockID k) const {
   const int p = pe_.size();
   const int rank = pe_.rank();
-  if (l == 0) {
-    // The finest level is the always-resident input graph; extract
-    // directly, as the replicated path always could.
-    return BlockRowShard(*finest_, partition.assignment(), k, rank, p);
-  }
-
-  // §5.2 data distribution: rows move from shard owners to block owners.
   const DistLevel& L = levels_[l];
   const StaticGraph& resident = L.shard.csr();
   const NodeID num_owned = L.shard.num_owned();
+
+  if (l == 0) {
+    // The finest level is the always-resident input graph, so row content
+    // never has to travel: the shard owners announce (id, block) of their
+    // owned nodes to the block owners, which extract the rows locally.
+    std::vector<NodeID> mine;
+    std::vector<BlockID> mine_blocks;
+    std::vector<std::vector<std::uint64_t>> outbox(p);
+    for (NodeID i = 0; i < num_owned; ++i) {
+      const NodeID u = L.shard.global_of(i);
+      const BlockID b = partition.block(u);
+      const int dest = BlockRowShard::owner_of_block(b, p);
+      if (dest == rank) {
+        mine.push_back(u);
+        mine_blocks.push_back(b);
+      } else {
+        outbox[dest].push_back(pack_pair(u, b));
+      }
+    }
+    for (int q = 0; q < p; ++q) {
+      if (q != rank) pe_.send(q, std::move(outbox[q]));
+    }
+    for (int q = 0; q < p; ++q) {
+      if (q == rank) continue;
+      const Message msg = pe_.receive(q);
+      for (const std::uint64_t word : msg.payload) {
+        const auto [u, b] = unpack_pair(word);
+        mine.push_back(static_cast<NodeID>(u));
+        mine_blocks.push_back(static_cast<BlockID>(b));
+      }
+    }
+    std::vector<std::size_t> order(mine.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t x, std::size_t y) { return mine[x] < mine[y]; });
+    std::vector<NodeID> ids;
+    std::vector<BlockID> blocks;
+    ids.reserve(order.size());
+    blocks.reserve(order.size());
+    for (const std::size_t i : order) {
+      ids.push_back(mine[i]);
+      blocks.push_back(mine_blocks[i]);
+    }
+    return BlockRowShard(extract_rows(*finest_, ids), blocks, k, rank, p);
+  }
+
+  // §5.2 data distribution: rows move from shard owners to block owners,
+  // each preceded by its block word (the receiver holds no assignment).
   struct Incoming {
     NodeID id;
+    BlockID block;
     GraphRow row;
   };
   std::vector<Incoming> incoming;
@@ -947,7 +965,8 @@ BlockRowShard DistHierarchy::distribute_block_rows(std::size_t l,
   GraphRow scratch;
   for (NodeID i = 0; i < num_owned; ++i) {
     const NodeID u = L.shard.global_of(i);
-    const int dest = BlockRowShard::owner_of_block(partition.block(u), p);
+    const BlockID b = partition.block(u);
+    const int dest = BlockRowShard::owner_of_block(b, p);
     scratch.weight = resident.node_weight(i);
     scratch.targets.clear();
     scratch.weights.clear();
@@ -956,8 +975,9 @@ BlockRowShard DistHierarchy::distribute_block_rows(std::size_t l,
       scratch.weights.push_back(resident.arc_weight(e));
     }
     if (dest == rank) {
-      incoming.push_back({u, scratch});
+      incoming.push_back({u, b, scratch});
     } else {
+      outbox[dest].push_back(b);
       append_row_words(outbox[dest], u,
                        {scratch.weight, scratch.targets, scratch.weights},
                        [](NodeID) { return true; });
@@ -973,20 +993,24 @@ BlockRowShard DistHierarchy::distribute_block_rows(std::size_t l,
     const Message msg = pe_.receive(q);
     std::size_t cursor = 0;
     GraphRow row;
-    while (cursor + 2 < msg.payload.size()) {
+    while (cursor + 3 < msg.payload.size()) {
+      const BlockID b = static_cast<BlockID>(msg.payload[cursor++]);
       const NodeID id = decode_row_words(msg.payload, cursor, row);
-      incoming.push_back({id, std::move(row)});
+      incoming.push_back({id, b, std::move(row)});
     }
   }
   std::sort(incoming.begin(), incoming.end(),
             [](const Incoming& a, const Incoming& b) { return a.id < b.id; });
 
   RowSet core;
+  std::vector<BlockID> blocks;
   core.ids.reserve(incoming.size());
   core.xadj.reserve(incoming.size() + 1);
   core.xadj.push_back(0);
+  blocks.reserve(incoming.size());
   for (Incoming& in : incoming) {
     core.ids.push_back(in.id);
+    blocks.push_back(in.block);
     core.vwgt.push_back(in.row.weight);
     core.adj.insert(core.adj.end(), in.row.targets.begin(),
                     in.row.targets.end());
@@ -994,7 +1018,7 @@ BlockRowShard DistHierarchy::distribute_block_rows(std::size_t l,
                      in.row.weights.end());
     core.xadj.push_back(core.adj.size());
   }
-  return BlockRowShard(std::move(core), partition.assignment(), k, rank, p);
+  return BlockRowShard(std::move(core), blocks, k, rank, p);
 }
 
 }  // namespace kappa

@@ -53,6 +53,8 @@
 
 namespace kappa {
 
+class DistPartition;
+
 /// Matching/contraction shape of the distributed coarsening, accumulated
 /// over all levels on one PE (this PE's contribution, not a global total).
 struct SpmdCoarseningStats {
@@ -171,18 +173,31 @@ class DistHierarchy {
   /// WarmStartInitialPartitioner::observe_hierarchy.
   [[nodiscard]] std::vector<BlockID> coarsest_warm_assignment() const;
 
-  /// Uncoarsening: projects the replicated \p coarse partition of level
+  /// Seeds the sharded partition state of the coarsest level from the
+  /// replicated partition the initial phase produced on the gathered
+  /// coarsest graph. No communication.
+  [[nodiscard]] DistPartition lift(const Partition& coarsest_partition) const;
+
+  /// Uncoarsening: projects the sharded \p coarse partition of level
   /// \p l + 1 onto level \p l through the sharded contraction maps. Each
-  /// rank projects its owned nodes; the replicated result is reassembled
-  /// from the per-rank pieces, block weights are all-reduced.
-  [[nodiscard]] Partition project(std::size_t l, const Partition& coarse) const;
+  /// rank projects its owned nodes shard-locally, fetching the few
+  /// cross-rank coarse ids point-to-point; block weights stay an O(k)
+  /// all-reduce. No O(n_l) block-id gather anywhere.
+  [[nodiscard]] DistPartition project(std::size_t l,
+                                      const DistPartition& coarse) const;
+
+  /// Materializes the full replicated finest-level partition from the
+  /// sharded state — the one permitted block-id gather, used exactly once
+  /// for the final PartitionResult.
+  [[nodiscard]] Partition materialize(const DistPartition& partition) const;
 
   /// The §5.2 data-distribution step of one uncoarsening level: the rows
   /// of level \p l travel from their shard owners to the owners of their
-  /// nodes' current blocks. Level 0 extracts from the resident input
-  /// graph; coarse levels ship shard rows over channels.
+  /// nodes' current blocks, each row accompanied by its block (no rank
+  /// holds the full assignment). Level 0 extracts row content from the
+  /// resident input graph — only (id, block) pairs cross the wire.
   [[nodiscard]] BlockRowShard distribute_block_rows(
-      std::size_t l, const Partition& partition, BlockID k) const;
+      std::size_t l, const DistPartition& partition, BlockID k) const;
 
  private:
   /// One SPMD matching round on a resident level: local matching per

@@ -1,0 +1,206 @@
+/// \file dist_partition.cpp
+/// \brief Sharded partition state (see dist_partition.hpp).
+///
+/// Communication discipline: block ids travel point-to-point between the
+/// ranks that need them and the shard owners that hold them; the only
+/// collectives are the O(k) block-weight all-reduce of a projection and
+/// the single tagged materialize() gather that fills the final result.
+#include "parallel/dist_partition.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "parallel/wire_format.hpp"
+
+namespace kappa {
+
+namespace {
+
+/// One deterministic request/response rendezvous: every rank sends one
+/// (possibly empty) id list to every other rank, answers the lists it
+/// receives with (id, value) pairs, and collects its own answers. FIFO
+/// per-source delivery pairs the two message waves without tags.
+template <typename Answer, typename Receive>
+void rendezvous_lookup(std::vector<std::vector<std::uint64_t>> requests,
+                       PEContext& pe, Answer&& answer, Receive&& receive) {
+  const int p = pe.size();
+  const int rank = pe.rank();
+  if (p == 1) return;
+  for (int q = 0; q < p; ++q) {
+    if (q != rank) pe.send(q, std::move(requests[q]));
+  }
+  for (int q = 0; q < p; ++q) {
+    if (q == rank) continue;
+    const Message msg = pe.receive(q);
+    std::vector<std::uint64_t> reply;
+    reply.reserve(msg.payload.size());
+    for (const std::uint64_t word : msg.payload) {
+      reply.push_back(
+          pack_pair(static_cast<NodeID>(word),
+                    answer(static_cast<NodeID>(word))));
+    }
+    pe.send(q, std::move(reply));
+  }
+  for (int q = 0; q < p; ++q) {
+    if (q == rank) continue;
+    const Message msg = pe.receive(q);
+    for (const std::uint64_t word : msg.payload) {
+      const auto [id, value] = unpack_pair(word);
+      receive(static_cast<NodeID>(id), static_cast<BlockID>(value));
+    }
+  }
+}
+
+}  // namespace
+
+DistPartition::DistPartition(const DistLevel& level,
+                             const Partition& replicated, PEContext& pe)
+    : level_(&level),
+      num_pes_(pe.size()),
+      rank_(pe.rank()),
+      k_(replicated.k()) {
+  const NodeID num_owned = level.shard.num_owned();
+  owned_.reserve(num_owned);
+  for (NodeID i = 0; i < num_owned; ++i) {
+    owned_.push_back(replicated.block(level.shard.global_of(i)));
+  }
+  block_weight_.reserve(k_);
+  for (BlockID b = 0; b < k_; ++b) {
+    block_weight_.push_back(replicated.block_weight(b));
+  }
+}
+
+DistPartition DistPartition::from_replica(const Partition& replicated) {
+  DistPartition result;
+  result.k_ = replicated.k();
+  result.cache_.reserve(replicated.num_nodes());
+  for (NodeID u = 0; u < replicated.num_nodes(); ++u) {
+    result.cache_.emplace(u, replicated.block(u));
+  }
+  result.block_weight_.reserve(replicated.k());
+  for (BlockID b = 0; b < replicated.k(); ++b) {
+    result.block_weight_.push_back(replicated.block_weight(b));
+  }
+  return result;
+}
+
+void DistPartition::learn(NodeID global, BlockID b) {
+  if (level_ != nullptr) {
+    const NodeID local = level_->shard.local_of(global);
+    if (local != kInvalidNode && level_->shard.is_owned(local)) {
+      assert(owned_[local] == b && "learned block contradicts owned entry");
+      return;
+    }
+  }
+  cache_.insert_or_assign(global, b);
+}
+
+void DistPartition::apply_move(NodeID u, BlockID from, BlockID to,
+                               NodeWeight weight) {
+  assert(from < k_ && to < k_);
+  block_weight_[from] -= weight;
+  block_weight_[to] += weight;
+  if (level_ != nullptr) {
+    const NodeID local = level_->shard.local_of(u);
+    if (local != kInvalidNode && level_->shard.is_owned(local)) {
+      assert(owned_[local] == from && "delta disagrees with owned entry");
+      owned_[local] = to;
+      return;
+    }
+  }
+  const auto it = cache_.find(u);
+  if (it != cache_.end()) {
+    assert(it->second == from && "delta disagrees with cached entry");
+    it->second = to;
+  }
+}
+
+void DistPartition::fetch_blocks(std::span<const NodeID> needed,
+                                 PEContext& pe) {
+  assert(level_ != nullptr && "fetching needs the level ownership map");
+  std::vector<std::vector<std::uint64_t>> requests(num_pes_);
+  for (const NodeID g : needed) {
+    if (knows(g)) continue;
+    requests[level_->owner_of_node(g, num_pes_)].push_back(g);
+  }
+  assert(requests[rank_].empty() && "owned nodes are always known");
+  rendezvous_lookup(
+      std::move(requests), pe,
+      [&](NodeID g) { return block(g); },
+      [&](NodeID g, BlockID b) { cache_.insert_or_assign(g, b); });
+}
+
+DistPartition DistPartition::project(const DistLevel& fine,
+                                     const DistLevel& coarse_level,
+                                     const DistPartition& coarse,
+                                     PEContext& pe) {
+  const int p = pe.size();
+  const NodeID num_owned = fine.shard.num_owned();
+  assert(fine.owned_to_coarse.size() == num_owned &&
+         "projection needs the sharded contraction map");
+
+  DistPartition result;
+  result.level_ = &fine;
+  result.num_pes_ = p;
+  result.rank_ = pe.rank();
+  result.k_ = coarse.k();
+  result.owned_.assign(num_owned, kInvalidBlock);
+
+  // Shard-local pass: a fine node's coarse id was assigned by the shard
+  // of the pair's canonical endpoint, so it is owned here unless the node
+  // was matched across ranks — those few ids are fetched point-to-point
+  // from the coarse shard owners below.
+  std::vector<std::vector<std::uint64_t>> requests(p);
+  for (NodeID i = 0; i < num_owned; ++i) {
+    const NodeID c = fine.owned_to_coarse[i];
+    if (coarse.knows(c)) {
+      result.owned_[i] = coarse.block(c);
+    } else {
+      requests[coarse_level.owner_of_node(c, p)].push_back(c);
+    }
+  }
+  std::unordered_map<NodeID, BlockID> remote;
+  rendezvous_lookup(
+      std::move(requests), pe,
+      [&](NodeID c) { return coarse.block(c); },
+      [&](NodeID c, BlockID b) { remote.emplace(c, b); });
+  for (NodeID i = 0; i < num_owned; ++i) {
+    if (result.owned_[i] == kInvalidBlock) {
+      result.owned_[i] = remote.at(fine.owned_to_coarse[i]);
+    }
+  }
+
+  // Block weights from the sharded node weights: partial sums over the
+  // owned nodes, one O(k) all-reduce.
+  const StaticGraph& resident = fine.shard.csr();
+  std::vector<std::uint64_t> partial(result.k_, 0);
+  for (NodeID i = 0; i < num_owned; ++i) {
+    partial[result.owned_[i]] +=
+        static_cast<std::uint64_t>(resident.node_weight(i));
+  }
+  const std::vector<std::uint64_t> sums =
+      pe.all_reduce_sum_vec(std::move(partial));
+  result.block_weight_.reserve(result.k_);
+  for (const std::uint64_t w : sums) {
+    result.block_weight_.push_back(static_cast<NodeWeight>(w));
+  }
+  return result;
+}
+
+Partition DistPartition::materialize(PEContext& pe) const {
+  assert(level_ != nullptr && "materializing needs the level ownership map");
+  const int p = pe.size();
+  std::vector<std::uint64_t> words(owned_.begin(), owned_.end());
+  const auto gathered =
+      pe.all_gather_vectors(std::move(words));  // result-gather-ok
+  std::vector<BlockID> assignment(level_->global_n, 0);
+  for (int q = 0; q < p; ++q) {
+    std::size_t idx = 0;
+    level_->for_each_owned_of_rank(q, p, [&](NodeID u) {
+      assignment[u] = static_cast<BlockID>(gathered[q][idx++]);
+    });
+  }
+  return Partition(std::move(assignment), k_, block_weight_);
+}
+
+}  // namespace kappa

@@ -1,0 +1,148 @@
+/// \file dist_partition.hpp
+/// \brief The sharded partition-state store: block ids live only where
+/// they are needed — no rank holds the O(n_l) assignment vector.
+///
+/// The distributed hierarchy store (PR 4) removed every replicated level
+/// graph, but the partition itself was still replicated: each
+/// uncoarsening step all-gathered O(n_l) block ids so that every PE could
+/// answer block(u) for every node. This subsystem makes the partition the
+/// last O(n) state to go sub-linear per rank:
+///
+///   * owned entries — each rank stores the block of exactly its
+///     shard-owned nodes of one hierarchy level (the same ownership map
+///     the DistLevel already replicates in O(num_shards)),
+///   * a ghost-block cache — blocks of non-owned nodes this rank needs
+///     (members of its §5.2 block-row store and the targets of their
+///     resident rows), filled by point-to-point fetches from the shard
+///     owners and kept current by the moved-node deltas every rank
+///     applies after each refinement color class,
+///   * replicated O(k) block weights, maintained incrementally from the
+///     deltas and re-derived per level with one O(k) all-reduce.
+///
+/// Uncoarsening projects shard-locally: each rank maps its owned fine
+/// nodes through its own slice of the contraction map and fetches the few
+/// cross-rank coarse ids (halo pairs) point-to-point — no block-id vector
+/// is ever all-gathered. The full assignment is materialized exactly
+/// once, for the final PartitionResult (tagged result-gather-ok for the
+/// CI guard).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/partition.hpp"
+#include "parallel/comm_stats.hpp"
+#include "parallel/dist_hierarchy.hpp"
+#include "parallel/pe_runtime.hpp"
+#include "util/types.hpp"
+
+namespace kappa {
+
+/// One rank's share of the partition state of one hierarchy level.
+class DistPartition {
+ public:
+  DistPartition() = default;
+
+  /// Seeds the sharded store for \p level from a replicated partition —
+  /// the once-gathered coarsest assignment after initial partitioning.
+  /// Each rank keeps only its owned entries; no communication.
+  DistPartition(const DistLevel& level, const Partition& replicated,
+                PEContext& pe);
+
+  /// Fully-cached stand-in with no owned domain, used by tests and
+  /// oracles that have a replica anyway (e.g. the distributed-quotient
+  /// equivalence suite). fetch/project/materialize are unavailable.
+  [[nodiscard]] static DistPartition from_replica(const Partition& replicated);
+
+  [[nodiscard]] BlockID k() const { return k_; }
+
+  /// Block of \p global. The node must be known here: shard-owned, or
+  /// learned/fetched into the ghost-block cache.
+  [[nodiscard]] BlockID block(NodeID global) const {
+    if (level_ != nullptr) {
+      const NodeID local = level_->shard.local_of(global);
+      if (local != kInvalidNode && level_->shard.is_owned(local)) {
+        return owned_[local];
+      }
+    }
+    return cache_.at(global);
+  }
+
+  /// Whether this rank can answer block(\p global) locally.
+  [[nodiscard]] bool knows(NodeID global) const {
+    if (level_ != nullptr) {
+      const NodeID local = level_->shard.local_of(global);
+      if (local != kInvalidNode && level_->shard.is_owned(local)) return true;
+    }
+    return cache_.count(global) > 0;
+  }
+
+  /// Records the block of a non-owned node in the ghost-block cache (the
+  /// §5.2 data distribution and row migrations tell the block owner the
+  /// blocks it needs without a fetch). Owned nodes are ignored — their
+  /// entries are authoritative already.
+  void learn(NodeID global, BlockID b);
+
+  /// Applies one committed move: updates every entry this rank holds for
+  /// \p u (owned or cached; ranks that hold neither still account the
+  /// replicated block weights). Every rank applies every gathered delta,
+  /// which is what keeps owned entries, caches and weights globally
+  /// consistent.
+  void apply_move(NodeID u, BlockID from, BlockID to, NodeWeight weight);
+
+  [[nodiscard]] NodeWeight block_weight(BlockID b) const {
+    return block_weight_[b];
+  }
+
+  [[nodiscard]] NodeWeight max_block_weight() const {
+    NodeWeight mx = 0;
+    for (const NodeWeight w : block_weight_) mx = std::max(mx, w);
+    return mx;
+  }
+
+  /// Fetches the blocks of every unknown id in \p needed from the shard
+  /// owners (one deterministic request/response rendezvous over the
+  /// channels) and caches them. Collective in lockstep: every rank must
+  /// call, with its own — possibly empty — need list.
+  void fetch_blocks(std::span<const NodeID> needed, PEContext& pe);
+
+  /// Shard-local uncoarsening projection: each rank maps its owned nodes
+  /// of \p fine through its slice of the contraction map; the few coarse
+  /// ids owned by other ranks (cross-rank matched pairs) are fetched
+  /// point-to-point, and block weights are re-derived with one O(k)
+  /// all-reduce. No O(n_l) gather anywhere.
+  [[nodiscard]] static DistPartition project(const DistLevel& fine,
+                                             const DistLevel& coarse_level,
+                                             const DistPartition& coarse,
+                                             PEContext& pe);
+
+  /// Materializes the full replicated partition — the one permitted
+  /// block-id gather, used exactly once to fill the final
+  /// PartitionResult.
+  [[nodiscard]] Partition materialize(PEContext& pe) const;
+
+  /// Resident size of this rank's partition state: owned entries plus
+  /// ghost-block cache entries (arcs unused).
+  [[nodiscard]] ShardFootprint footprint() const {
+    ShardFootprint fp;
+    fp.owned_nodes = owned_.size();
+    fp.ghost_nodes = cache_.size();
+    return fp;
+  }
+
+ private:
+  const DistLevel* level_ = nullptr;  ///< ownership map; null: replica mode
+  int num_pes_ = 1;
+  int rank_ = 0;
+  BlockID k_ = 0;
+  /// Blocks of the shard-owned nodes, indexed by owned local id.
+  std::vector<BlockID> owned_;
+  /// Ghost-block cache: global id -> block for non-owned nodes.
+  std::unordered_map<NodeID, BlockID> cache_;
+  /// Replicated per-block weights (O(k)).
+  std::vector<NodeWeight> block_weight_;
+};
+
+}  // namespace kappa

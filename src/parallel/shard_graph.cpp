@@ -265,13 +265,16 @@ BlockRowShard::BlockRowShard(const StaticGraph& level,
 }
 
 BlockRowShard::BlockRowShard(RowSet core,
-                             const std::vector<BlockID>& assignment, BlockID k,
+                             const std::vector<BlockID>& row_blocks, BlockID k,
                              int rank, int num_pes)
     : rank_(rank), num_pes_(num_pes), core_(std::move(core)), members_(k) {
-  for (NodeID u = 0; u < assignment.size(); ++u) {
-    const BlockID b = assignment[u];
-    if (owner_of_block(b, num_pes) != rank) continue;
-    members_[b].push_back(u);  // ascending u keeps the lists sorted
+  assert(row_blocks.size() == core_.ids.size() &&
+         "one block per pre-distributed row");
+  for (NodeID i = 0; i < core_.ids.size(); ++i) {
+    const BlockID b = row_blocks[i];
+    assert(owner_of_block(b, num_pes) == rank &&
+           "every shipped row must belong to one of this rank's blocks");
+    members_[b].push_back(core_.ids[i]);  // ascending ids keep lists sorted
   }
   core_index_.reserve(core_.ids.size());
   for (NodeID i = 0; i < core_.ids.size(); ++i) {
@@ -279,12 +282,6 @@ BlockRowShard::BlockRowShard(RowSet core,
   }
   resident_nodes_ = core_.ids.size();
   resident_arcs_ = core_.num_arcs();
-#ifndef NDEBUG
-  std::size_t expected = 0;
-  for (const auto& list : members_) expected += list.size();
-  assert(expected == core_.ids.size() &&
-         "core must hold exactly the rows of this rank's block members");
-#endif
 }
 
 GraphRow BlockRowShard::row(NodeID global) const {

@@ -172,11 +172,13 @@ class BlockRowShard {
                 int num_pes);
 
   /// Assembles the store from pre-distributed rows — the replica-free
-  /// path for coarse hierarchy levels, whose rows arrive from the shard
-  /// owners over channels. \p core must hold exactly the rows of the
-  /// nodes assigned to this rank's blocks, sorted by global id, targets
-  /// in global id space.
-  BlockRowShard(RowSet core, const std::vector<BlockID>& assignment, BlockID k,
+  /// path of the SPMD pipeline, whose rows arrive from the shard owners
+  /// over channels together with each row's block. \p core must hold
+  /// exactly the rows of the nodes assigned to this rank's blocks, sorted
+  /// by global id, targets in global id space; \p row_blocks is parallel
+  /// to core.ids (no rank holds the full assignment vector anymore — the
+  /// partition state itself is sharded, see parallel/dist_partition.hpp).
+  BlockRowShard(RowSet core, const std::vector<BlockID>& row_blocks, BlockID k,
                 int rank, int num_pes);
 
   [[nodiscard]] int rank() const { return rank_; }

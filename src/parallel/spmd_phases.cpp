@@ -12,6 +12,7 @@
 #include "graph/dynamic_overlay.hpp"
 #include "graph/metrics.hpp"
 #include "parallel/wire_format.hpp"
+#include "refinement/band.hpp"
 #include "refinement/edge_coloring.hpp"
 #include "util/timer.hpp"
 
@@ -110,13 +111,15 @@ Partition SpmdInitialPartitioner::partition(const StaticGraph& coarsest) {
 // -------------------------------------------------------- SPMD refinement ----
 
 QuotientGraph gather_quotient(const BlockRowShard& store,
-                              const Partition& partition, BlockID k,
+                              const DistPartition& partition, BlockID k,
                               PEContext& pe) {
   // Local contributions per block pair: the minimal (node, arc position)
   // at which one of my resident rows sees the pair (the first-encounter
   // key of a full row scan), my share of the cut weight (counted from the
   // bu < bv side, whose row is resident at exactly one rank), and my
-  // boundary nodes. The same shape accumulates the merged result below.
+  // boundary nodes. Target blocks come from the sharded partition state's
+  // ghost-block cache — no rank consults an assignment replica. The same
+  // shape accumulates the merged result below.
   struct PairContribution {
     NodeID first_u = kInvalidNode;
     std::uint64_t first_pos = 0;
@@ -124,25 +127,26 @@ QuotientGraph gather_quotient(const BlockRowShard& store,
     std::vector<NodeID> boundary;
   };
   std::map<std::pair<BlockID, BlockID>, PairContribution> local;
-  store.for_each_resident_row([&](NodeID u, NodeWeight /*weight*/,
-                                  std::span<const NodeID> targets,
-                                  std::span<const EdgeWeight> weights) {
-    const BlockID bu = partition.block(u);
-    for (std::size_t pos = 0; pos < targets.size(); ++pos) {
-      const BlockID bv = partition.block(targets[pos]);
-      if (bv == bu) continue;
-      const auto key = std::minmax(bu, bv);
-      PairContribution& c = local[{key.first, key.second}];
-      if (std::tie(u, pos) < std::tie(c.first_u, c.first_pos)) {
-        c.first_u = u;
-        c.first_pos = pos;
-      }
-      if (bu < bv) c.cut += weights[pos];
-      if (c.boundary.empty() || c.boundary.back() != u) {
-        c.boundary.push_back(u);  // each row is visited exactly once
+  for (BlockID bu = 0; bu < k; ++bu) {
+    if (!store.owns_block(bu)) continue;
+    for (const NodeID u : store.members(bu)) {
+      const GraphRowView row = store.row_view(u);
+      for (std::size_t pos = 0; pos < row.targets.size(); ++pos) {
+        const BlockID bv = partition.block(row.targets[pos]);
+        if (bv == bu) continue;
+        const auto key = std::minmax(bu, bv);
+        PairContribution& c = local[{key.first, key.second}];
+        if (std::tie(u, pos) < std::tie(c.first_u, c.first_pos)) {
+          c.first_u = u;
+          c.first_pos = pos;
+        }
+        if (bu < bv) c.cut += row.weights[pos];
+        if (c.boundary.empty() || c.boundary.back() != u) {
+          c.boundary.push_back(u);  // each row is visited exactly once
+        }
       }
     }
-  });
+  }
 
   std::vector<std::uint64_t> words;
   for (const auto& [key, c] : local) {
@@ -155,9 +159,11 @@ QuotientGraph gather_quotient(const BlockRowShard& store,
   }
 
   // Merge the all-gathered contributions — identical code over identical
-  // data on every PE.
+  // data on every PE. (O(boundary) per rank, not O(n_l): block ids never
+  // travel here.)
   std::unordered_map<std::uint64_t, PairContribution> merged;
-  for (const auto& vec : pe.all_gather_vectors(std::move(words))) {
+  for (const auto& vec :
+       pe.all_gather_vectors(std::move(words))) {  // quotient-gather-ok
     std::size_t i = 0;
     while (i + 4 < vec.size()) {
       const std::uint64_t key = vec[i];
@@ -205,107 +211,211 @@ QuotientGraph gather_quotient(const BlockRowShard& store,
 
 namespace {
 
-/// Whether an arc target stays inside the pair {a, b}.
-auto in_pair(const Partition& partition, BlockID a, BlockID b) {
-  return [&partition, a, b](NodeID v) {
-    const BlockID bv = partition.block(v);
-    return bv == a || bv == b;
+/// One side of a pair view: the (sorted) band with its full in-pair rows
+/// plus the (sorted) same-side fringe — the one-hop frozen context whose
+/// ids classify the stub blocks at the executor.
+struct PairSide {
+  std::vector<NodeID> band_ids;
+  std::vector<GraphRow> band_rows;  ///< parallel; arcs filtered to in-pair
+  std::vector<NodeID> fringe_ids;
+};
+
+/// Builds block \p side's half of the pair {a, b} view at its owner. With
+/// \p ship_depth <= 0 the band is the whole block (legacy whole-block
+/// shipping). Otherwise the §5.2 bounded boundary-band BFS on the
+/// resident rows, seeded by the side's *current* pair boundary plus the
+/// quotient edge's seeds that still sit in this side — stale seeds whose
+/// node left the pair are skipped before any row is touched (a departed
+/// node's row is no longer resident here). Every cross-side step of the
+/// free two-block band BFS lands on a current pair-boundary node, so the
+/// union of the two per-side bands equals the band the sequential
+/// boundary_band() would compute on a replica.
+PairSide build_pair_side(const BlockRowShard& store,
+                         const DistPartition& partition, BlockID a, BlockID b,
+                         BlockID side, const std::vector<NodeID>& stale_seeds,
+                         int ship_depth) {
+  const BlockID other = side == a ? b : a;
+  auto filtered_row = [&](NodeID u) {
+    const GraphRowView view = store.row_view(u);
+    GraphRow row;
+    row.weight = view.weight;
+    for (std::size_t i = 0; i < view.targets.size(); ++i) {
+      const BlockID bt = partition.block(view.targets[i]);
+      if (bt != a && bt != b) continue;
+      row.targets.push_back(view.targets[i]);
+      row.weights.push_back(view.weights[i]);
+    }
+    return row;
   };
+
+  PairSide out;
+  if (ship_depth <= 0) {
+    out.band_ids = store.members(side);
+    out.band_rows.reserve(out.band_ids.size());
+    for (const NodeID u : out.band_ids) {
+      out.band_rows.push_back(filtered_row(u));
+    }
+    return out;
+  }
+
+  // Seeds: the side's current pair boundary plus the still-in-side
+  // quotient seeds (they keep the view search's stale-seeded BFS covered,
+  // which is what makes depth = infinity reproduce whole-block shipping).
+  std::vector<NodeID> seeds;
+  for (const NodeID u : store.members(side)) {
+    const GraphRowView row = store.row_view(u);
+    for (const NodeID t : row.targets) {
+      if (partition.block(t) == other) {
+        seeds.push_back(u);
+        break;
+      }
+    }
+  }
+  for (const NodeID s : stale_seeds) {
+    if (partition.knows(s) && partition.block(s) == side) seeds.push_back(s);
+  }
+  std::sort(seeds.begin(), seeds.end());
+  seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
+
+  out.band_ids = boundary_band_side(
+      side, seeds, ship_depth,
+      [&](NodeID u) { return partition.block(u); },
+      [&](NodeID u, auto&& visit) {
+        const GraphRowView row = store.row_view(u);
+        for (const NodeID t : row.targets) visit(t);
+      });
+
+  out.band_rows.reserve(out.band_ids.size());
+  std::unordered_set<NodeID> fringe;
+  for (const NodeID u : out.band_ids) {
+    GraphRow row = filtered_row(u);
+    for (const NodeID t : row.targets) {
+      if (partition.block(t) == side &&
+          !std::binary_search(out.band_ids.begin(), out.band_ids.end(), t)) {
+        fringe.insert(t);
+      }
+    }
+    out.band_rows.push_back(std::move(row));
+  }
+  out.fringe_ids.assign(fringe.begin(), fringe.end());
+  std::sort(out.fringe_ids.begin(), out.fringe_ids.end());
+  return out;
 }
 
-/// Encodes one rank's rows of block \p b for the pair {a, b}, in
-/// ascending global id order, arcs filtered to in-pair endpoints (the
-/// only arcs a pair search can read).
-std::vector<std::uint64_t> encode_block_rows(const BlockRowShard& store,
-                                             const Partition& partition,
-                                             BlockID a, BlockID b) {
+/// Wire layout of a pair side: [band count, band rows..., fringe count,
+/// fringe ids...]. Band rows travel in the shared row codec.
+std::vector<std::uint64_t> encode_pair_side(const PairSide& side) {
   std::vector<std::uint64_t> words;
-  for (const NodeID u : store.members(b)) {
-    append_row_words(words, u, store.row_view(u), in_pair(partition, a, b));
+  words.push_back(side.band_ids.size());
+  for (std::size_t i = 0; i < side.band_ids.size(); ++i) {
+    const GraphRow& row = side.band_rows[i];
+    append_row_words(words, side.band_ids[i],
+                     {row.weight, row.targets, row.weights},
+                     [](NodeID) { return true; });
   }
+  words.push_back(side.fringe_ids.size());
+  words.insert(words.end(), side.fringe_ids.begin(), side.fringe_ids.end());
   return words;
 }
 
-/// One side of a pair view: node ids (ascending) with their in-pair rows.
-struct SideRows {
-  std::vector<NodeID> ids;
-  std::vector<GraphRow> rows;
-};
-
-/// Materializes a side from the local store (filtering to in-pair arcs).
-SideRows local_side_rows(const BlockRowShard& store,
-                         const Partition& partition, BlockID a, BlockID b,
-                         BlockID side) {
-  const auto keep = in_pair(partition, a, b);
-  SideRows result;
-  for (const NodeID u : store.members(side)) {
-    const GraphRowView view = store.row_view(u);
-    GraphRow filtered;
-    filtered.weight = view.weight;
-    for (std::size_t i = 0; i < view.targets.size(); ++i) {
-      if (!keep(view.targets[i])) continue;
-      filtered.targets.push_back(view.targets[i]);
-      filtered.weights.push_back(view.weights[i]);
-    }
-    result.ids.push_back(u);
-    result.rows.push_back(std::move(filtered));
-  }
-  return result;
-}
-
-/// Decodes a side shipped by the partner owner (inverse of
-/// encode_block_rows, which applied the same filter at the sender).
-SideRows decode_side_rows(const std::vector<std::uint64_t>& words) {
-  SideRows result;
-  std::size_t i = 0;
-  while (i + 2 < words.size()) {
+/// Inverse of encode_pair_side().
+PairSide decode_pair_side(const std::vector<std::uint64_t>& words) {
+  PairSide side;
+  std::size_t cursor = 0;
+  const std::uint64_t bands = words[cursor++];
+  side.band_ids.reserve(bands);
+  side.band_rows.reserve(bands);
+  for (std::uint64_t i = 0; i < bands; ++i) {
     GraphRow row;
-    const NodeID u = decode_row_words(words, i, row);
-    result.ids.push_back(u);
-    result.rows.push_back(std::move(row));
+    side.band_ids.push_back(decode_row_words(words, cursor, row));
+    side.band_rows.push_back(std::move(row));
   }
-  return result;
+  const std::uint64_t fringes = words[cursor++];
+  side.fringe_ids.reserve(fringes);
+  for (std::uint64_t i = 0; i < fringes; ++i) {
+    side.fringe_ids.push_back(static_cast<NodeID>(words[cursor++]));
+  }
+  return side;
 }
 
-/// A pair-local view: the subgraph induced by the nodes of blocks a and b
-/// (view ids assigned in ascending global order — a pure function of the
-/// pair and the partition state, independent of p and of which rank
-/// executes), plus a k-block partition whose a/b weights equal the global
-/// block weights (every node of either block is in the view). Arcs to
-/// third blocks are dropped: they contribute zero to every two-way FM
-/// gain, so the search on the view is step-for-step the search a
-/// replicated implementation would run.
+/// A pair-local view: the two shipped/local bands as movable nodes with
+/// their full in-pair rows, plus the frozen stubs — fringe nodes and any
+/// cross-side band-row target outside the other band (possible when
+/// mid-level moves created boundary the stale quotient seeds miss). Stubs
+/// carry their true block, so every band gain is exact, but they are
+/// non-movable: their rows are only the mirror arcs back into the bands,
+/// and their weights are never read. View ids ascend with global ids and
+/// the block weights are the *global* pair weights, so the search on the
+/// view is a pure function of the pair and the globally consistent
+/// partition state — independent of p and of which rank executes.
 struct PairView {
   StaticGraph graph;
   Partition partition;
   std::vector<NodeID> to_global;
-  std::vector<NodeID> seeds;  ///< boundary seeds, mapped into view ids
+  std::vector<BlockID> entry;  ///< entry block per view node
+  std::vector<char> movable;   ///< band nodes; stubs are frozen context
+  std::vector<NodeID> seeds;   ///< boundary seeds, mapped into view ids
 };
 
-PairView build_pair_view(const SideRows& side_a, const SideRows& side_b,
-                         const Partition& partition, const QuotientEdge& edge,
-                         BlockID k) {
+PairView build_pair_view(const PairSide& side_a, const PairSide& side_b,
+                         const DistPartition& partition,
+                         const QuotientEdge& edge, BlockID k) {
+  auto in_band = [](const std::vector<NodeID>& ids, NodeID u) {
+    return std::binary_search(ids.begin(), ids.end(), u);
+  };
+
+  // Stub nodes with their blocks: the shipped same-side fringes, plus any
+  // band-row target not otherwise in the view — by construction a
+  // cross-side target (same-side targets are covered by the fringe), so
+  // its block is the partner block of the row's side. Ordered map keeps
+  // the id enumeration deterministic.
+  std::map<NodeID, BlockID> stubs;
+  for (const NodeID f : side_a.fringe_ids) stubs.emplace(f, edge.a);
+  for (const NodeID f : side_b.fringe_ids) stubs.emplace(f, edge.b);
+  auto add_cross_stubs = [&](const PairSide& side, BlockID cross_block) {
+    for (const GraphRow& row : side.band_rows) {
+      for (const NodeID t : row.targets) {
+        if (!in_band(side_a.band_ids, t) && !in_band(side_b.band_ids, t)) {
+          stubs.emplace(t, cross_block);
+        }
+      }
+    }
+  };
+  add_cross_stubs(side_a, edge.b);
+  add_cross_stubs(side_b, edge.a);
+
   PairView view;
-  view.to_global.reserve(side_a.ids.size() + side_b.ids.size());
-  std::merge(side_a.ids.begin(), side_a.ids.end(), side_b.ids.begin(),
-             side_b.ids.end(), std::back_inserter(view.to_global));
+  view.to_global.reserve(side_a.band_ids.size() + side_b.band_ids.size() +
+                         stubs.size());
+  view.to_global.insert(view.to_global.end(), side_a.band_ids.begin(),
+                        side_a.band_ids.end());
+  view.to_global.insert(view.to_global.end(), side_b.band_ids.begin(),
+                        side_b.band_ids.end());
+  for (const auto& [id, block] : stubs) view.to_global.push_back(id);
+  std::sort(view.to_global.begin(), view.to_global.end());
 
   std::unordered_map<NodeID, NodeID> to_view;
   to_view.reserve(view.to_global.size());
   for (NodeID i = 0; i < view.to_global.size(); ++i) {
     to_view.emplace(view.to_global[i], i);
   }
-  auto row_of = [&](NodeID global) -> const GraphRow& {
-    const auto a_it =
-        std::lower_bound(side_a.ids.begin(), side_a.ids.end(), global);
-    if (a_it != side_a.ids.end() && *a_it == global) {
-      return side_a.rows[static_cast<std::size_t>(a_it - side_a.ids.begin())];
+
+  // Stub rows: the mirror arcs of every band arc into the stub, collected
+  // in a deterministic scan (side a's rows in ascending id order, then
+  // side b's, arcs in row order).
+  std::unordered_map<NodeID, std::vector<std::pair<NodeID, EdgeWeight>>>
+      mirrors;
+  for (const PairSide* side : {&side_a, &side_b}) {
+    for (std::size_t i = 0; i < side->band_ids.size(); ++i) {
+      const GraphRow& row = side->band_rows[i];
+      for (std::size_t j = 0; j < row.targets.size(); ++j) {
+        if (stubs.count(row.targets[j]) > 0) {
+          mirrors[row.targets[j]].emplace_back(side->band_ids[i],
+                                               row.weights[j]);
+        }
+      }
     }
-    const auto b_it =
-        std::lower_bound(side_b.ids.begin(), side_b.ids.end(), global);
-    assert(b_it != side_b.ids.end() && *b_it == global);
-    return side_b.rows[static_cast<std::size_t>(b_it - side_b.ids.begin())];
-  };
+  }
 
   std::vector<EdgeID> xadj;
   xadj.reserve(view.to_global.size() + 1);
@@ -314,28 +424,68 @@ PairView build_pair_view(const SideRows& side_a, const SideRows& side_b,
   std::vector<EdgeWeight> ewgt;
   std::vector<NodeWeight> vwgt;
   vwgt.reserve(view.to_global.size());
-  std::vector<BlockID> assignment;
-  assignment.reserve(view.to_global.size());
+  view.entry.reserve(view.to_global.size());
+  view.movable.reserve(view.to_global.size());
+  auto side_row = [&](const PairSide& side, NodeID global) -> const GraphRow* {
+    const auto it = std::lower_bound(side.band_ids.begin(),
+                                     side.band_ids.end(), global);
+    if (it == side.band_ids.end() || *it != global) return nullptr;
+    return &side.band_rows[static_cast<std::size_t>(it -
+                                                    side.band_ids.begin())];
+  };
   for (const NodeID global : view.to_global) {
-    const GraphRow& row = row_of(global);
-    vwgt.push_back(row.weight);
-    assignment.push_back(partition.block(global));
-    for (std::size_t i = 0; i < row.targets.size(); ++i) {
-      adj.push_back(to_view.at(row.targets[i]));
-      ewgt.push_back(row.weights[i]);
+    const GraphRow* row = side_row(side_a, global);
+    BlockID block = edge.a;
+    if (row == nullptr) {
+      row = side_row(side_b, global);
+      block = edge.b;
+    }
+    if (row != nullptr) {
+      vwgt.push_back(row->weight);
+      view.entry.push_back(block);
+      view.movable.push_back(1);
+      for (std::size_t i = 0; i < row->targets.size(); ++i) {
+        adj.push_back(to_view.at(row->targets[i]));
+        ewgt.push_back(row->weights[i]);
+      }
+    } else {
+      // Frozen stub: true block for exact gains, mirror arcs only, weight
+      // unused (a stub never enters a band, so it is never moved).
+      vwgt.push_back(0);
+      view.entry.push_back(stubs.at(global));
+      view.movable.push_back(0);
+      const auto it = mirrors.find(global);
+      if (it != mirrors.end()) {
+        for (const auto& [band_global, w] : it->second) {
+          adj.push_back(to_view.at(band_global));
+          ewgt.push_back(w);
+        }
+      }
     }
     xadj.push_back(adj.size());
   }
   view.graph = StaticGraph(std::move(xadj), std::move(adj), std::move(ewgt),
                            std::move(vwgt));
-  view.partition = Partition(view.graph, std::move(assignment), k);
+
+  // The view partition carries the *global* block weights of the pair so
+  // that the balance bounds of the confined search equal the replicated
+  // search's (with whole-block shipping every member is present and the
+  // values coincide with a per-node sum).
+  std::vector<NodeWeight> block_weights(k, 0);
+  block_weights[edge.a] = partition.block_weight(edge.a);
+  block_weights[edge.b] = partition.block_weight(edge.b);
+  view.partition = Partition(std::vector<BlockID>(view.entry), k,
+                             std::move(block_weights));
 
   // Boundary seeds from the quotient construction; seeds that left the
-  // pair in an earlier color class of this iteration are simply absent
-  // from the view (a replicated path skips them inside the band BFS).
+  // pair in an earlier color class of this iteration are absent from the
+  // view, and in-pair seeds are always band members (the side builders
+  // seed their BFS with them).
   for (const NodeID u : edge.boundary) {
     const auto it = to_view.find(u);
-    if (it != to_view.end()) view.seeds.push_back(it->second);
+    if (it != to_view.end() && view.movable[it->second]) {
+      view.seeds.push_back(it->second);
+    }
   }
   return view;
 }
@@ -351,8 +501,36 @@ SpmdRefiner::SpmdRefiner(const StaticGraph& finest, const Config& config,
       global_bound_(max_block_weight_bound(finest, config.k, config.eps)),
       warm_(warm) {}
 
+namespace {
+
+/// After the §5.2 data distribution of a level: record the store's
+/// members in the partition state (a member of block b is in block b) and
+/// fetch the blocks of every resident row's targets from their shard
+/// owners — the working set the quotient construction, the band builders
+/// and the in-pair filters read. Collective (the fetch rendezvous), so
+/// every rank passes through here in lockstep.
+void sync_partition_with_store(const BlockRowShard& store,
+                               DistPartition& partition, BlockID k,
+                               PEContext& pe) {
+  for (BlockID b = 0; b < k; ++b) {
+    if (!store.owns_block(b)) continue;
+    for (const NodeID u : store.members(b)) partition.learn(u, b);
+  }
+  std::vector<NodeID> needed;
+  store.for_each_resident_row(
+      [&](NodeID, NodeWeight, std::span<const NodeID> targets,
+          std::span<const EdgeWeight>) {
+        needed.insert(needed.end(), targets.begin(), targets.end());
+      });
+  std::sort(needed.begin(), needed.end());
+  needed.erase(std::unique(needed.begin(), needed.end()), needed.end());
+  partition.fetch_blocks(needed, pe);
+}
+
+}  // namespace
+
 void SpmdRefiner::refine(const DistHierarchy& hierarchy, std::size_t level,
-                         Partition& partition) {
+                         DistPartition& partition) {
   PairwiseRefinerOptions options = level_refine_options(
       config_, global_bound_, hierarchy.level_max_node_weight(level));
   // Within a PE the pairs run sequentially; concurrency comes from the
@@ -363,29 +541,39 @@ void SpmdRefiner::refine(const DistHierarchy& hierarchy, std::size_t level,
 
   // §5.2: "immediately after uncontracting a matching, every PE stores
   // the partition it is responsible for in a static adjacency array
-  // representation" — the data distribution step. For coarse levels the
-  // rows arrive from their shard owners over channels; every refinement
-  // inner loop below reads resident rows, shipped rows, or the
-  // replicated partition state. The finest level's store is retained: it
-  // drives the rebalancing insurance and doubles as the incrementally
-  // maintained §5.2 migration view.
+  // representation" — the data distribution step. Rows arrive from their
+  // shard owners with their block words; the ghost-block cache is then
+  // refreshed for the resident rows' targets, and every refinement inner
+  // loop below reads resident rows, shipped bands, or the sharded
+  // partition state. The finest level's store is retained: it drives the
+  // rebalancing insurance and doubles as the incrementally maintained
+  // §5.2 migration view.
   if (level == 0) {
     finest_store_.emplace(hierarchy.distribute_block_rows(0, partition, k));
+    sync_partition_with_store(*finest_store_, partition, k, pe_);
+    partition_footprint_.merge_peak(partition.footprint());
     footprint_.merge_peak(finest_store_->footprint());
     run_pairwise(*finest_store_, partition, options, level_rng);
+    partition_footprint_.merge_peak(partition.footprint());
     return;
   }
   BlockRowShard store = hierarchy.distribute_block_rows(level, partition, k);
+  sync_partition_with_store(store, partition, k, pe_);
+  partition_footprint_.merge_peak(partition.footprint());
   footprint_.merge_peak(store.footprint());
   run_pairwise(store, partition, options, level_rng);
+  partition_footprint_.merge_peak(partition.footprint());
 }
 
-void SpmdRefiner::run_pairwise(BlockRowShard& store, Partition& partition,
+void SpmdRefiner::run_pairwise(BlockRowShard& store, DistPartition& partition,
                                const PairwiseRefinerOptions& options,
                                const Rng& base_rng) {
   const int p = pe_.size();
   const int rank = pe_.rank();
   const BlockID k = partition.k();
+  // Band-limited shipping follows the pass's band depth (escalated by the
+  // rebalance insurance); 0 = legacy whole-block shipping.
+  const int ship_depth = config_.band_shipping ? options.bfs_depth : 0;
 
   int no_change_streak = 0;
   for (int global = 0; global < options.max_global_iterations; ++global) {
@@ -405,17 +593,25 @@ void SpmdRefiner::run_pairwise(BlockRowShard& store, Partition& partition,
       if (pairs.empty()) continue;
 
       // A pair {a, b} is executed by the owner of block a; the owner of
-      // block b ships its side of the pair (§5.2: "send copies of this
-      // boundary array to the partner PE"). All sends of the class are
-      // posted before any receive; per-source FIFO delivery pairs them
-      // with the executor's receives, which follow the same class order.
+      // block b ships its side of the pair — the §5.2 boundary band plus
+      // fringe, not the whole block. All sends of the class are posted
+      // before any receive; per-source FIFO delivery pairs them with the
+      // executor's receives, which follow the same class order.
       for (const std::size_t j : pairs) {
         const QuotientEdge& edge = quotient.edges()[j];
         const int executor = BlockRowShard::owner_of_block(edge.a, p);
         const int partner_owner = BlockRowShard::owner_of_block(edge.b, p);
         if (partner_owner == rank && executor != rank) {
-          pe_.send(executor,
-                   encode_block_rows(store, partition, edge.a, edge.b));
+          const PairSide side = build_pair_side(
+              store, partition, edge.a, edge.b, edge.b, edge.boundary,
+              ship_depth);
+          std::vector<std::uint64_t> words = encode_pair_side(side);
+          ship_stats_.pairs_shipped += 1;
+          ship_stats_.rows_shipped +=
+              side.band_ids.size() + side.fringe_ids.size();
+          ship_stats_.words_shipped += words.size();
+          ship_stats_.whole_block_rows += store.members(edge.b).size();
+          pe_.send(executor, std::move(words));
         }
       }
 
@@ -424,18 +620,22 @@ void SpmdRefiner::run_pairwise(BlockRowShard& store, Partition& partition,
         const QuotientEdge& edge = quotient.edges()[j];
         if (BlockRowShard::owner_of_block(edge.a, p) != rank) continue;
         const int partner_owner = BlockRowShard::owner_of_block(edge.b, p);
-        const SideRows side_a =
-            local_side_rows(store, partition, edge.a, edge.b, edge.a);
-        const SideRows side_b =
+        const PairSide side_a = build_pair_side(
+            store, partition, edge.a, edge.b, edge.a, edge.boundary,
+            ship_depth);
+        const PairSide side_b =
             partner_owner == rank
-                ? local_side_rows(store, partition, edge.a, edge.b, edge.b)
-                : decode_side_rows(pe_.receive(partner_owner).payload);
+                ? build_pair_side(store, partition, edge.a, edge.b, edge.b,
+                                  edge.boundary, ship_depth)
+                : decode_pair_side(pe_.receive(partner_owner).payload);
         PairView view = build_pair_view(side_a, side_b, partition, edge, k);
+        ship_stats_.pairs_executed += 1;
         if (partner_owner != rank) {
-          // The shipped partner side is this pair's transient intake.
+          // The shipped partner band is this pair's transient intake.
           ShardFootprint with_intake = store.footprint();
-          with_intake.ghost_nodes += side_b.ids.size();
-          for (const GraphRow& row : side_b.rows) {
+          with_intake.ghost_nodes +=
+              side_b.band_ids.size() + side_b.fringe_ids.size();
+          for (const GraphRow& row : side_b.band_rows) {
             with_intake.arcs += row.targets.size();
           }
           footprint_.merge_peak(with_intake);
@@ -443,20 +643,24 @@ void SpmdRefiner::run_pairwise(BlockRowShard& store, Partition& partition,
 
         const PairRefineResult result = refine_pair(
             view.graph, view.partition, edge.a, edge.b, view.seeds, options,
-            base_rng, pair_seed_tag(global, j), /*collect_moves=*/true);
+            base_rng, pair_seed_tag(global, j), /*collect_moves=*/true,
+            &view.movable);
         my_cut_gain += result.cut_gain;
         my_imbalance_gain += result.imbalance_gain;
         for (const auto& [vu, to] : result.moves) {
           delta_words.push_back(pack_pair(view.to_global[vu], to));
           delta_words.push_back(weight_bits(view.graph.node_weight(vu)));
+          delta_words.push_back(view.entry[vu]);
         }
       }
 
-      // Moved-node delta exchange: every PE applies the gathered moves to
-      // its replicated partition state (executors included — their moves
-      // so far live only in the pair view), then the rows of nodes whose
-      // block owner changed migrate to their new home rank.
-      const auto gathered = pe_.all_gather_vectors(std::move(delta_words));
+      // Moved-node delta exchange: deltas carry (node, to), weight and
+      // the entry block, so every PE can apply the gathered moves to the
+      // partition state it holds — owned entries, cached entries and the
+      // replicated block weights — without any rank knowing the full
+      // assignment. The volume is O(moves), never O(n_l).
+      const auto gathered =
+          pe_.all_gather_vectors(std::move(delta_words));  // delta-gather-ok
       struct Migration {
         NodeID u;
         BlockID from;
@@ -464,20 +668,23 @@ void SpmdRefiner::run_pairwise(BlockRowShard& store, Partition& partition,
       };
       std::vector<Migration> migrations;
       for (const auto& vec : gathered) {
-        for (std::size_t i = 0; i + 1 < vec.size(); i += 2) {
+        for (std::size_t i = 0; i + 2 < vec.size(); i += 3) {
           const auto [u, to_raw] = unpack_pair(vec[i]);
           const BlockID to = static_cast<BlockID>(to_raw);
           const NodeWeight w = bits_weight(vec[i + 1]);
-          const BlockID from = partition.block(u);
+          const BlockID from = static_cast<BlockID>(vec[i + 2]);
           if (from == to) continue;
-          partition.move(u, to, w);
+          partition.apply_move(u, from, to, w);
           migrations.push_back({u, from, to});
         }
       }
 
       // Row migration with a schedule every rank derives from the same
-      // gathered deltas: the old owner ships the full row, the new owner
-      // takes it into the §5.2 hash-table side store.
+      // gathered deltas: the old owner ships the full row plus the blocks
+      // of its targets (it had them cached for its own searches; the new
+      // owner needs them for the next quotient construction and band
+      // filters), the new owner takes the row into the §5.2 hash-table
+      // side store.
       std::vector<std::vector<std::uint64_t>> outbox(p);
       std::vector<int> expect_from(p, 0);
       for (const Migration& m : migrations) {
@@ -492,6 +699,9 @@ void SpmdRefiner::run_pairwise(BlockRowShard& store, Partition& partition,
           append_row_words(outbox[new_owner], m.u,
                            {row.weight, row.targets, row.weights},
                            [](NodeID) { return true; });
+          for (const NodeID t : row.targets) {
+            outbox[new_owner].push_back(partition.block(t));
+          }
         } else if (new_owner == rank) {
           ++expect_from[old_owner];
         }
@@ -515,6 +725,11 @@ void SpmdRefiner::run_pairwise(BlockRowShard& store, Partition& partition,
             decode_row_words(inbox[old_owner], cursor[old_owner], row);
         assert(id == m.u);
         (void)id;
+        partition.learn(m.u, m.to);
+        for (const NodeID t : row.targets) {
+          partition.learn(t, static_cast<BlockID>(
+                                 inbox[old_owner][cursor[old_owner]++]));
+        }
         store.apply_move(m.u, m.from, m.to, &row);
       }
       footprint_.merge_peak(store.footprint());
@@ -532,18 +747,21 @@ void SpmdRefiner::run_pairwise(BlockRowShard& store, Partition& partition,
       break;
     }
   }
+  partition_footprint_.merge_peak(partition.footprint());
 }
 
-void SpmdRefiner::rebalance(Partition& partition) {
+void SpmdRefiner::rebalance(DistPartition& partition) {
   assert(finest_store_.has_value() &&
          "refine(level 0) must run before rebalance");
   // The insurance loop (§5.2 exception rule): should the finest level
   // still be overloaded, run additional MaxLoad-driven iterations with
   // escalating band depth through the same distributed color-class
   // machinery — on the retained finest-level store, never on a replica.
-  // Mirrors rebalance_until_feasible() in loop shape and RNG forks.
-  for (int attempt = 0; attempt < kMaxRebalanceAttempts &&
-                        !is_balanced(finest_, partition, config_.eps);
+  // The Lmax check reads the replicated O(k) block weights only. Mirrors
+  // rebalance_until_feasible() in loop shape and RNG forks.
+  for (int attempt = 0;
+       attempt < kMaxRebalanceAttempts &&
+       partition.max_block_weight() > global_bound_;
        ++attempt) {
     PairwiseRefinerOptions options =
         rebalance_options(config_, finest_, global_bound_, attempt);
@@ -552,30 +770,31 @@ void SpmdRefiner::rebalance(Partition& partition) {
   }
 }
 
-MigrationIntake SpmdRefiner::migration_intake(
-    const Partition& final_partition) const {
+MigrationIntake SpmdRefiner::migration_intake() const {
   assert(warm_ != nullptr && "migration accounting needs the warm input");
   assert(finest_store_.has_value());
   const BlockRowShard& store = *finest_store_;
+  const BlockID k = warm_->k();
 
   // The store was maintained incrementally by the moved-node deltas and
   // row migrations of refine/rebalance, so at this point it holds exactly
   // the rows of the nodes in this rank's final blocks — the population of
-  // the §5.2 migration view. Seal the view from it: kept nodes (same
-  // block as the warm input) form the static core, everything else is a
-  // migrated-in node in the overlay's hash-addressed secondary edge
-  // array.
-  std::vector<NodeID> residents;
-  store.for_each_resident_row(
-      [&](NodeID u, NodeWeight, std::span<const NodeID>,
-          std::span<const EdgeWeight>) { residents.push_back(u); });
+  // the §5.2 migration view, with block membership read off the member
+  // lists themselves (a member of block b is in block b; no partition
+  // replica is consulted). Seal the view: kept nodes (same block as the
+  // warm input) form the static core, everything else is a migrated-in
+  // node in the overlay's hash-addressed secondary edge array.
+  std::vector<std::pair<NodeID, BlockID>> residents;
+  for (BlockID b = 0; b < k; ++b) {
+    if (!store.owns_block(b)) continue;
+    for (const NodeID u : store.members(b)) residents.emplace_back(u, b);
+  }
   std::sort(residents.begin(), residents.end());
 
   std::vector<NodeID> kept;
   std::vector<NodeID> incoming;
-  for (const NodeID u : residents) {
-    assert(final_partition.block(u) != kInvalidBlock);
-    if (final_partition.block(u) == warm_->block(u)) {
+  for (const auto& [u, b] : residents) {
+    if (b == warm_->block(u)) {
       kept.push_back(u);
     } else {
       incoming.push_back(u);
@@ -647,12 +866,15 @@ PartitionResult run_multilevel_spmd(const StaticGraph& graph,
   // --- Phase 2: initial partitioning on the once-gathered coarsest (§4). ---
   phase_timer.restart();
   initial.observe_hierarchy(hierarchy);
-  Partition partition = initial.partition(hierarchy.coarsest());
+  Partition coarsest_partition = initial.partition(hierarchy.coarsest());
   result.initial_time = phase_timer.elapsed_s();
 
-  // --- Phase 3: uncoarsening with pairwise refinement (§5), projecting
-  // through the sharded contraction maps. ---
+  // --- Phase 3: uncoarsening with pairwise refinement (§5). The partition
+  // state is sharded end to end: seeded at the coarsest level, projected
+  // shard-locally through the contraction maps, refined on band-limited
+  // views, and materialized exactly once for the result. ---
   phase_timer.restart();
+  DistPartition partition = hierarchy.lift(coarsest_partition);
   for (std::size_t level = hierarchy.num_levels(); level-- > 0;) {
     if (level + 1 < hierarchy.num_levels()) {
       partition = hierarchy.project(level, partition);
@@ -662,10 +884,11 @@ PartitionResult run_multilevel_spmd(const StaticGraph& graph,
   refiner.rebalance(partition);
   result.refinement_time = phase_timer.elapsed_s();
 
-  result.cut = edge_cut(graph, partition);
-  result.balance = balance(graph, partition);
-  result.balanced = is_balanced(graph, partition, config.eps);
-  result.partition = std::move(partition);
+  Partition final_partition = hierarchy.materialize(partition);
+  result.cut = edge_cut(graph, final_partition);
+  result.balance = balance(graph, final_partition);
+  result.balanced = is_balanced(graph, final_partition, config.eps);
+  result.partition = std::move(final_partition);
   result.total_time = total_timer.elapsed_s();
   return result;
 }

@@ -5,8 +5,10 @@
 /// SPMD program and runs the shared run_multilevel_spmd() driver. The
 /// graph *data* is sharded end to end: every coarsening level exists only
 /// as per-PE shards of the distributed hierarchy store
-/// (parallel/dist_hierarchy.hpp) — there is no level replica. The phases
-/// synchronize internally:
+/// (parallel/dist_hierarchy.hpp), and the partition *state* is sharded
+/// too (parallel/dist_partition.hpp) — each rank holds block ids only for
+/// its shard-owned nodes plus a ghost-block cache maintained by the
+/// moved-node deltas. The phases synchronize internally:
 ///
 ///   SpmdCoarsener          — builds the DistHierarchy: shard-local
 ///     matching with gap resolution over peer channels, owner-computes
@@ -19,23 +21,29 @@
 ///     owning PE broadcasts the partition (§4).
 ///   SpmdRefiner            — per level, the rows travel from their shard
 ///     owners to the owners of their nodes' blocks (§5.2 BlockRowShard
-///     data distribution); the quotient graph is merged from per-rank
-///     contributions, refinement rounds are scheduled by an edge coloring
-///     of it, a pair {a, b} is executed by block a's owner on a pair-local
-///     view assembled from its own rows plus block b's rows shipped by
-///     the partner owner, and moved-node deltas plus migrating rows are
-///     exchanged after every color class (§5). The rebalancing insurance
-///     loop runs through the same distributed color-class machinery on
-///     the finest-level store — the replica-driven fallback is gone — and
-///     that store doubles as the §5.2 migration view: on warm starts the
-///     final DynamicOverlay intake is sealed from it incrementally, not
-///     rebuilt from the replica.
+///     data distribution, each row with its block word); the quotient
+///     graph is merged from per-rank contributions, refinement rounds are
+///     scheduled by an edge coloring of it, and a pair {a, b} is executed
+///     by block a's owner on a pair-local view. Partner-block shipping is
+///     band-limited (§5.2): each owner runs the bounded boundary-band BFS
+///     on its resident rows and ships only the band plus a one-hop fringe
+///     of frozen context nodes — the pair search is confined to the band,
+///     with exact gains, and migration volume drops from |block| to
+///     |band| per pair. Moved-node deltas (with entry block and weight)
+///     plus migrating rows (with their targets' blocks) are exchanged
+///     after every color class; every rank applies every delta, which
+///     keeps the sharded partition state and the replicated O(k) block
+///     weights globally consistent. The rebalancing insurance loop runs
+///     through the same machinery on the retained finest-level store,
+///     which also seals the §5.2 migration view on warm starts.
 ///
 /// Determinism: all work units are keyed to *virtual* ids — shards, attempt
 /// indices, quotient-edge indices — and their RNG streams are forked from
-/// config.seed with those ids. The physical PE count p only decides which
-/// PE executes which unit, so a fixed seed yields the identical partition
-/// for every p (verified by spmd_pipeline_test).
+/// config.seed with those ids; every pair view is a pure function of the
+/// globally consistent store + partition state. The physical PE count p
+/// only decides which PE executes which unit, so a fixed seed yields the
+/// identical partition for every p (verified by spmd_pipeline_test and
+/// dist_partition_test, p = 1..9 incl. ragged p and p > k).
 #pragma once
 
 #include <cstdint>
@@ -46,18 +54,21 @@
 #include "graph/quotient_graph.hpp"
 #include "parallel/dist_graph.hpp"
 #include "parallel/dist_hierarchy.hpp"
+#include "parallel/dist_partition.hpp"
 #include "parallel/pe_runtime.hpp"
 #include "parallel/shard_graph.hpp"
 
 namespace kappa {
 
 /// Distributed quotient-graph construction (§5.1 on sharded data): every
-/// rank contributes the cut arcs its resident block rows see; the
-/// all-gathered contributions are merged identically on every PE — same
-/// edge order (first-encounter order of a row scan), same cut weights,
-/// same sorted boundary lists. Exposed for the shard-graph test suite.
+/// rank contributes the cut arcs its resident block rows see — target
+/// blocks answered by the sharded partition state's ghost-block cache —
+/// and the all-gathered contributions are merged identically on every PE:
+/// same edge order (first-encounter order of a row scan), same cut
+/// weights, same sorted boundary lists. Exposed for the shard-graph test
+/// suite.
 [[nodiscard]] QuotientGraph gather_quotient(const BlockRowShard& store,
-                                            const Partition& partition,
+                                            const DistPartition& partition,
                                             BlockID k, PEContext& pe);
 
 class SpmdCoarsener {
@@ -105,39 +116,50 @@ class SpmdRefiner {
   SpmdRefiner(const StaticGraph& finest, const Config& config, PEContext& pe,
               const Partition* warm = nullptr);
 
-  /// Refines \p partition on hierarchy level \p level in place. The
-  /// level's rows are distributed into this rank's block-row store; the
-  /// finest level's store is retained for rebalance() and the migration
-  /// view.
+  /// Refines the sharded \p partition on hierarchy level \p level in
+  /// place. The level's rows are distributed into this rank's block-row
+  /// store and the partition state's ghost-block cache is refreshed for
+  /// the resident rows' targets; the finest level's store is retained for
+  /// rebalance() and the migration view.
   void refine(const DistHierarchy& hierarchy, std::size_t level,
-              Partition& partition);
+              DistPartition& partition);
 
   /// Post-pass on the finest level: the §5.2 exception rule applied until
   /// the Lmax bound holds (or attempts run out), running through the same
   /// distributed color-class machinery as refine() on the retained
   /// finest-level store.
-  void rebalance(Partition& partition);
+  void rebalance(DistPartition& partition);
 
   /// Warm starts only: this rank's §5.2 migration view, sealed from the
-  /// incrementally maintained finest-level store (rows arrived with the
-  /// moved-node deltas and row migrations — the input replica is never
-  /// consulted). \p final_partition must be the pipeline's result.
-  [[nodiscard]] MigrationIntake migration_intake(
-      const Partition& final_partition) const;
+  /// incrementally maintained finest-level store. Block membership is
+  /// read exclusively from the store (a member of block b is in block b —
+  /// no partition replica is consulted); the warm input assignment is the
+  /// resident-by-contract API input.
+  [[nodiscard]] MigrationIntake migration_intake() const;
 
   /// Peak resident size of this PE's §5.2 block-row store over all
-  /// levels, including the transient partner-block intake of pair
+  /// levels, including the transient partner-band intake of pair
   /// searches (reported as the ghost component).
   [[nodiscard]] const ShardFootprint& footprint() const { return footprint_; }
+
+  /// Peak resident size of this PE's sharded partition state over all
+  /// levels (owned entries + ghost-block cache).
+  [[nodiscard]] const ShardFootprint& partition_footprint() const {
+    return partition_footprint_;
+  }
+
+  /// This rank's §5.2 pair-shipping volume (band vs. whole block).
+  [[nodiscard]] const PairShipStats& ship_stats() const { return ship_stats_; }
 
  private:
   /// One pairwise_refine()-shaped run on the distributed store: global
   /// iterations over the merged quotient's edge coloring, pair execution
-  /// at the block-a owner, moved-node delta exchange and row migration
-  /// after every color class. Mirrors the replicated implementation's
-  /// loop, RNG forks and stop rules, so the outcome is a pure function of
-  /// (store content, partition, options, rng) — independent of p.
-  void run_pairwise(BlockRowShard& store, Partition& partition,
+  /// at the block-a owner on a band-limited view, moved-node delta
+  /// exchange and row migration after every color class. Mirrors the
+  /// replicated implementation's loop, RNG forks and stop rules, so the
+  /// outcome is a pure function of (store content, partition state,
+  /// options, rng) — independent of p.
+  void run_pairwise(BlockRowShard& store, DistPartition& partition,
                     const PairwiseRefinerOptions& options, const Rng& base_rng);
 
   const StaticGraph& finest_;
@@ -147,6 +169,8 @@ class SpmdRefiner {
   NodeWeight global_bound_;
   const Partition* warm_;
   ShardFootprint footprint_;
+  ShardFootprint partition_footprint_;
+  PairShipStats ship_stats_;
   /// The finest level's store, retained after refine(level 0) for the
   /// rebalancing insurance loop and the migration view.
   std::optional<BlockRowShard> finest_store_;
@@ -154,8 +178,10 @@ class SpmdRefiner {
 
 /// The SPMD twin of run_multilevel(): coarsen into the distributed
 /// hierarchy store, initial-partition the once-gathered coarsest graph,
-/// project and refine level by level through the sharded maps, then run
-/// the distributed rebalancing insurance. Every PE calls this with
+/// then project and refine level by level through the sharded contraction
+/// maps and the sharded partition state, and run the distributed
+/// rebalancing insurance. The full assignment is materialized exactly
+/// once, for the returned PartitionResult. Every PE calls this with
 /// identical arguments; the phases synchronize internally.
 [[nodiscard]] PartitionResult run_multilevel_spmd(const StaticGraph& graph,
                                                   const Config& config,

@@ -9,6 +9,8 @@
 /// profit from leaving the band, it can do so in a later outer iteration.
 #pragma once
 
+#include <algorithm>
+#include <unordered_set>
 #include <vector>
 
 #include "graph/partition.hpp"
@@ -28,9 +30,58 @@ namespace kappa {
 
 /// Same, but seeded with a precomputed boundary list (as collected per
 /// quotient edge during QuotientGraph construction) instead of scanning
-/// all nodes. Seeds that left the pair since collection are skipped.
+/// all nodes. Seed lists can be stale after mid-level block moves: seeds
+/// whose node left the pair — or that reference ids outside the graph
+/// altogether, as happens when a seed list collected on one view outlives
+/// a move — are skipped, never expanded. \p movable (optional, indexed by
+/// node id) restricts the band to nodes marked movable; the BFS neither
+/// admits nor crosses unmarked nodes. This is how a band-limited pair
+/// view confines the search to the shipped band: the non-movable fringe
+/// keeps gains exact but is frozen context.
 [[nodiscard]] std::vector<NodeID> boundary_band_from_seeds(
     const StaticGraph& graph, const Partition& partition, BlockID a,
-    BlockID b, const std::vector<NodeID>& seeds, int depth);
+    BlockID b, const std::vector<NodeID>& seeds, int depth,
+    const std::vector<char>* movable = nullptr);
+
+/// One side of a pair band on a row store (§5.2 band shipping): bounded
+/// BFS from \p seeds staying inside block \p side, expanding through the
+/// rows the \p neighbors oracle serves. Seeds whose node left the side
+/// (stale after mid-level moves) are skipped — the block oracle is
+/// consulted before any row access, so a departed row is never touched.
+/// Returns the band sorted by id. Because every cross-side step of the
+/// free two-block BFS lands on a pair-boundary node (itself a seed when
+/// the seed list carries the current boundary), the union of the two
+/// per-side bands equals the two-block band of boundary_band().
+///
+/// \p block_of : NodeID -> BlockID (kInvalidBlock when unknown here)
+/// \p neighbors: (NodeID u, visit(NodeID target)) over u's resident row
+template <typename BlockOf, typename Neighbors>
+[[nodiscard]] std::vector<NodeID> boundary_band_side(
+    BlockID side, const std::vector<NodeID>& seeds, int depth,
+    BlockOf&& block_of, Neighbors&& neighbors) {
+  std::unordered_set<NodeID> visited;
+  std::vector<NodeID> band;
+  std::vector<NodeID> frontier;
+  for (const NodeID s : seeds) {
+    if (block_of(s) != side) continue;  // stale seed: left the side
+    if (!visited.insert(s).second) continue;
+    band.push_back(s);
+    frontier.push_back(s);
+  }
+  std::vector<NodeID> next;
+  for (int level = 1; level < depth && !frontier.empty(); ++level) {
+    next.clear();
+    for (const NodeID u : frontier) {
+      neighbors(u, [&](NodeID v) {
+        if (block_of(v) != side || !visited.insert(v).second) return;
+        band.push_back(v);
+        next.push_back(v);
+      });
+    }
+    frontier.swap(next);
+  }
+  std::sort(band.begin(), band.end());
+  return band;
+}
 
 }  // namespace kappa

@@ -108,7 +108,8 @@ PairRefineResult refine_pair(const StaticGraph& graph, Partition& partition,
                              const std::vector<NodeID>& boundary_seeds,
                              const PairwiseRefinerOptions& options,
                              const Rng& rng, std::uint64_t seed_tag,
-                             bool collect_moves) {
+                             bool collect_moves,
+                             const std::vector<char>* movable) {
   PairRefineResult result;
 
   // Entry block of every node that ever enters a band; FM (and the flow
@@ -124,7 +125,7 @@ PairRefineResult refine_pair(const StaticGraph& graph, Partition& partition,
   const Rng pair_rng = rng.fork(2 * seed_tag + 1);
 
   std::vector<NodeID> band = boundary_band_from_seeds(
-      graph, partition, a, b, boundary_seeds, options.bfs_depth);
+      graph, partition, a, b, boundary_seeds, options.bfs_depth, movable);
   record_band(band);
   for (int local = 0; local < options.local_iterations; ++local) {
     if (band.empty()) break;
@@ -139,7 +140,7 @@ PairRefineResult refine_pair(const StaticGraph& graph, Partition& partition,
       const std::vector<NodeID> boundary =
           refresh_boundary(graph, partition, a, b, band);
       band = boundary_band_from_seeds(graph, partition, a, b, boundary,
-                                      options.bfs_depth);
+                                      options.bfs_depth, movable);
       record_band(band);
     }
   }
@@ -149,7 +150,7 @@ PairRefineResult refine_pair(const StaticGraph& graph, Partition& partition,
     const std::vector<NodeID> boundary =
         refresh_boundary(graph, partition, a, b, band);
     band = boundary_band_from_seeds(graph, partition, a, b, boundary,
-                                    options.bfs_depth);
+                                    options.bfs_depth, movable);
     record_band(band);
     FlowRefineOptions flow_options;
     flow_options.max_block_weight = options.fm.max_block_weight;

@@ -73,12 +73,16 @@ struct PairRefineResult {
 /// refiner's outcome independent of which PE executes the pair.
 /// Move tracking costs a hash-map insert per band node; callers that do
 /// not exchange deltas pass \p collect_moves = false to skip it.
+/// \p movable (optional, indexed by node id) confines every band — and
+/// with it every move — to the marked nodes: this is how a band-limited
+/// pair view freezes its shipped fringe while keeping gains exact.
 PairRefineResult refine_pair(const StaticGraph& graph, Partition& partition,
                              BlockID a, BlockID b,
                              const std::vector<NodeID>& boundary_seeds,
                              const PairwiseRefinerOptions& options,
                              const Rng& rng, std::uint64_t seed_tag,
-                             bool collect_moves = true);
+                             bool collect_moves = true,
+                             const std::vector<char>* movable = nullptr);
 
 /// Seed tag of one scheduled pair within one global iteration. Shared by
 /// pairwise_refine() and the SPMD refiner so both drivers run the exact

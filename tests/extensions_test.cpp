@@ -13,9 +13,11 @@
 #include "graph/graph_builder.hpp"
 #include "graph/metrics.hpp"
 #include "graph/validation.hpp"
+#include "parallel/pe_runtime.hpp"
 #include "refinement/band.hpp"
 #include "refinement/flow_refiner.hpp"
 #include "refinement/max_flow.hpp"
+#include "refinement/pairwise_refiner.hpp"
 #include "util/bucket_pq.hpp"
 #include "util/random.hpp"
 
@@ -234,12 +236,82 @@ TEST(FlowRefiner, NeverWorsensCutOrOverload) {
   }
 }
 
+TEST(FlowRefiner, FlowPassOnBandLimitedPairNeverWorsensThePair) {
+  // The opt-in extra pass (Config::enable_flow_refinement) hooks the flow
+  // refiner into the band-limited pair view of the sequential pairwise
+  // refiner: with identical RNG streams the FM part of refine_pair() is
+  // identical, and the flow move is adopted only when it strictly
+  // improves the pair cut without increasing overload — so the cut with
+  // the flow pass is never worse than without it, deterministically.
+  Rng graph_rng(7);
+  const StaticGraph g = random_geometric_graph(900, 0.07, graph_rng);
+  std::vector<BlockID> assignment(g.num_nodes());
+  for (NodeID u = 0; u < g.num_nodes(); ++u) {
+    assignment[u] = g.coordinate(u).x < 0.5 ? 0 : 1;
+  }
+  const Partition input(g, std::move(assignment), 2);
+
+  std::vector<NodeID> seeds = pair_boundary_nodes(g, input, 0, 1);
+  const std::vector<NodeID> other = pair_boundary_nodes(g, input, 1, 0);
+  seeds.insert(seeds.end(), other.begin(), other.end());
+  std::sort(seeds.begin(), seeds.end());
+
+  PairwiseRefinerOptions options;
+  options.fm.max_block_weight = max_block_weight_bound(g, 2, 0.03);
+  options.bfs_depth = 4;
+  const Rng rng(3);
+
+  EdgeWeight cut_without = 0;
+  for (const bool use_flow : {false, true}) {
+    Partition p = input;
+    options.use_flow = use_flow;
+    const PairRefineResult result =
+        refine_pair(g, p, 0, 1, seeds, options, rng, /*seed_tag=*/0);
+    EXPECT_EQ(validate_partition(g, p), "");
+    const EdgeWeight cut = edge_cut(g, p);
+    EXPECT_EQ(edge_cut(g, input) - cut,
+              result.cut_gain);  // gains are exact
+    if (!use_flow) {
+      cut_without = cut;
+    } else {
+      EXPECT_LE(cut, cut_without);
+    }
+  }
+}
+
+TEST(FlowRefiner, SpmdBandViewsRunTheFlowPassPInvariantly) {
+  // Groundwork for a later SPMD flow pass: with the flow hook enabled the
+  // SPMD refiner runs the min-cut pass inside its band-limited pair views
+  // — the result must stay valid, balanced and bit-identical for every p.
+  const StaticGraph g = make_instance("rgg14", 6);
+  Config config = Config::preset(Preset::kMinimal, 6);
+  config.seed = 8;
+  config.enable_flow_refinement = true;
+
+  PartitionResult reference;
+  for (const int p : {1, 2, 3}) {
+    PERuntime runtime(p, config.seed);
+    const PartitionResult result =
+        Partitioner(Context::spmd(config, runtime)).partition(g);
+    EXPECT_EQ(validate_partition(g, result.partition), "");
+    if (p == 1) {
+      reference = result;
+      continue;
+    }
+    EXPECT_EQ(result.cut, reference.cut) << "p=" << p;
+    for (NodeID u = 0; u < g.num_nodes(); ++u) {
+      ASSERT_EQ(result.partition.block(u), reference.partition.block(u))
+          << "p=" << p << " node " << u;
+    }
+  }
+}
+
 TEST(FlowRefiner, FullPipelineWithFlowAtLeastAsGood) {
   const StaticGraph g = make_instance("delaunay14", 4);
   Config plain = Config::preset(Preset::kFast, 8);
   plain.seed = 5;
   Config with_flow = plain;
-  with_flow.use_flow_refinement = true;
+  with_flow.enable_flow_refinement = true;
   const PartitionResult a =
       Partitioner(Context::sequential(plain)).partition(g);
   const PartitionResult b =

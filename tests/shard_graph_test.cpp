@@ -14,6 +14,7 @@
 #include "generators/generators.hpp"
 #include "graph/quotient_graph.hpp"
 #include "parallel/dist_graph.hpp"
+#include "parallel/dist_partition.hpp"
 #include "parallel/pe_runtime.hpp"
 #include "parallel/shard_graph.hpp"
 #include "parallel/spmd_phases.hpp"
@@ -177,8 +178,12 @@ TEST(BlockRowShard, GatherQuotientReproducesSequentialConstruction) {
     runtime.run([&](PEContext& pe) {
       const BlockRowShard store(g, partition.assignment(), partition.k(),
                                 pe.rank(), p);
+      // The sharded partition state in its fully-cached oracle form: the
+      // quotient construction reads target blocks from it exactly as the
+      // pipeline reads the ghost-block cache.
+      const DistPartition replica = DistPartition::from_replica(partition);
       const QuotientGraph merged =
-          gather_quotient(store, partition, partition.k(), pe);
+          gather_quotient(store, replica, partition.k(), pe);
       // Bit-for-bit: same edge order, same weights, same boundaries.
       ASSERT_EQ(merged.edges().size(), sequential.edges().size())
           << "p=" << p;
@@ -255,12 +260,14 @@ TEST(BlockRowShard, RowSetConstructorMatchesReplicaExtraction) {
   const BlockRowShard from_replica(g, assignment, k, rank, p);
 
   std::vector<NodeID> mine;
+  std::vector<BlockID> row_blocks;
   for (NodeID u = 0; u < g.num_nodes(); ++u) {
     if (BlockRowShard::owner_of_block(assignment[u], p) == rank) {
       mine.push_back(u);
+      row_blocks.push_back(assignment[u]);
     }
   }
-  const BlockRowShard from_rows(extract_rows(g, mine), assignment, k, rank, p);
+  const BlockRowShard from_rows(extract_rows(g, mine), row_blocks, k, rank, p);
 
   for (BlockID b = 0; b < k; ++b) {
     ASSERT_EQ(from_rows.members(b), from_replica.members(b)) << "block " << b;
