@@ -11,6 +11,8 @@
 /// machine-independent communication shape of the parallel phases:
 /// gap-graph size from the parallel matching and message/word counters
 /// from the distributed coloring protocol.
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 
 #include "coarsening/prepartition.hpp"
@@ -263,6 +265,88 @@ int main(int argc, char** argv) {
                  1),
              std::to_string(result.cut)});
       }
+    }
+  }
+
+  // Refinement scheduler sweep: the color-class oracle (sync) against the
+  // async block-lock scheduler on the acceptance suite (rgg15, k = 16),
+  // p = 1..9. Reported per run: wall-clock, cut, and each rank's idle
+  // share — the fraction of the run it spent blocked in collectives or
+  // empty-mailbox receives, the barrier bill the async scheduler exists
+  // to kill. The sweep is also written to BENCH_refinement.json for
+  // machine-readable tracking (EXPERIMENTS.md records the shape).
+  {
+    const StaticGraph instance = make_instance("rgg15");
+    print_table_header(
+        "Refinement schedulers: color-class oracle (sync) vs async block "
+        "locks, rgg15, k=16",
+        {"PEs", "mode", "time[s]", "cut", "idle mean", "idle max",
+         "rounds waited"});
+    std::FILE* json = std::fopen("BENCH_refinement.json", "w");
+    if (json != nullptr) {
+      std::fprintf(json,
+                   "{\n  \"bench\": \"refinement_schedulers\",\n"
+                   "  \"instance\": \"rgg15\",\n  \"k\": 16,\n"
+                   "  \"preset\": \"fast\",\n  \"seed\": 1,\n"
+                   "  \"runs\": [");
+    }
+    bool first_run = true;
+    for (const int pes : {1, 2, 3, 4, 5, 6, 7, 8, 9}) {
+      for (const bool async : {false, true}) {
+        Config config = Config::preset(Preset::kFast, 16);
+        config.seed = 1;
+        config.async_refinement = async;
+        PERuntime runtime(pes, config.seed);
+        Timer timer;
+        const PartitionResult result =
+            Partitioner(Context::spmd(config, runtime)).partition(instance);
+        const double elapsed = timer.elapsed_s();
+        const double wall_ns = elapsed * 1e9;
+        double mean_share = 0.0;
+        double max_share = 0.0;
+        std::uint64_t rounds = 0;
+        for (const CommStats& s : result.comm_per_pe) {
+          const double share =
+              wall_ns > 0.0 ? static_cast<double>(s.idle_ns()) / wall_ns : 0.0;
+          mean_share += share / static_cast<double>(pes);
+          max_share = std::max(max_share, share);
+          rounds += s.rounds_waited;
+        }
+        print_row({!async ? std::to_string(pes) : std::string(),
+                   async ? "async" : "sync", fmt(elapsed, 2),
+                   std::to_string(result.cut), fmt(mean_share, 3),
+                   fmt(max_share, 3), std::to_string(rounds)});
+        if (json != nullptr) {
+          std::fprintf(json,
+                       "%s\n    {\"mode\": \"%s\", \"p\": %d, "
+                       "\"time_s\": %.4f, \"cut\": %lld, "
+                       "\"mean_idle_share\": %.4f, \"max_idle_share\": %.4f, "
+                       "\"idle_share_per_rank\": [",
+                       first_run ? "" : ",", async ? "async" : "sync", pes,
+                       elapsed, static_cast<long long>(result.cut),
+                       mean_share, max_share);
+          for (int rank = 0; rank < pes; ++rank) {
+            const CommStats& s = result.comm_per_pe[rank];
+            std::fprintf(
+                json, "%s%.4f", rank == 0 ? "" : ", ",
+                wall_ns > 0.0 ? static_cast<double>(s.idle_ns()) / wall_ns
+                              : 0.0);
+          }
+          std::fprintf(json, "], \"rounds_waited_per_rank\": [");
+          for (int rank = 0; rank < pes; ++rank) {
+            std::fprintf(json, "%s%llu", rank == 0 ? "" : ", ",
+                         static_cast<unsigned long long>(
+                             result.comm_per_pe[rank].rounds_waited));
+          }
+          std::fprintf(json, "]}");
+          first_run = false;
+        }
+      }
+    }
+    if (json != nullptr) {
+      std::fprintf(json, "\n  ]\n}\n");
+      std::fclose(json);
+      std::printf("\nwrote BENCH_refinement.json\n");
     }
   }
 

@@ -96,6 +96,7 @@ PartitionResult run_spmd(const StaticGraph& graph, const Config& config,
   std::vector<ShardFootprint> hierarchy_memory(p);
   std::vector<ShardFootprint> partition_memory(p);
   std::vector<PairShipStats> pair_ship(p);
+  std::vector<std::vector<AsyncPairEvent>> async_pairs(p);
 
   const std::vector<CommStats> per_pe = runtime.run([&](PEContext& pe) {
     SpmdCoarsener coarsener(config, pe, warm);
@@ -122,6 +123,7 @@ PartitionResult run_spmd(const StaticGraph& graph, const Config& config,
     hierarchy_memory[pe.rank()] = coarsener.stats().hierarchy_resident;
     partition_memory[pe.rank()] = refiner.partition_footprint();
     pair_ship[pe.rank()] = refiner.ship_stats();
+    async_pairs[pe.rank()] = refiner.async_events();
     if (pe.rank() == 0) result = std::move(local);
   });
 
@@ -132,6 +134,7 @@ PartitionResult run_spmd(const StaticGraph& graph, const Config& config,
   result.hierarchy_memory_per_pe = std::move(hierarchy_memory);
   result.partition_memory_per_pe = std::move(partition_memory);
   result.pair_ship_per_pe = std::move(pair_ship);
+  result.async_pairs_per_pe = std::move(async_pairs);
   if (warm != nullptr) {
     result.migrated_per_pe.reserve(p);
     result.migrated_edges_per_pe.reserve(p);

@@ -32,9 +32,26 @@ struct CommStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t words_sent = 0;
   std::uint64_t barriers = 0;
+  /// Nanoseconds this PE spent blocked inside collectives / barriers —
+  /// the time a rank waits for the slowest participant instead of doing
+  /// pair work. The color-class schedule pays this at every class
+  /// boundary; the async scheduler pays it only at iteration boundaries.
+  std::uint64_t collective_idle_ns = 0;
+  /// Nanoseconds this PE spent blocked in a point-to-point receive with
+  /// an empty mailbox (waiting for work or for a partner's side).
+  std::uint64_t recv_idle_ns = 0;
+  /// Scheduling rounds (color classes, or whole async iterations) in
+  /// which this rank neither executed a pair nor shipped a partner side —
+  /// it only waited for the round to pass.
+  std::uint64_t rounds_waited = 0;
   /// Per-coarsening-level halo-exchange breakdown (subset of the totals
   /// above), indexed by level; empty outside the SPMD coarsening path.
   std::vector<LevelHaloStats> halo_per_level;
+
+  /// Total nanoseconds blocked (collectives plus empty-mailbox receives).
+  [[nodiscard]] std::uint64_t idle_ns() const {
+    return collective_idle_ns + recv_idle_ns;
+  }
 };
 
 /// Peak resident footprint of the data-sharded SPMD graph structures on
@@ -84,9 +101,22 @@ struct PairShipStats {
   }
 };
 
-/// Aggregates per-rank counters into one total: messages and words add
-/// up; barriers are synchronization points every rank passes together, so
-/// the aggregate is the maximum, not the sum.
+/// One pair execution of the async scheduler, stamped with the executor's
+/// steady clock. The block-lock safety invariant — no two in-flight pairs
+/// share a block — is observable from these traces: any two executed pairs
+/// that share a block must have disjoint [begin_ns, end_ns) windows, even
+/// across ranks (the arbiter releases a block only after the executor's
+/// completion message, which happens-after end_ns).
+struct AsyncPairEvent {
+  std::uint32_t block_a = 0;
+  std::uint32_t block_b = 0;
+  std::uint64_t begin_ns = 0;  ///< executor started working on the pair
+  std::uint64_t end_ns = 0;    ///< executor reported the pair done
+};
+
+/// Aggregates per-rank counters into one total: messages, words, and idle
+/// time add up; barriers are synchronization points every rank passes
+/// together, so the aggregate is the maximum, not the sum.
 [[nodiscard]] inline CommStats total_comm_stats(
     const std::vector<CommStats>& per_rank) {
   CommStats total;
@@ -94,6 +124,9 @@ struct PairShipStats {
     total.messages_sent += s.messages_sent;
     total.words_sent += s.words_sent;
     total.barriers = std::max(total.barriers, s.barriers);
+    total.collective_idle_ns += s.collective_idle_ns;
+    total.recv_idle_ns += s.recv_idle_ns;
+    total.rounds_waited += s.rounds_waited;
     if (s.halo_per_level.size() > total.halo_per_level.size()) {
       total.halo_per_level.resize(s.halo_per_level.size());
     }

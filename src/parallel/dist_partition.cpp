@@ -115,6 +115,23 @@ void DistPartition::apply_move(NodeID u, BlockID from, BlockID to,
   }
 }
 
+void DistPartition::update_entry(NodeID u, BlockID to) {
+  assert(to < k_);
+  if (level_ != nullptr) {
+    const NodeID local = level_->shard.local_of(u);
+    if (local != kInvalidNode && level_->shard.is_owned(local)) {
+      owned_[local] = to;
+      return;
+    }
+  }
+  cache_.insert_or_assign(u, to);
+}
+
+void DistPartition::set_block_weights(std::vector<NodeWeight> weights) {
+  assert(weights.size() == block_weight_.size());
+  block_weight_ = std::move(weights);
+}
+
 void DistPartition::fetch_blocks(std::span<const NodeID> needed,
                                  PEContext& pe) {
   assert(level_ != nullptr && "fetching needs the level ownership map");
@@ -124,6 +141,21 @@ void DistPartition::fetch_blocks(std::span<const NodeID> needed,
     requests[level_->owner_of_node(g, num_pes_)].push_back(g);
   }
   assert(requests[rank_].empty() && "owned nodes are always known");
+  rendezvous_lookup(
+      std::move(requests), pe,
+      [&](NodeID g) { return block(g); },
+      [&](NodeID g, BlockID b) { cache_.insert_or_assign(g, b); });
+}
+
+void DistPartition::refresh_blocks(std::span<const NodeID> needed,
+                                   PEContext& pe) {
+  assert(level_ != nullptr && "refreshing needs the level ownership map");
+  std::vector<std::vector<std::uint64_t>> requests(num_pes_);
+  for (const NodeID g : needed) {
+    const int owner = level_->owner_of_node(g, num_pes_);
+    if (owner == rank_) continue;  // authoritative here
+    requests[owner].push_back(g);
+  }
   rendezvous_lookup(
       std::move(requests), pe,
       [&](NodeID g) { return block(g); },

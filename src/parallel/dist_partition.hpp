@@ -27,6 +27,7 @@
 /// CI guard).
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <span>
 #include <unordered_map>
@@ -92,6 +93,32 @@ class DistPartition {
   /// consistent.
   void apply_move(NodeID u, BlockID from, BlockID to, NodeWeight weight);
 
+  /// Targeted entry update of the async scheduler's point-to-point
+  /// invalidations: overwrites whatever entry this rank holds for \p u
+  /// (owned entry, cached entry, or a fresh cache insert) without touching
+  /// the block weights. Unlike apply_move() it tolerates a stale previous
+  /// value — mid-iteration the async mode keeps entries only *causally*
+  /// current (every invalidation chain for one node is ordered through
+  /// the lock arbiter), not globally synchronized.
+  void update_entry(NodeID u, BlockID to);
+
+  /// Shifts the replicated weight account of one block (async executors
+  /// and partners book their pair's moves; other ranks catch up at the
+  /// iteration-end weight refresh).
+  void adjust_block_weight(BlockID b, NodeWeight delta) {
+    block_weight_[b] += delta;
+  }
+
+  /// Overwrites the replicated O(k) block weights with authoritative
+  /// values (the async iteration-end owner-contribution all-reduce).
+  void set_block_weights(std::vector<NodeWeight> weights);
+
+  /// Shard-owner rank of \p global under this level's ownership map.
+  [[nodiscard]] int shard_owner(NodeID global) const {
+    assert(level_ != nullptr && "ownership map required");
+    return level_->owner_of_node(global, num_pes_);
+  }
+
   [[nodiscard]] NodeWeight block_weight(BlockID b) const {
     return block_weight_[b];
   }
@@ -107,6 +134,12 @@ class DistPartition {
   /// channels) and caches them. Collective in lockstep: every rank must
   /// call, with its own — possibly empty — need list.
   void fetch_blocks(std::span<const NodeID> needed, PEContext& pe);
+
+  /// Like fetch_blocks(), but re-fetches cached ids too: the async
+  /// iteration-end cache refresh, which replaces possibly-stale ghost
+  /// entries with the shard owners' authoritative (post-drain) values.
+  /// Owned ids in \p needed are skipped — they are authoritative here.
+  void refresh_blocks(std::span<const NodeID> needed, PEContext& pe);
 
   /// Shard-local uncoarsening projection: each rank maps its owned nodes
   /// of \p fine through its slice of the contraction map; the few coarse

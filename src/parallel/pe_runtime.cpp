@@ -2,9 +2,22 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <thread>
 
 namespace kappa {
+
+namespace {
+
+/// Monotonic nanoseconds for the idle-time counters.
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 PEContext::PEContext(PERuntime& runtime, int rank, std::uint64_t seed)
     : runtime_(runtime), rank_(rank), rng_(Rng(seed).fork(rank)) {}
@@ -26,7 +39,15 @@ void PEContext::send(int dest, std::vector<std::uint64_t> payload) {
 }
 
 Message PEContext::receive(int source) {
-  return runtime_.mailboxes_[rank_].pop(source);
+  // Only time the genuinely blocking path: a receive that is satisfied
+  // from the mailbox immediately is work, not idleness.
+  if (auto ready = runtime_.mailboxes_[rank_].try_pop(source)) {
+    return std::move(*ready);
+  }
+  const std::uint64_t start = now_ns();
+  Message msg = runtime_.mailboxes_[rank_].pop(source);
+  stats_.recv_idle_ns += now_ns() - start;
+  return msg;
 }
 
 std::optional<Message> PEContext::try_receive(int source) {
@@ -35,7 +56,9 @@ std::optional<Message> PEContext::try_receive(int source) {
 
 void PEContext::barrier() {
   ++stats_.barriers;
+  const std::uint64_t start = now_ns();
   runtime_.barrier_->arrive_and_wait();
+  stats_.collective_idle_ns += now_ns() - start;
 }
 
 std::uint64_t PEContext::all_reduce_sum(std::uint64_t value) {
@@ -107,6 +130,72 @@ std::vector<std::uint64_t> PEContext::broadcast(
   std::vector<std::uint64_t> result = runtime_.broadcast_scratch_;
   barrier();
   return result;
+}
+
+PESubGroup::PESubGroup(PEContext& parent, std::vector<int> owner_of_virtual,
+                       std::vector<int> neighbor_ranks)
+    : parent_(parent),
+      owner_(std::move(owner_of_virtual)),
+      neighbors_(std::move(neighbor_ranks)) {
+  std::sort(neighbors_.begin(), neighbors_.end());
+  assert(!std::binary_search(neighbors_.begin(), neighbors_.end(),
+                             parent_.rank()) &&
+         "a rank is not its own neighbor");
+}
+
+void PESubGroup::post(int from, int to, std::vector<std::uint64_t> payload) {
+  assert(owner_[static_cast<std::size_t>(from)] == parent_.rank() &&
+         "only locally hosted virtual PEs may send");
+  outbox_.push_back({from, to, std::move(payload)});
+}
+
+std::vector<VirtualMessage> PESubGroup::exchange() {
+  std::vector<VirtualMessage> inbox;
+  // Bundle wire format: repeated records [from, to, len, words...].
+  std::vector<std::vector<std::uint64_t>> bundles(neighbors_.size());
+  for (VirtualMessage& msg : outbox_) {
+    const int dest = owner_[static_cast<std::size_t>(msg.to)];
+    if (dest == parent_.rank()) {
+      inbox.push_back(std::move(msg));
+      continue;
+    }
+    const auto it = std::lower_bound(neighbors_.begin(), neighbors_.end(), dest);
+    assert(it != neighbors_.end() && *it == dest &&
+           "virtual destination hosted outside the neighbor set");
+    auto& bundle = bundles[static_cast<std::size_t>(it - neighbors_.begin())];
+    bundle.push_back(static_cast<std::uint64_t>(msg.from));
+    bundle.push_back(static_cast<std::uint64_t>(msg.to));
+    bundle.push_back(msg.payload.size());
+    bundle.insert(bundle.end(), msg.payload.begin(), msg.payload.end());
+  }
+  outbox_.clear();
+
+  // Every neighbor gets a bundle every round, empty or not, so the
+  // matching receives below never deadlock and need no barrier.
+  for (std::size_t i = 0; i < neighbors_.size(); ++i) {
+    parent_.send(neighbors_[i], std::move(bundles[i]));
+  }
+  for (const int q : neighbors_) {
+    const Message msg = parent_.receive(q);
+    std::size_t pos = 0;
+    while (pos < msg.payload.size()) {
+      VirtualMessage vm;
+      vm.from = static_cast<int>(msg.payload[pos]);
+      vm.to = static_cast<int>(msg.payload[pos + 1]);
+      const std::size_t len = msg.payload[pos + 2];
+      pos += 3;
+      vm.payload.assign(msg.payload.begin() + static_cast<std::ptrdiff_t>(pos),
+                        msg.payload.begin() +
+                            static_cast<std::ptrdiff_t>(pos + len));
+      pos += len;
+      inbox.push_back(std::move(vm));
+    }
+  }
+  std::sort(inbox.begin(), inbox.end(),
+            [](const VirtualMessage& a, const VirtualMessage& b) {
+              return a.to != b.to ? a.to < b.to : a.from < b.from;
+            });
+  return inbox;
 }
 
 PERuntime::PERuntime(int num_pes, std::uint64_t seed)

@@ -88,12 +88,58 @@ class PEContext {
   /// pass -1 to stop attributing. The totals always count everything.
   void set_halo_level(int level) { halo_level_ = level; }
 
+  /// Records a scheduling round this rank sat out (no pair executed, no
+  /// side shipped) — see CommStats::rounds_waited.
+  void count_idle_round() { ++stats_.rounds_waited; }
+
  private:
   PERuntime& runtime_;
   int rank_;
   Rng rng_;
   CommStats stats_;
   int halo_level_ = -1;
+};
+
+/// One virtual-PE message delivered by PESubGroup::exchange().
+struct VirtualMessage {
+  int from = 0;  ///< sending virtual PE (block id in the coloring protocol)
+  int to = 0;    ///< receiving virtual PE, hosted on this rank
+  std::vector<std::uint64_t> payload;
+};
+
+/// Sub-communicator: a group of virtual PEs laid over the ranks of a
+/// parent PEContext. The §5.1 coloring protocol wants one PE per *block*,
+/// but inside the refiner there are only p ranks for k blocks — this class
+/// nests the block-PE scope into the refiner's rank set. Virtual PE v
+/// lives on rank owner[v]; messages between virtual PEs on one rank never
+/// touch the wire, and messages between ranks travel as one bundle per
+/// (neighbor rank, exchange round), so a protocol round costs each rank at
+/// most |neighbor ranks| messages instead of a collective over all p.
+///
+/// All participating ranks must construct the group with the same
+/// owner map and symmetric neighbor lists (q lists r iff r lists q) and
+/// call exchange() in lockstep; ranks with an empty neighbor list may
+/// still host virtual PEs whose messages are all rank-local.
+class PESubGroup {
+ public:
+  PESubGroup(PEContext& parent, std::vector<int> owner_of_virtual,
+             std::vector<int> neighbor_ranks);
+
+  /// Queues a message from virtual PE \p from (hosted here) to \p to.
+  void post(int from, int to, std::vector<std::uint64_t> payload);
+
+  /// Flushes queued messages as one bundle per neighbor rank (always sent,
+  /// possibly empty, so receives are matched without a barrier) and blocks
+  /// for the neighbors' bundles. Returns the messages addressed to virtual
+  /// PEs hosted on this rank, sorted by (to, from) — a deterministic order
+  /// independent of arrival interleaving.
+  [[nodiscard]] std::vector<VirtualMessage> exchange();
+
+ private:
+  PEContext& parent_;
+  std::vector<int> owner_;
+  std::vector<int> neighbors_;
+  std::vector<VirtualMessage> outbox_;
 };
 
 /// Owns the PE threads and their mailboxes; runs SPMD programs.

@@ -28,33 +28,42 @@ void mark_used(std::vector<bool>& used, int color) {
 
 }  // namespace
 
-EdgeColoring color_quotient_edges(const QuotientGraph& quotient, Rng& rng) {
+EdgeColoring color_quotient_edges(const QuotientGraph& quotient,
+                                  const Rng& rng) {
   const BlockID k = quotient.num_blocks();
   const std::size_t num_edges = quotient.edges().size();
 
   EdgeColoring coloring;
   coloring.color_of_edge.assign(num_edges, -1);
+  if (num_edges == 0 || k == 0) return coloring;
+
+  // One private stream per block, forked exactly like the PE runtime
+  // forks rank streams: block b draws from rng.fork(b). This is what
+  // makes the replicated simulation and the channel protocol
+  // (parallel/dist_coloring) produce the *same* coloring from the same
+  // seed — they are two executions of one randomized process.
+  std::vector<Rng> block_rng;
+  block_rng.reserve(k);
+  for (BlockID b = 0; b < k; ++b) block_rng.push_back(rng.fork(b));
 
   // L(b): colors already used on edges incident to block b.
   std::vector<std::vector<bool>> used(k);
-  // Uncolored incident edges per block, with lazy deletion.
+  // Uncolored incident edges per block, with lazy deletion (kept in
+  // incident order — the candidate order of the protocol).
   std::vector<std::vector<std::size_t>> pending(k);
   for (BlockID b = 0; b < k; ++b) {
     pending[b] = quotient.incident(b);
   }
 
+  constexpr std::size_t kNoEdge = static_cast<std::size_t>(-1);
   std::size_t colored = 0;
   while (colored < num_edges) {
-    // --- Coin flips: active or passive this round. ---
+    // --- Coin flips: every block is active or passive this round. ---
     std::vector<bool> active(k);
-    for (BlockID b = 0; b < k; ++b) active[b] = rng.coin();
+    for (BlockID b = 0; b < k; ++b) active[b] = block_rng[b].coin();
 
     // --- Active PEs each nominate one random uncolored incident edge. ---
-    struct Request {
-      BlockID from;
-      std::size_t edge;
-    };
-    std::vector<std::vector<Request>> inbox(k);
+    std::vector<std::size_t> nominated(k, kNoEdge);
     for (BlockID b = 0; b < k; ++b) {
       if (!active[b]) continue;
       auto& list = pending[b];
@@ -63,23 +72,22 @@ EdgeColoring color_quotient_edges(const QuotientGraph& quotient, Rng& rng) {
         return coloring.color_of_edge[e] != -1;
       });
       if (list.empty()) continue;
-      const std::size_t e = list[rng.bounded(list.size())];
-      const QuotientEdge& edge = quotient.edges()[e];
-      const BlockID other = edge.a == b ? edge.b : edge.a;
-      if (!active[other]) {
-        // Requests to other active PEs are rejected (§5.1).
-        inbox[other].push_back({b, e});
-      }
+      nominated[b] = list[block_rng[b].bounded(list.size())];
     }
 
-    // --- Passive PEs answer with min(L ∩ L'). ---
+    // --- Passive PEs answer with min(L ∩ L'), serving their incident
+    // edges in neighbor order (the order the protocol's per-channel
+    // receives impose). Requests whose nominator is also active are
+    // rejected (§5.1) — here: simply not served. ---
     for (BlockID v = 0; v < k; ++v) {
       if (active[v]) continue;
-      for (const Request& req : inbox[v]) {
-        if (coloring.color_of_edge[req.edge] != -1) continue;
-        const int c = min_free_color(used[req.from], used[v]);
-        coloring.color_of_edge[req.edge] = c;
-        mark_used(used[req.from], c);
+      for (const std::size_t e : quotient.incident(v)) {
+        const QuotientEdge& edge = quotient.edges()[e];
+        const BlockID u = edge.a == v ? edge.b : edge.a;
+        if (!active[u] || nominated[u] != e) continue;
+        const int c = min_free_color(used[u], used[v]);
+        coloring.color_of_edge[e] = c;
+        mark_used(used[u], c);
         mark_used(used[v], c);
         coloring.num_colors = std::max(coloring.num_colors, c + 1);
         ++colored;

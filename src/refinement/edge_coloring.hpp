@@ -38,13 +38,17 @@ struct EdgeColoring {
   }
 };
 
-/// Runs the randomized distributed protocol described in §5.1 (simulated
-/// round by round; the PE-runtime variant in src/parallel exchanges the
-/// same messages over channels). Terminates with certainty because every
-/// round with at least one active/passive pair coloring an edge makes
-/// progress and singleton conflicts are resolved by re-flipping.
+/// Runs the randomized distributed protocol described in §5.1, simulated
+/// round by round with one forked RNG stream per block (block b draws
+/// from rng.fork(b), the same stream the PE runtime hands the protocol's
+/// block-PE b). The channel variants in parallel/dist_coloring execute
+/// the identical process and return the identical coloring for the same
+/// seed — this replicated form is the deterministic oracle. Terminates
+/// with certainty because every round with at least one active/passive
+/// pair colors an edge and singleton conflicts are resolved by
+/// re-flipping. The caller's generator is not advanced.
 [[nodiscard]] EdgeColoring color_quotient_edges(const QuotientGraph& quotient,
-                                                Rng& rng);
+                                                const Rng& rng);
 
 /// Checks the coloring invariant: no two incident quotient edges share a
 /// color; every edge is colored. Returns empty string if valid.
