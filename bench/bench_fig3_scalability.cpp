@@ -11,9 +11,16 @@
 /// machine-independent communication shape of the parallel phases:
 /// gap-graph size from the parallel matching and message/word counters
 /// from the distributed coloring protocol.
+#include <sys/socket.h>
+#include <sys/wait.h>
+
+#include <netinet/in.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 
 #include "coarsening/prepartition.hpp"
 #include "generators/generators.hpp"
@@ -22,14 +29,133 @@
 #include "harness.hpp"
 #include "matching/parallel_match.hpp"
 #include "parallel/dist_coloring.hpp"
+#include "parallel/transport_tcp.hpp"
 #include "util/random.hpp"
 #include "util/timer.hpp"
+
+namespace {
+
+/// Binds an ephemeral localhost port and returns its number (closed
+/// again, immediately reusable as the rendezvous port).
+std::uint16_t pick_free_port() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  socklen_t len = sizeof addr;
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  ::close(fd);
+  return ntohs(addr.sin_port);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace kappa;
   using namespace kappa::bench;
   const int reps = repetitions(argc, argv, 2);
   const std::vector<BlockID> ks = {4, 8, 16, 32, 64, 128};
+  bool tcp_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tcp-only") == 0) tcp_only = true;
+  }
+
+  // One SPMD run spanning processes: the same pipeline on the TCP socket
+  // fabric, p localhost processes with one rank each, against the
+  // in-process (thread) backend. Same seed => identical cut on every
+  // backend and every p; the TCP column adds the real socket bytes rank 0
+  // put on the wire. Runs first so `--tcp-only` can sweep it alone.
+  {
+    const StaticGraph instance = make_instance("rgg15");
+    Config config = Config::preset(Preset::kFast, 16);
+    config.seed = 1;
+    print_table_header(
+        "Figure 3 (companion): one run spanning processes — inproc threads "
+        "vs TCP sockets, rgg15, k=16",
+        {"PEs", "backend", "cut", "time[s]", "r0 wire sent[MB]",
+         "r0 wire recv[MB]"});
+    for (const int pes : {1, 2, 4, 8}) {
+      {
+        PERuntime runtime(pes, config.seed);
+        Timer timer;
+        const PartitionResult result =
+            Partitioner(Context::spmd(config, runtime)).partition(instance);
+        print_row({std::to_string(pes), "inproc",
+                   std::to_string(result.cut), fmt(timer.elapsed_s(), 2),
+                   "0", "0"});
+      }
+      const std::uint16_t port = pick_free_port();
+      int fds[2];
+      if (::pipe(fds) != 0) continue;
+      std::vector<pid_t> pids;
+      for (int rank = 0; rank < pes; ++rank) {
+        const pid_t pid = ::fork();
+        if (pid == 0) {
+          ::close(fds[0]);
+          int code = 1;
+          try {
+            TcpOptions options;
+            options.rank = rank;
+            options.num_ranks = pes;
+            options.rendezvous_port = port;
+            options.recv_timeout_ms = 120000;
+            PERuntime runtime(make_tcp_fabric(options), config.seed);
+            Timer timer;
+            const PartitionResult result =
+                Partitioner(Context::spmd(config, runtime))
+                    .partition(instance);
+            const double elapsed = timer.elapsed_s();
+            if (rank == 0) {
+              char line[160];
+              std::snprintf(
+                  line, sizeof line, "%lld %.4f %llu %llu\n",
+                  static_cast<long long>(result.cut), elapsed,
+                  static_cast<unsigned long long>(
+                      result.comm.wire_bytes_sent),
+                  static_cast<unsigned long long>(
+                      result.comm.wire_bytes_received));
+              (void)!::write(fds[1], line, std::strlen(line));
+            }
+            code = 0;
+          } catch (...) {
+          }
+          ::close(fds[1]);
+          std::_Exit(code);
+        }
+        pids.push_back(pid);
+      }
+      ::close(fds[1]);
+      char line[160] = {0};
+      std::size_t got = 0;
+      while (got + 1 < sizeof line) {
+        const ssize_t n = ::read(fds[0], line + got, sizeof line - 1 - got);
+        if (n <= 0) break;
+        got += static_cast<std::size_t>(n);
+      }
+      ::close(fds[0]);
+      bool ok = got > 0;
+      for (const pid_t pid : pids) {
+        int status = 0;
+        ::waitpid(pid, &status, 0);
+        ok = ok && WIFEXITED(status) && WEXITSTATUS(status) == 0;
+      }
+      long long cut = -1;
+      double elapsed = 0.0;
+      unsigned long long sent = 0;
+      unsigned long long received = 0;
+      if (ok &&
+          std::sscanf(line, "%lld %lf %llu %llu", &cut, &elapsed, &sent,
+                      &received) == 4) {
+        print_row({std::string(), "tcp", std::to_string(cut),
+                   fmt(elapsed, 2), fmt(static_cast<double>(sent) / 1e6, 1),
+                   fmt(static_cast<double>(received) / 1e6, 1)});
+      } else {
+        print_row({std::string(), "tcp", "failed", "-", "-", "-"});
+      }
+    }
+  }
+  if (tcp_only) return 0;
 
   for (const std::string& name : {std::string("rgg15"),
                                   std::string("delaunay15"),

@@ -6,19 +6,29 @@
 /// Usage:
 ///   kappa_cli <graph.metis> <k> [--preset=fast|strong|minimal]
 ///             [--eps=0.03] [--seed=1] [--threads=1] [--pes=0]
-///             [--output=out.part]
+///             [--transport=inproc|tcp] [--rank=R] [--peers=HOST:PORT]
+///             [--recv-timeout-ms=60000] [--output=out.part]
 ///
 /// --pes=N > 0 runs the pipeline SPMD on a PE runtime of N PEs (the
 /// result is identical for every N under a fixed seed; N changes wall
 /// time and the communication counters printed at the end).
+///
+/// --transport=tcp spans the run over N processes, one rank each: start
+/// N copies of this binary with the same graph/k/seed/--pes=N, distinct
+/// --rank=0..N-1, and the same --peers=HOST:PORT naming rank 0's
+/// rendezvous address (see examples/launch_tcp.sh). Every process
+/// computes the identical partition; each writes its own copy unless
+/// --output is given, in which case only rank 0 writes.
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "core/partitioner.hpp"
 #include "graph/graph_io.hpp"
 #include "graph/validation.hpp"
 #include "parallel/pe_runtime.hpp"
+#include "parallel/transport_tcp.hpp"
 
 namespace {
 
@@ -40,7 +50,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s <graph.metis> <k> [--preset=fast|strong|minimal]"
                  " [--eps=0.03] [--seed=1] [--threads=1] [--pes=0]"
-                 " [--output=FILE]\n",
+                 " [--transport=inproc|tcp] [--rank=R] [--peers=HOST:PORT]"
+                 " [--recv-timeout-ms=N] [--output=FILE]\n",
                  argv[0]);
     return 2;
   }
@@ -86,18 +97,72 @@ int main(int argc, char** argv) {
     pes = std::atoi(value);
   }
 
+  bool tcp = false;
+  if (const char* name = arg_value(argc, argv, "--transport")) {
+    if (std::strcmp(name, "tcp") == 0) {
+      tcp = true;
+    } else if (std::strcmp(name, "inproc") != 0) {
+      std::fprintf(stderr, "error: unknown transport '%s'\n", name);
+      return 2;
+    }
+  }
+  TcpOptions tcp_options;
+  if (tcp) {
+    if (pes < 1) {
+      std::fprintf(stderr, "error: --transport=tcp needs --pes=N >= 1\n");
+      return 2;
+    }
+    tcp_options.num_ranks = pes;
+    if (const char* value = arg_value(argc, argv, "--rank")) {
+      tcp_options.rank = std::atoi(value);
+    }
+    const char* peers = arg_value(argc, argv, "--peers");
+    if (peers == nullptr) {
+      std::fprintf(stderr,
+                   "error: --transport=tcp needs --peers=HOST:PORT (rank 0's "
+                   "rendezvous address)\n");
+      return 2;
+    }
+    const char* colon = std::strrchr(peers, ':');
+    if (colon == nullptr || colon == peers || colon[1] == '\0') {
+      std::fprintf(stderr, "error: --peers wants HOST:PORT, got '%s'\n",
+                   peers);
+      return 2;
+    }
+    tcp_options.rendezvous_host.assign(peers, colon);
+    tcp_options.rendezvous_port =
+        static_cast<std::uint16_t>(std::atoi(colon + 1));
+    if (const char* value = arg_value(argc, argv, "--recv-timeout-ms")) {
+      tcp_options.recv_timeout_ms = std::atoi(value);
+    }
+  }
+
   std::fprintf(stderr,
                "graph: %u nodes, %llu edges; k=%u eps=%.3f (%s%s)\n",
                graph.num_nodes(),
                static_cast<unsigned long long>(graph.num_edges()), k, eps,
-               preset_name(preset), pes > 0 ? ", spmd" : "");
+               preset_name(preset),
+               tcp ? ", spmd/tcp" : (pes > 0 ? ", spmd" : ""));
 
   PartitionResult result;
-  if (pes > 0) {
-    PERuntime runtime(pes, config.seed);
-    result = Partitioner(Context::spmd(config, runtime)).partition(graph);
-  } else {
-    result = Partitioner(Context::sequential(config)).partition(graph);
+  bool write_output = true;
+  try {
+    if (tcp) {
+      PERuntime runtime(make_tcp_fabric(tcp_options), config.seed);
+      result = Partitioner(Context::spmd(config, runtime)).partition(graph);
+      // Every rank holds the identical partition. With an explicit
+      // --output all ranks would race for one file — let rank 0 write it;
+      // default (per-invocation) paths are shared too, same rule.
+      write_output = runtime.primary_rank() == 0;
+    } else if (pes > 0) {
+      PERuntime runtime(pes, config.seed);
+      result = Partitioner(Context::spmd(config, runtime)).partition(graph);
+    } else {
+      result = Partitioner(Context::sequential(config)).partition(graph);
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
   }
 
   std::printf("cut      %lld\n", static_cast<long long>(result.cut));
@@ -113,12 +178,23 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(result.comm.words_sent),
                 static_cast<unsigned long long>(result.comm.barriers));
   }
+  if (tcp) {
+    std::printf("wire     rank %d: %llu bytes sent, %llu bytes received\n",
+                tcp_options.rank,
+                static_cast<unsigned long long>(
+                    result.comm.wire_bytes_sent),
+                static_cast<unsigned long long>(
+                    result.comm.wire_bytes_received));
+  }
 
-  const char* output = arg_value(argc, argv, "--output");
-  const std::string output_path =
-      output != nullptr ? output
-                        : std::string(argv[1]) + ".part." + std::to_string(k);
-  write_partition(result.partition, output_path);
-  std::fprintf(stderr, "partition written to %s\n", output_path.c_str());
+  if (write_output) {
+    const char* output = arg_value(argc, argv, "--output");
+    const std::string output_path =
+        output != nullptr
+            ? output
+            : std::string(argv[1]) + ".part." + std::to_string(k);
+    write_partition(result.partition, output_path);
+    std::fprintf(stderr, "partition written to %s\n", output_path.c_str());
+  }
   return 0;
 }

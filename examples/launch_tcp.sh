@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Launches one multi-process SPMD partition run on localhost: p copies of
+# kappa_cli connected by the TCP transport, one rank per process.
+#
+#   usage: launch_tcp.sh <p> <graph.metis> <k> [extra kappa_cli flags...]
+#
+#   KAPPA_CLI=path/to/kappa_cli   binary (default: ./build/kappa_cli)
+#   KAPPA_PORT=17771              rank 0's rendezvous port
+#
+# Ranks 1..p-1 run in the background; rank 0 runs in the foreground and
+# prints the result. Every rank computes the identical partition.
+set -euo pipefail
+
+if [ "$#" -lt 3 ]; then
+  echo "usage: $0 <p> <graph.metis> <k> [extra kappa_cli flags...]" >&2
+  exit 2
+fi
+
+p="$1"; graph="$2"; k="$3"; shift 3
+cli="${KAPPA_CLI:-./build/kappa_cli}"
+port="${KAPPA_PORT:-17771}"
+
+if ! [ -x "$cli" ]; then
+  echo "error: kappa_cli binary not found at '$cli' (set KAPPA_CLI)" >&2
+  exit 1
+fi
+
+pids=()
+cleanup() {
+  for pid in "${pids[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+}
+trap cleanup EXIT
+
+for ((rank = 1; rank < p; ++rank)); do
+  "$cli" "$graph" "$k" --pes="$p" --transport=tcp --rank="$rank" \
+    --peers=127.0.0.1:"$port" "$@" >/dev/null 2>&1 &
+  pids+=("$!")
+done
+
+"$cli" "$graph" "$k" --pes="$p" --transport=tcp --rank=0 \
+  --peers=127.0.0.1:"$port" "$@"
+
+for pid in "${pids[@]:-}"; do
+  wait "$pid"
+done
+trap - EXIT

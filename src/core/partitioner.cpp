@@ -124,7 +124,10 @@ PartitionResult run_spmd(const StaticGraph& graph, const Config& config,
     partition_memory[pe.rank()] = refiner.partition_footprint();
     pair_ship[pe.rank()] = refiner.ship_stats();
     async_pairs[pe.rank()] = refiner.async_events();
-    if (pe.rank() == 0) result = std::move(local);
+    // Every rank materializes the identical partition; the runtime's
+    // primary (lowest locally hosted) rank keeps it — rank 0 in-process,
+    // this process's own rank on a multi-process fabric.
+    if (pe.rank() == runtime.primary_rank()) result = std::move(local);
   });
 
   result.num_pes = p;

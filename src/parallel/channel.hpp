@@ -1,80 +1,201 @@
 /// \file channel.hpp
-/// \brief Blocking message channels between PE threads.
+/// \brief Blocking message channels: the mailbox shared by the transport
+/// backends.
 ///
-/// The PE runtime (pe_runtime.hpp) replaces MPI point-to-point messaging:
-/// every PE owns one mailbox; send() enqueues a tagged word buffer,
-/// receive() blocks until a message from the requested source arrives.
-/// Payloads are flat 64-bit word vectors — the same "serialize everything
-/// into buffers" discipline an MPI implementation enforces, which keeps
-/// the algorithms honest about what they would really communicate.
+/// Both transport backends (transport_inproc.hpp, transport_tcp.hpp)
+/// deliver incoming messages through a Mailbox: send() enqueues a tagged
+/// word buffer at the destination, receive() blocks until a message from
+/// the requested source arrives. Payloads are flat 64-bit word vectors —
+/// the same "serialize everything into buffers" discipline an MPI
+/// implementation enforces.
+///
+/// Messages are kept in one queue *per source* plus a global arrival
+/// sequence number: a targeted pop is O(1) at the head of its source
+/// queue, and an any-source pop scans only the queue fronts (O(number of
+/// sources)) for the lowest sequence number. The previous single-deque
+/// design rescanned every pending message from the front on each wakeup,
+/// degrading O(q^2) under the async scheduler's p2p-heavy traffic.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <string>
+#include <utility>
 #include <vector>
+
+#include "parallel/transport.hpp"
 
 namespace kappa {
 
-/// A message: source rank plus flat payload.
-struct Message {
-  int source = -1;
-  std::vector<std::uint64_t> payload;
-};
-
 /// One PE's mailbox. Thread-safe multi-producer, single-consumer.
+///
+/// Lifecycle hooks for multi-process transports: finish_source() marks a
+/// peer as cleanly shut down (queued messages still drain; popping beyond
+/// them is a protocol error and throws), fail() poisons the whole mailbox
+/// (a peer died — every subsequent pop throws immediately, so the failure
+/// surfaces instead of hanging). The in-process backend never calls
+/// either, preserving the original block-forever semantics.
 class Mailbox {
  public:
-  /// Enqueues a message (called by any sending PE thread).
+  /// Enqueues a message (called by any sending thread). Messages from
+  /// negative sources are rejected by design — source ranks index the
+  /// per-source queues.
   void push(Message message) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      queue_.push_back(std::move(message));
+      SourceQueue& sq = source_queue(message.source);
+      sq.queue.emplace_back(next_seq_++, std::move(message.payload));
     }
     available_.notify_all();
   }
 
+  /// Pre-creates the queue of \p source so that an all-sources-finished
+  /// condition can be detected even for peers that never sent anything.
+  void register_source(int source) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    (void)source_queue(source);
+  }
+
   /// Blocks until a message from \p source arrives, then removes and
-  /// returns it. Pass -1 to accept any source.
+  /// returns it. Pass -1 to accept any source (earliest arrival wins,
+  /// like the single-queue design). Throws TransportError if the mailbox
+  /// failed or the requested source can never deliver again.
   Message pop(int source) {
     std::unique_lock<std::mutex> lock(mutex_);
     while (true) {
-      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-        if (source == -1 || it->source == source) {
-          Message msg = std::move(*it);
-          queue_.erase(it);
-          return msg;
-        }
+      if (std::optional<Message> msg = take_locked(source)) {
+        return std::move(*msg);
       }
       available_.wait(lock);
+    }
+  }
+
+  /// pop() with a deadline: empty optional once \p deadline passes with
+  /// no matching message. Still throws on failure / finished sources.
+  std::optional<Message> pop_until(
+      int source, std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (true) {
+      if (std::optional<Message> msg = take_locked(source)) {
+        return msg;
+      }
+      if (available_.wait_until(lock, deadline) ==
+          std::cv_status::timeout) {
+        return take_locked(source);
+      }
     }
   }
 
   /// Non-blocking variant; empty optional if no matching message queued.
   std::optional<Message> try_pop(int source) {
     std::lock_guard<std::mutex> lock(mutex_);
-    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-      if (source == -1 || it->source == source) {
-        Message msg = std::move(*it);
-        queue_.erase(it);
-        return msg;
+    return take_locked(source);
+  }
+
+  /// Marks \p source as cleanly shut down: its queued messages remain
+  /// poppable, but a pop finding it empty afterwards throws instead of
+  /// waiting for a message that can never come.
+  void finish_source(int source) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      source_queue(source).finished = true;
+    }
+    available_.notify_all();
+  }
+
+  /// Poisons the mailbox: every subsequent pop throws TransportError with
+  /// \p reason (first failure wins). Queued messages are unreachable — a
+  /// run whose peer died cannot complete, so surfacing the error beats
+  /// draining stale traffic.
+  void fail(std::string reason) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!failed_) {
+        failed_ = true;
+        fail_reason_ = std::move(reason);
       }
     }
-    return std::nullopt;
+    available_.notify_all();
   }
 
   /// Number of queued messages (for tests).
   [[nodiscard]] std::size_t size() const {
     std::lock_guard<std::mutex> lock(mutex_);
-    return queue_.size();
+    std::size_t total = 0;
+    for (const SourceQueue& sq : sources_) total += sq.queue.size();
+    return total;
   }
 
  private:
+  struct SourceQueue {
+    std::deque<std::pair<std::uint64_t, std::vector<std::uint64_t>>> queue;
+    bool finished = false;
+  };
+
+  SourceQueue& source_queue(int source) {
+    const std::size_t index = static_cast<std::size_t>(source);
+    if (sources_.size() <= index) sources_.resize(index + 1);
+    return sources_[index];
+  }
+
+  // Removes and returns the matching message with the lowest arrival
+  // sequence number, or nullopt when the caller must keep waiting.
+  // Caller holds mutex_.
+  std::optional<Message> take_locked(int source) {
+    if (failed_) throw TransportError(fail_reason_);
+    if (source >= 0) {
+      const std::size_t index = static_cast<std::size_t>(source);
+      if (index < sources_.size() && !sources_[index].queue.empty()) {
+        Message msg{source, std::move(sources_[index].queue.front().second)};
+        sources_[index].queue.pop_front();
+        return msg;
+      }
+      if (index < sources_.size() && sources_[index].finished) {
+        throw TransportError("receive from rank " + std::to_string(source) +
+                             ": peer already shut down cleanly with no "
+                             "matching message queued");
+      }
+      return std::nullopt;
+    }
+    // Any-source: earliest arrival across the queue fronts.
+    int best = -1;
+    std::uint64_t best_seq = 0;
+    bool all_finished = !sources_.empty();
+    for (std::size_t s = 0; s < sources_.size(); ++s) {
+      if (!sources_[s].queue.empty()) {
+        const std::uint64_t seq = sources_[s].queue.front().first;
+        if (best < 0 || seq < best_seq) {
+          best = static_cast<int>(s);
+          best_seq = seq;
+        }
+      }
+      if (!sources_[s].finished) all_finished = false;
+    }
+    if (best >= 0) {
+      Message msg{best, std::move(sources_[static_cast<std::size_t>(best)]
+                                      .queue.front()
+                                      .second)};
+      sources_[static_cast<std::size_t>(best)].queue.pop_front();
+      return msg;
+    }
+    if (all_finished) {
+      throw TransportError(
+          "receive from any source: every peer already shut down cleanly "
+          "with no message queued");
+    }
+    return std::nullopt;
+  }
+
   mutable std::mutex mutex_;
   std::condition_variable available_;
-  std::deque<Message> queue_;
+  std::uint64_t next_seq_ = 0;
+  std::vector<SourceQueue> sources_;
+  bool failed_ = false;
+  std::string fail_reason_;
 };
 
 }  // namespace kappa

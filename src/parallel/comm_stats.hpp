@@ -44,6 +44,13 @@ struct CommStats {
   /// which this rank neither executed a pair nor shipped a partner side —
   /// it only waited for the round to pass.
   std::uint64_t rounds_waited = 0;
+  /// Bytes this rank's transport endpoint actually put on / took off the
+  /// physical wire during the run (frame headers and collective-lane
+  /// traffic included). Zero on the in-process backend — these measure
+  /// the real interconnect, the counterpart to the modeled word counters
+  /// above.
+  std::uint64_t wire_bytes_sent = 0;
+  std::uint64_t wire_bytes_received = 0;
   /// Per-coarsening-level halo-exchange breakdown (subset of the totals
   /// above), indexed by level; empty outside the SPMD coarsening path.
   std::vector<LevelHaloStats> halo_per_level;
@@ -127,6 +134,8 @@ struct AsyncPairEvent {
     total.collective_idle_ns += s.collective_idle_ns;
     total.recv_idle_ns += s.recv_idle_ns;
     total.rounds_waited += s.rounds_waited;
+    total.wire_bytes_sent += s.wire_bytes_sent;
+    total.wire_bytes_received += s.wire_bytes_received;
     if (s.halo_per_level.size() > total.halo_per_level.size()) {
       total.halo_per_level.resize(s.halo_per_level.size());
     }

@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <stdexcept>
+#include <string>
 #include <thread>
+
+#include "parallel/transport_inproc.hpp"
 
 namespace kappa {
 
@@ -17,12 +21,23 @@ std::uint64_t now_ns() {
           .count());
 }
 
+/// Order-independent fingerprint mismatch beats a deadlock: FNV-1a over
+/// a word sequence, used by PESubGroup::validate to compare owner maps.
+std::uint64_t fnv1a(const std::vector<int>& words) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const int w : words) {
+    hash ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(w));
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
 }  // namespace
 
-PEContext::PEContext(PERuntime& runtime, int rank, std::uint64_t seed)
-    : runtime_(runtime), rank_(rank), rng_(Rng(seed).fork(rank)) {}
-
-int PEContext::size() const { return runtime_.num_pes_; }
+PEContext::PEContext(Transport& transport, std::uint64_t seed)
+    : transport_(transport),
+      rank_(transport.rank()),
+      rng_(Rng(seed).fork(rank_)) {}
 
 void PEContext::send(int dest, std::vector<std::uint64_t> payload) {
   ++stats_.messages_sent;
@@ -35,30 +50,40 @@ void PEContext::send(int dest, std::vector<std::uint64_t> payload) {
     ++stats_.halo_per_level[level].messages;
     stats_.halo_per_level[level].words += payload.size();
   }
-  runtime_.mailboxes_[dest].push({rank_, std::move(payload)});
+  transport_.send(dest, Lane::kApp, std::move(payload));
 }
 
 Message PEContext::receive(int source) {
   // Only time the genuinely blocking path: a receive that is satisfied
-  // from the mailbox immediately is work, not idleness.
-  if (auto ready = runtime_.mailboxes_[rank_].try_pop(source)) {
+  // immediately is work, not idleness.
+  if (auto ready = transport_.try_receive(source, Lane::kApp)) {
     return std::move(*ready);
   }
   const std::uint64_t start = now_ns();
-  Message msg = runtime_.mailboxes_[rank_].pop(source);
+  Message msg = transport_.receive(source, Lane::kApp);
   stats_.recv_idle_ns += now_ns() - start;
   return msg;
 }
 
 std::optional<Message> PEContext::try_receive(int source) {
-  return runtime_.mailboxes_[rank_].try_pop(source);
+  return transport_.try_receive(source, Lane::kApp);
 }
 
 void PEContext::barrier() {
   ++stats_.barriers;
   const std::uint64_t start = now_ns();
-  runtime_.barrier_->arrive_and_wait();
+  transport_.barrier();
   stats_.collective_idle_ns += now_ns() - start;
+}
+
+Message PEContext::collective_receive(int source) {
+  if (auto ready = transport_.try_receive(source, Lane::kCollective)) {
+    return std::move(*ready);
+  }
+  const std::uint64_t start = now_ns();
+  Message msg = transport_.receive(source, Lane::kCollective);
+  stats_.collective_idle_ns += now_ns() - start;
+  return msg;
 }
 
 std::uint64_t PEContext::all_reduce_sum(std::uint64_t value) {
@@ -86,50 +111,68 @@ std::uint64_t PEContext::all_reduce_max(std::uint64_t value) {
   return result;
 }
 
+// The collectives below are generic flat exchanges over transport
+// point-to-point on the collective lane: rank r sends to (r + offset) mod
+// p and receives from (r - offset) mod p for offset = 1..p-1, the same
+// deterministic order on every backend. The CommStats charging is the
+// wire *model* — one message and one payload copy per destination rank —
+// which for these flat algorithms coincides exactly with the physical
+// sends, so the pinned counter semantics are unchanged.
+
 std::vector<std::uint64_t> PEContext::all_gather(std::uint64_t value) {
-  // Write phase and read phase are separated by barriers, so the shared
-  // scratch is data-race free (distinct ranks write distinct slots).
-  runtime_.collective_scratch_[rank_] = value;
-  barrier();
-  std::vector<std::uint64_t> result = runtime_.collective_scratch_;
-  barrier();
-  // A collective delivers this PE's contribution to every *other* rank:
-  // one message and one payload copy per destination (a flat all-gather
-  // sends nothing with p = 1).
-  const std::uint64_t destinations =
-      static_cast<std::uint64_t>(runtime_.num_pes_ - 1);
+  const int p = size();
+  const std::uint64_t destinations = static_cast<std::uint64_t>(p - 1);
+  ++stats_.barriers;  // a collective is a synchronization point
   stats_.messages_sent += destinations;
   stats_.words_sent += destinations;
+  std::vector<std::uint64_t> result(static_cast<std::size_t>(p));
+  result[static_cast<std::size_t>(rank_)] = value;
+  for (int offset = 1; offset < p; ++offset) {
+    transport_.send((rank_ + offset) % p, Lane::kCollective, {value});
+  }
+  for (int offset = 1; offset < p; ++offset) {
+    const int source = (rank_ - offset + p) % p;
+    result[static_cast<std::size_t>(source)] =
+        collective_receive(source).payload.at(0);
+  }
   return result;
 }
 
 std::vector<std::vector<std::uint64_t>> PEContext::all_gather_vectors(
     std::vector<std::uint64_t> payload) {
-  const std::uint64_t destinations =
-      static_cast<std::uint64_t>(runtime_.num_pes_ - 1);
+  const int p = size();
+  const std::uint64_t destinations = static_cast<std::uint64_t>(p - 1);
+  ++stats_.barriers;  // a collective is a synchronization point
   stats_.messages_sent += destinations;
   stats_.words_sent += destinations * payload.size();
-  runtime_.vector_scratch_[rank_] = std::move(payload);
-  barrier();
-  std::vector<std::vector<std::uint64_t>> result = runtime_.vector_scratch_;
-  barrier();
+  std::vector<std::vector<std::uint64_t>> result(static_cast<std::size_t>(p));
+  for (int offset = 1; offset < p; ++offset) {
+    transport_.send((rank_ + offset) % p, Lane::kCollective, payload);
+  }
+  result[static_cast<std::size_t>(rank_)] = std::move(payload);
+  for (int offset = 1; offset < p; ++offset) {
+    const int source = (rank_ - offset + p) % p;
+    result[static_cast<std::size_t>(source)] =
+        std::move(collective_receive(source).payload);
+  }
   return result;
 }
 
 std::vector<std::uint64_t> PEContext::broadcast(
     const std::vector<std::uint64_t>& payload, int root) {
+  const int p = size();
+  ++stats_.barriers;  // a collective is a synchronization point
   if (rank_ == root) {
-    runtime_.broadcast_scratch_ = payload;
     // Only the root puts data on the wire: one copy per destination rank.
-    const std::uint64_t destinations =
-        static_cast<std::uint64_t>(runtime_.num_pes_ - 1);
+    const std::uint64_t destinations = static_cast<std::uint64_t>(p - 1);
     stats_.messages_sent += destinations;
     stats_.words_sent += destinations * payload.size();
+    for (int offset = 1; offset < p; ++offset) {
+      transport_.send((rank_ + offset) % p, Lane::kCollective, payload);
+    }
+    return payload;
   }
-  barrier();
-  std::vector<std::uint64_t> result = runtime_.broadcast_scratch_;
-  barrier();
-  return result;
+  return collective_receive(root).payload;
 }
 
 PESubGroup::PESubGroup(PEContext& parent, std::vector<int> owner_of_virtual,
@@ -137,10 +180,84 @@ PESubGroup::PESubGroup(PEContext& parent, std::vector<int> owner_of_virtual,
     : parent_(parent),
       owner_(std::move(owner_of_virtual)),
       neighbors_(std::move(neighbor_ranks)) {
+  const int p = parent_.size();
+  for (const int o : owner_) {
+    if (o < 0 || o >= p) {
+      throw std::invalid_argument(
+          "PESubGroup: virtual PE owner " + std::to_string(o) +
+          " outside the parent rank range [0, " + std::to_string(p) + ")");
+    }
+  }
   std::sort(neighbors_.begin(), neighbors_.end());
-  assert(!std::binary_search(neighbors_.begin(), neighbors_.end(),
-                             parent_.rank()) &&
-         "a rank is not its own neighbor");
+  for (std::size_t i = 0; i < neighbors_.size(); ++i) {
+    const int q = neighbors_[i];
+    if (q < 0 || q >= p) {
+      throw std::invalid_argument(
+          "PESubGroup: neighbor rank " + std::to_string(q) +
+          " outside the parent rank range [0, " + std::to_string(p) + ")");
+    }
+    if (q == parent_.rank()) {
+      throw std::invalid_argument(
+          "PESubGroup: rank " + std::to_string(q) +
+          " lists itself as a neighbor");
+    }
+    if (i > 0 && neighbors_[i - 1] == q) {
+      throw std::invalid_argument(
+          "PESubGroup: duplicate neighbor rank " + std::to_string(q) +
+          " (exchange() would double-send the bundle)");
+    }
+  }
+#ifndef NDEBUG
+  // The cross-rank invariants would otherwise surface as a deadlock deep
+  // inside exchange(); debug builds pay one collective here to turn that
+  // into an immediate, explanatory error on every rank.
+  validate();
+#endif
+}
+
+void PESubGroup::validate() {
+  // Every rank publishes [owner-map fingerprint, its neighbor list...];
+  // afterwards each rank can check the global invariants locally and all
+  // ranks reach the same verdict.
+  std::vector<std::uint64_t> mine;
+  mine.reserve(1 + neighbors_.size());
+  mine.push_back(fnv1a(owner_));
+  for (const int q : neighbors_) {
+    mine.push_back(static_cast<std::uint64_t>(q));
+  }
+  const std::vector<std::vector<std::uint64_t>> all =
+      parent_.all_gather_vectors(std::move(mine));
+
+  const std::uint64_t owner_hash = all[static_cast<std::size_t>(
+      parent_.rank())][0];
+  for (std::size_t r = 0; r < all.size(); ++r) {
+    if (all[r].at(0) != owner_hash) {
+      throw std::invalid_argument(
+          "PESubGroup: rank " + std::to_string(r) +
+          " built the group with a different virtual-PE owner map than "
+          "rank " + std::to_string(parent_.rank()));
+    }
+  }
+  const auto lists = [&all](int rank, int neighbor) {
+    const std::vector<std::uint64_t>& row =
+        all[static_cast<std::size_t>(rank)];
+    for (std::size_t i = 1; i < row.size(); ++i) {
+      if (row[i] == static_cast<std::uint64_t>(neighbor)) return true;
+    }
+    return false;
+  };
+  for (std::size_t r = 0; r < all.size(); ++r) {
+    for (std::size_t i = 1; i < all[r].size(); ++i) {
+      const int q = static_cast<int>(all[r][i]);
+      if (!lists(q, static_cast<int>(r))) {
+        throw std::invalid_argument(
+            "PESubGroup: asymmetric neighbor lists — rank " +
+            std::to_string(r) + " lists rank " + std::to_string(q) +
+            " but not vice versa; exchange() would deadlock waiting for "
+            "a bundle that is never sent");
+      }
+    }
+  }
 }
 
 void PESubGroup::post(int from, int to, std::vector<std::uint64_t> payload) {
@@ -199,26 +316,61 @@ std::vector<VirtualMessage> PESubGroup::exchange() {
 }
 
 PERuntime::PERuntime(int num_pes, std::uint64_t seed)
-    : num_pes_(num_pes),
-      seed_(seed),
-      mailboxes_(num_pes),
-      barrier_(std::make_unique<std::barrier<>>(num_pes)),
-      collective_scratch_(num_pes, 0),
-      vector_scratch_(num_pes) {}
+    : fabric_(make_inproc_fabric(num_pes)), seed_(seed) {}
+
+PERuntime::PERuntime(std::unique_ptr<TransportFabric> fabric,
+                     std::uint64_t seed)
+    : fabric_(std::move(fabric)), seed_(seed) {
+  if (!fabric_) {
+    throw std::invalid_argument("PERuntime: null transport fabric");
+  }
+}
+
+PERuntime::~PERuntime() = default;
+
+int PERuntime::num_pes() const { return fabric_->size(); }
+
+int PERuntime::primary_rank() const {
+  const std::vector<int> locals = fabric_->local_ranks();
+  return *std::min_element(locals.begin(), locals.end());
+}
+
+const char* PERuntime::backend() const { return fabric_->name(); }
 
 std::vector<CommStats> PERuntime::run(
     const std::function<void(PEContext&)>& program) {
-  std::vector<CommStats> stats(num_pes_);
+  const std::vector<int> locals = fabric_->local_ranks();
+  std::vector<CommStats> stats(static_cast<std::size_t>(num_pes()));
+  std::vector<std::exception_ptr> errors(locals.size());
   std::vector<std::thread> threads;
-  threads.reserve(num_pes_);
-  for (int rank = 0; rank < num_pes_; ++rank) {
-    threads.emplace_back([this, &program, &stats, rank]() {
-      PEContext context(*this, rank, seed_);
-      program(context);
-      stats[rank] = context.stats();
+  threads.reserve(locals.size());
+  for (std::size_t i = 0; i < locals.size(); ++i) {
+    const int rank = locals[i];
+    threads.emplace_back([this, &program, &stats, &errors, i, rank]() {
+      try {
+        Transport& endpoint = fabric_->endpoint(rank);
+        // Wire bytes accumulate over the endpoint's lifetime; report this
+        // run's delta.
+        const std::uint64_t wire_sent_before = endpoint.wire_bytes_sent();
+        const std::uint64_t wire_received_before =
+            endpoint.wire_bytes_received();
+        PEContext context(endpoint, seed_);
+        program(context);
+        CommStats& out = stats[static_cast<std::size_t>(rank)];
+        out = context.stats();
+        out.wire_bytes_sent =
+            endpoint.wire_bytes_sent() - wire_sent_before;
+        out.wire_bytes_received =
+            endpoint.wire_bytes_received() - wire_received_before;
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
     });
   }
   for (auto& thread : threads) thread.join();
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
   return stats;
 }
 

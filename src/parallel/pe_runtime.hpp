@@ -1,41 +1,48 @@
 /// \file pe_runtime.hpp
-/// \brief SPMD runtime: threads as PEs, channels as the interconnect.
+/// \brief SPMD runtime over a pluggable transport: ranks as PEs, a
+/// Transport as the interconnect.
 ///
 /// This module substitutes the paper's MPI layer (200-node InfiniBand
-/// cluster) on a single machine: an SPMD program is a function executed by
-/// p threads, each with a rank, a seeded private RNG stream, blocking
-/// point-to-point messaging, a barrier, and the collectives KaPPa needs
-/// (all-reduce, broadcast, all-gather). Communication volume counters
-/// stand in for the wire so scalability experiments can report the
-/// machine-independent communication shape alongside wall time.
+/// cluster): an SPMD program is a function executed once per rank, each
+/// with a seeded private RNG stream, blocking point-to-point messaging, a
+/// barrier, and the collectives KaPPa needs (all-reduce, broadcast,
+/// all-gather). The physical interconnect is behind the Transport
+/// interface (transport.hpp): the default in-process fabric hosts all
+/// ranks as threads of one process; the TCP fabric spans processes, one
+/// rank each. The collectives are generic algorithms over transport
+/// point-to-point — every backend exchanges the identical words in the
+/// identical order, so the partition is bit-identical across backends.
+///
+/// Communication volume counters stand in for the wire so scalability
+/// experiments can report the machine-independent communication shape
+/// alongside wall time; the TCP backend additionally measures real
+/// socket bytes (CommStats::wire_bytes_*).
 #pragma once
 
-#include <atomic>
-#include <barrier>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
 
-#include "parallel/channel.hpp"
 #include "parallel/comm_stats.hpp"
+#include "parallel/transport.hpp"
 #include "util/random.hpp"
 
 namespace kappa {
-
-class PERuntime;
 
 /// Handle a PE's code receives: identifies the PE and mediates all
 /// communication. Mirrors the shape of an MPI communicator + rank.
 class PEContext {
  public:
-  PEContext(PERuntime& runtime, int rank, std::uint64_t seed);
+  /// Binds the context to one rank's transport endpoint. \p seed derives
+  /// the per-rank RNG stream (identical derivation on every backend).
+  PEContext(Transport& transport, std::uint64_t seed);
 
   /// This PE's rank in [0, size()).
   [[nodiscard]] int rank() const { return rank_; }
 
-  /// Number of PEs.
-  [[nodiscard]] int size() const;
+  /// Number of PEs (across all processes of the run).
+  [[nodiscard]] int size() const { return transport_.size(); }
 
   /// Private, deterministic RNG stream ("each with a different seed for
   /// the random number generator", §4).
@@ -45,6 +52,8 @@ class PEContext {
   void send(int dest, std::vector<std::uint64_t> payload);
 
   /// Blocks until a message from \p source arrives (-1: any source).
+  /// Throws TransportError when the backend reports a dead peer or an
+  /// exceeded receive deadline.
   [[nodiscard]] Message receive(int source = -1);
 
   /// Non-blocking receive.
@@ -93,7 +102,11 @@ class PEContext {
   void count_idle_round() { ++stats_.rounds_waited; }
 
  private:
-  PERuntime& runtime_;
+  /// Receive on the collective lane, idle time charged to
+  /// CommStats::collective_idle_ns.
+  [[nodiscard]] Message collective_receive(int source);
+
+  Transport& transport_;
   int rank_;
   Rng rng_;
   CommStats stats_;
@@ -120,10 +133,24 @@ struct VirtualMessage {
 /// owner map and symmetric neighbor lists (q lists r iff r lists q) and
 /// call exchange() in lockstep; ranks with an empty neighbor list may
 /// still host virtual PEs whose messages are all rank-local.
+///
+/// Construction fail-fast: locally malformed arguments (owner or
+/// neighbor rank out of range, self-neighbor, duplicate neighbor) throw
+/// std::invalid_argument immediately. The cross-rank invariants —
+/// symmetric neighbor lists, one agreed owner map — cannot be checked
+/// locally; validate() checks them collectively, and debug builds run it
+/// automatically at construction, so a bad group throws on every rank
+/// instead of deadlocking inside exchange().
 class PESubGroup {
  public:
   PESubGroup(PEContext& parent, std::vector<int> owner_of_virtual,
              std::vector<int> neighbor_ranks);
+
+  /// Collectively checks the cross-rank invariants (must be called by all
+  /// ranks of the parent context in lockstep): every rank built the group
+  /// with the same owner map, and the neighbor lists are symmetric.
+  /// Throws std::invalid_argument on every rank when violated.
+  void validate();
 
   /// Queues a message from virtual PE \p from (hosted here) to \p to.
   void post(int from, int to, std::vector<std::uint64_t> payload);
@@ -142,32 +169,44 @@ class PESubGroup {
   std::vector<VirtualMessage> outbox_;
 };
 
-/// Owns the PE threads and their mailboxes; runs SPMD programs.
+/// Runs SPMD programs over a transport fabric: one PE per rank hosted in
+/// this process (all of them on the in-process fabric, exactly one on the
+/// TCP fabric — the remaining ranks run the same program in their own
+/// processes).
 class PERuntime {
  public:
-  /// Creates a runtime with \p num_pes PEs. \p seed derives the per-PE
-  /// RNG streams.
+  /// Creates the default in-process runtime with \p num_pes PEs. \p seed
+  /// derives the per-PE RNG streams. Throws std::invalid_argument for
+  /// num_pes < 1.
   explicit PERuntime(int num_pes, std::uint64_t seed = 1);
 
-  /// Executes \p program on every PE (one thread each) and joins.
-  /// Returns the per-rank communication statistics, indexed by rank
-  /// (aggregate with total_comm_stats()).
+  /// Creates a runtime over an explicit fabric (e.g. make_tcp_fabric).
+  explicit PERuntime(std::unique_ptr<TransportFabric> fabric,
+                     std::uint64_t seed = 1);
+
+  ~PERuntime();
+
+  /// Executes \p program on every locally hosted PE (one thread each) and
+  /// joins. Returns the communication statistics indexed by *global*
+  /// rank; only locally hosted slots are populated (aggregate with
+  /// total_comm_stats()). A PE whose program throws rethrows here after
+  /// all local PEs finished.
   std::vector<CommStats> run(const std::function<void(PEContext&)>& program);
 
-  [[nodiscard]] int num_pes() const { return num_pes_; }
+  /// Total PEs of the run, across all processes.
+  [[nodiscard]] int num_pes() const;
+
+  /// Lowest rank hosted in this process: the rank that owns process-wide
+  /// side effects (result materialization, output files). Rank 0 for the
+  /// in-process fabric; this process's rank for TCP.
+  [[nodiscard]] int primary_rank() const;
+
+  /// Backend name of the underlying fabric ("inproc", "tcp").
+  [[nodiscard]] const char* backend() const;
 
  private:
-  friend class PEContext;
-
-  int num_pes_;
+  std::unique_ptr<TransportFabric> fabric_;
   std::uint64_t seed_;
-  std::vector<Mailbox> mailboxes_;
-  std::unique_ptr<std::barrier<>> barrier_;
-  // Scratch used by the collectives (indexed by rank; data-race free
-  // because writes are separated from reads by barriers).
-  std::vector<std::uint64_t> collective_scratch_;
-  std::vector<std::uint64_t> broadcast_scratch_;
-  std::vector<std::vector<std::uint64_t>> vector_scratch_;
 };
 
 }  // namespace kappa

@@ -1,0 +1,123 @@
+/// \file transport.hpp
+/// \brief The pluggable transport layer under the PE runtime.
+///
+/// The paper ran KaPPa over MPI on a 200-node InfiniBand cluster; this
+/// reproduction substituted threads-as-PEs. Every per-rank structure is
+/// now sub-linear, so nothing forces single-process execution any more —
+/// this interface abstracts the interconnect so one SPMD run can span
+/// threads (transport_inproc.hpp, the default, bit-identical to the
+/// original thread runtime) or processes connected by TCP sockets
+/// (transport_tcp.hpp), and eventually machines.
+///
+/// The contract is deliberately minimal: point-to-point send / receive /
+/// try_receive on two logical lanes plus a barrier. Everything else the
+/// algorithms use — the collectives (all-reduce, all-gather, broadcast)
+/// — is layered *above* this interface as generic algorithms in
+/// PEContext (pe_runtime.cpp), so every backend runs the identical
+/// protocol, exchanges the identical words, and produces the identical
+/// partition from the same seed.
+///
+/// Lanes keep collective traffic and application point-to-point traffic
+/// from being confused: a collective implemented as p2p messages must
+/// never satisfy an application receive(source) and vice versa. Within
+/// one (source, lane) pair delivery is FIFO; the SPMD discipline (every
+/// rank executes the same global sequence of collective operations)
+/// makes positional matching on the collective lane sound.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace kappa {
+
+/// A message: source rank plus flat 64-bit word payload — the same
+/// "serialize everything into buffers" discipline an MPI implementation
+/// enforces, which keeps the algorithms honest about what they would
+/// really communicate.
+struct Message {
+  int source = -1;
+  std::vector<std::uint64_t> payload;
+};
+
+/// Failure surfaced by the transport layer: a peer died (connection
+/// closed without the shutdown handshake), a blocking receive exceeded
+/// its configured deadline, or the rendezvous could not be established.
+/// A dead or hung peer must become one of these, never a silent hang.
+class TransportError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Logical lanes multiplexed over one rank-to-rank link.
+enum class Lane : std::uint8_t {
+  kApp = 0,         ///< application point-to-point traffic (PEContext::send)
+  kCollective = 1,  ///< collective-algorithm traffic (barrier, gathers)
+};
+
+inline constexpr int kNumLanes = 2;
+
+/// One rank's endpoint into the interconnect of a run. Thread ownership:
+/// exactly one PE thread drives send/receive/barrier; backends may use
+/// internal threads (e.g. socket readers) but the endpoint itself is not
+/// a shared handle.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// This endpoint's rank in [0, size()).
+  [[nodiscard]] virtual int rank() const = 0;
+
+  /// Number of ranks across the whole run (all processes).
+  [[nodiscard]] virtual int size() const = 0;
+
+  /// Sends a word buffer to \p dest on \p lane (non-blocking, buffered).
+  virtual void send(int dest, Lane lane, std::vector<std::uint64_t> payload) = 0;
+
+  /// Blocks until a message from \p source (-1: any source) arrives on
+  /// \p lane. Throws TransportError when the peer died or the backend's
+  /// receive deadline passed — a failure is reported, never a hang.
+  [[nodiscard]] virtual Message receive(int source, Lane lane) = 0;
+
+  /// Non-blocking receive; empty optional if nothing matching is queued.
+  /// Still throws TransportError once the transport has failed.
+  [[nodiscard]] virtual std::optional<Message> try_receive(int source,
+                                                           Lane lane) = 0;
+
+  /// Synchronizes all ranks of the run: no rank returns before every rank
+  /// has entered.
+  virtual void barrier() = 0;
+
+  /// Bytes this endpoint actually put on / took off the physical wire
+  /// (frame headers included) over its lifetime. Zero for backends with
+  /// no wire (in-process); the TCP backend measures real socket traffic,
+  /// the counterpart to the modeled CommStats word counters.
+  [[nodiscard]] virtual std::uint64_t wire_bytes_sent() const { return 0; }
+  [[nodiscard]] virtual std::uint64_t wire_bytes_received() const { return 0; }
+};
+
+/// A fabric connects the ranks of one run and hands out the per-rank
+/// endpoints hosted in this process: the in-process fabric hosts all of
+/// them, a socket fabric exactly one. PERuntime::run executes the SPMD
+/// program once per local rank; the same program runs in the other
+/// processes of a multi-process fabric.
+class TransportFabric {
+ public:
+  virtual ~TransportFabric() = default;
+
+  /// Total ranks of the run, across all processes.
+  [[nodiscard]] virtual int size() const = 0;
+
+  /// The ranks hosted in this process, ascending.
+  [[nodiscard]] virtual std::vector<int> local_ranks() const = 0;
+
+  /// Endpoint of a locally hosted rank.
+  [[nodiscard]] virtual Transport& endpoint(int rank) = 0;
+
+  /// Human-readable backend name ("inproc", "tcp") for logs and results.
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+}  // namespace kappa

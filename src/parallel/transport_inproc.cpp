@@ -1,0 +1,108 @@
+#include "parallel/transport_inproc.hpp"
+
+#include <array>
+#include <barrier>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "parallel/channel.hpp"
+
+namespace kappa {
+
+namespace {
+
+class InprocFabric;
+
+/// One rank's endpoint: borrows the fabric's shared mailboxes + barrier.
+class InprocEndpoint final : public Transport {
+ public:
+  InprocEndpoint(InprocFabric& fabric, int rank)
+      : fabric_(fabric), rank_(rank) {}
+
+  [[nodiscard]] int rank() const override { return rank_; }
+  [[nodiscard]] int size() const override;
+  void send(int dest, Lane lane, std::vector<std::uint64_t> payload) override;
+  [[nodiscard]] Message receive(int source, Lane lane) override;
+  [[nodiscard]] std::optional<Message> try_receive(int source,
+                                                   Lane lane) override;
+  void barrier() override;
+
+ private:
+  InprocFabric& fabric_;
+  int rank_;
+};
+
+class InprocFabric final : public TransportFabric {
+ public:
+  explicit InprocFabric(int num_pes)
+      : num_pes_(num_pes), mailboxes_(static_cast<std::size_t>(num_pes)),
+        barrier_(num_pes) {
+    endpoints_.reserve(static_cast<std::size_t>(num_pes));
+    for (int rank = 0; rank < num_pes; ++rank) {
+      endpoints_.emplace_back(*this, rank);
+    }
+  }
+
+  [[nodiscard]] int size() const override { return num_pes_; }
+
+  [[nodiscard]] std::vector<int> local_ranks() const override {
+    std::vector<int> ranks(static_cast<std::size_t>(num_pes_));
+    for (int rank = 0; rank < num_pes_; ++rank) {
+      ranks[static_cast<std::size_t>(rank)] = rank;
+    }
+    return ranks;
+  }
+
+  [[nodiscard]] Transport& endpoint(int rank) override {
+    return endpoints_.at(static_cast<std::size_t>(rank));
+  }
+
+  [[nodiscard]] const char* name() const override { return "inproc"; }
+
+ private:
+  friend class InprocEndpoint;
+
+  int num_pes_;
+  // One mailbox per (rank, lane): application p2p and collective traffic
+  // never satisfy each other's receives.
+  std::vector<std::array<Mailbox, kNumLanes>> mailboxes_;
+  std::barrier<> barrier_;
+  std::vector<InprocEndpoint> endpoints_;
+};
+
+int InprocEndpoint::size() const { return fabric_.num_pes_; }
+
+void InprocEndpoint::send(int dest, Lane lane,
+                          std::vector<std::uint64_t> payload) {
+  fabric_.mailboxes_[static_cast<std::size_t>(dest)]
+                    [static_cast<std::size_t>(lane)]
+      .push({rank_, std::move(payload)});
+}
+
+Message InprocEndpoint::receive(int source, Lane lane) {
+  return fabric_.mailboxes_[static_cast<std::size_t>(rank_)]
+                           [static_cast<std::size_t>(lane)]
+      .pop(source);
+}
+
+std::optional<Message> InprocEndpoint::try_receive(int source, Lane lane) {
+  return fabric_.mailboxes_[static_cast<std::size_t>(rank_)]
+                           [static_cast<std::size_t>(lane)]
+      .try_pop(source);
+}
+
+void InprocEndpoint::barrier() { fabric_.barrier_.arrive_and_wait(); }
+
+}  // namespace
+
+std::unique_ptr<TransportFabric> make_inproc_fabric(int num_pes) {
+  if (num_pes < 1) {
+    throw std::invalid_argument(
+        "in-process transport fabric needs at least one PE, got " +
+        std::to_string(num_pes));
+  }
+  return std::make_unique<InprocFabric>(num_pes);
+}
+
+}  // namespace kappa

@@ -1,0 +1,24 @@
+/// \file transport_inproc.hpp
+/// \brief In-process transport backend: threads as ranks, mailboxes as
+/// the interconnect, a std::barrier as the barrier.
+///
+/// The default backend and the direct descendant of the original thread
+/// runtime: all ranks live in one process, send() pushes into the
+/// destination rank's lane mailbox, barrier() is a std::barrier over all
+/// ranks. Bit-identical to the pre-transport runtime — the collectives
+/// layered above (pe_runtime.cpp) exchange the same words in the same
+/// order on every backend.
+#pragma once
+
+#include <memory>
+
+#include "parallel/transport.hpp"
+
+namespace kappa {
+
+/// Creates the in-process fabric hosting all \p num_pes ranks in this
+/// process. Throws std::invalid_argument for num_pes < 1.
+[[nodiscard]] std::unique_ptr<TransportFabric> make_inproc_fabric(
+    int num_pes);
+
+}  // namespace kappa

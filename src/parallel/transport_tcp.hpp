@@ -1,0 +1,61 @@
+/// \file transport_tcp.hpp
+/// \brief TCP socket transport backend: one SPMD run spanning processes.
+///
+/// Each process hosts exactly one rank. Rank 0 listens on the rendezvous
+/// address; every other rank binds an ephemeral listen port, connects to
+/// rank 0 with retry + backoff and announces (rank, listen port); rank 0
+/// replies with the full address table, after which the ranks complete a
+/// full mesh (rank i connects to every lower rank j > 0, accepts from
+/// every higher one). Every connection carries length-prefixed frames of
+/// 64-bit words — the wire_format.hpp word-buffer discipline made literal
+/// bytes — tagged with the logical lane, and one receiver thread per peer
+/// feeds the frames into the same mailbox path the in-process backend
+/// uses.
+///
+/// Failure is loud by design: a connection that closes without the BYE
+/// handshake poisons the mailbox (every receive throws TransportError),
+/// and a blocking receive gives up after the configured deadline — a
+/// dead or hung peer surfaces as an error within recv_timeout_ms, never
+/// as a hang.
+///
+/// Wire assumption: the word stream travels in native byte order, i.e.
+/// all ranks of one run must be homogeneous (the paper's cluster was).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "parallel/transport.hpp"
+
+namespace kappa {
+
+/// Configuration of one rank's TCP endpoint.
+struct TcpOptions {
+  int rank = 0;       ///< this process's rank in [0, num_ranks)
+  int num_ranks = 1;  ///< total ranks of the run, across all processes
+
+  /// Rank 0's rendezvous address. Rank 0 binds it; everyone else
+  /// connects to it.
+  std::string rendezvous_host = "127.0.0.1";
+  std::uint16_t rendezvous_port = 0;
+
+  /// Total budget for establishing each connection of the mesh,
+  /// including the connect retry/backoff loop (peers may start late).
+  int connect_timeout_ms = 15000;
+
+  /// Deadline of one blocking receive (and of each barrier round); a
+  /// peer that stays silent longer surfaces as a TransportError. 0 waits
+  /// forever. Must cover the longest compute imbalance between ranks.
+  int recv_timeout_ms = 60000;
+};
+
+/// Creates the TCP fabric for this process's rank: performs the
+/// rendezvous, establishes the full mesh, starts the receiver threads,
+/// and synchronizes all ranks once before returning. Throws
+/// TransportError when the mesh cannot be established within the
+/// configured timeouts, std::invalid_argument for malformed options.
+[[nodiscard]] std::unique_ptr<TransportFabric> make_tcp_fabric(
+    const TcpOptions& options);
+
+}  // namespace kappa
