@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "graph/static_graph.hpp"
+#include "util/seeded_hash.hpp"
 #include "util/types.hpp"
 
 namespace kappa {
@@ -122,9 +123,9 @@ class DynamicOverlay {
 
   const StaticGraph* core_;
   std::vector<NodeID> core_to_global_;
-  std::unordered_map<NodeID, NodeID> global_to_core_;
-  std::unordered_map<NodeID, MigratedNode> migrated_;
-  std::unordered_map<NodeID, CoreOverlay> core_overlay_;
+  hash_map<NodeID, NodeID> global_to_core_;
+  hash_map<NodeID, MigratedNode> migrated_;
+  hash_map<NodeID, CoreOverlay> core_overlay_;
   std::vector<OverlayEdge> overlay_edges_;
 };
 

@@ -23,6 +23,7 @@
 #include "matching/tentative_match.hpp"
 #include "parallel/dist_partition.hpp"
 #include "parallel/wire_format.hpp"
+#include "util/seeded_hash.hpp"
 
 namespace kappa {
 
@@ -326,7 +327,9 @@ std::vector<NodeID> DistHierarchy::match_level(
   }
 
   constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
-  std::unordered_map<NodeID, std::vector<std::size_t>> incident;  // local id
+  // Indexed by local node id: nomination below walks this structure, so
+  // its order must be the node order, not hash order.
+  std::vector<std::vector<std::size_t>> incident(num_local);
   std::vector<std::vector<std::size_t>> spanning(p);  // by remote owner
   for (std::size_t i = 0; i < cands.size(); ++i) {
     incident[cands[i].u].push_back(i);
@@ -356,11 +359,11 @@ std::vector<NodeID> DistHierarchy::match_level(
   };
   while (true) {
     if (stats_ != nullptr) ++stats_->gap_rounds;
-    std::unordered_map<NodeID, std::size_t> best;
-    for (const auto& [x, list] : incident) {
-      if (taken[x]) continue;
+    hash_map<NodeID, std::size_t> best;
+    for (NodeID x = 0; x < num_local; ++x) {
+      if (taken[x] || incident[x].empty()) continue;
       std::size_t b = kNone;
-      for (const std::size_t i : list) {
+      for (const std::size_t i : incident[x]) {
         if (alive[i] && (b == kNone || better(i, b))) b = i;
       }
       if (b != kNone) best[x] = b;
@@ -371,7 +374,7 @@ std::vector<NodeID> DistHierarchy::match_level(
     };
 
     // Nomination exchange for spanning candidates.
-    std::unordered_set<std::uint64_t> remote_best;
+    hash_set<std::uint64_t> remote_best;
     for (int q = 0; q < p; ++q) {
       if (q == rank || !level.peer[q]) continue;
       std::vector<std::uint64_t> words;
@@ -593,7 +596,7 @@ DistLevel DistHierarchy::contract_level(DistLevel& fine,
   // The non-canonical owner translates its endpoint's full row into
   // coarse target space (everything it needs is resident) and ships it
   // to the canonical owner, which merges it into the coarse row. ---
-  std::unordered_map<NodeID, std::vector<std::pair<NodeID, EdgeWeight>>>
+  hash_map<NodeID, std::vector<std::pair<NodeID, EdgeWeight>>>
       shipped;  // fine global id of the remote member -> coarse arcs
   {
     std::vector<std::vector<std::uint64_t>> outbox(p);
@@ -837,7 +840,8 @@ const StaticGraph& DistHierarchy::coarsest() {
                        [](NodeID) { return true; });
     }
     const auto gathered =
-        pe_.all_gather_vectors(std::move(words));  // coarsest-gather-ok
+        // kappa-lint: allow(no-hierarchy-gathers, "one-time O(n_coarsest) replica gather, sanctioned by §4.2")
+        pe_.all_gather_vectors(std::move(words));
     std::vector<GraphRow> by_id(L.global_n);
     for (const auto& vec : gathered) {
       std::size_t cursor = 0;
@@ -883,7 +887,8 @@ std::vector<BlockID> DistHierarchy::coarsest_warm_assignment() const {
   words.reserve(num_owned);
   for (NodeID i = 0; i < num_owned; ++i) words.push_back(L.warm_blocks[i]);
   const auto gathered =
-      pe_.all_gather_vectors(std::move(words));  // coarsest-gather-ok
+      // kappa-lint: allow(no-hierarchy-gathers, "O(n_coarsest) warm-start blocks at the coarsest level only")
+      pe_.all_gather_vectors(std::move(words));
   return reassemble_owned(L, p, gathered);
 }
 

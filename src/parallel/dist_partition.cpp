@@ -11,6 +11,7 @@
 #include <cassert>
 
 #include "parallel/wire_format.hpp"
+#include "util/seeded_hash.hpp"
 
 namespace kappa {
 
@@ -191,7 +192,7 @@ DistPartition DistPartition::project(const DistLevel& fine,
       requests[coarse_level.owner_of_node(c, p)].push_back(c);
     }
   }
-  std::unordered_map<NodeID, BlockID> remote;
+  hash_map<NodeID, BlockID> remote;
   rendezvous_lookup(
       std::move(requests), pe,
       [&](NodeID c) { return coarse.block(c); },
@@ -224,7 +225,8 @@ Partition DistPartition::materialize(PEContext& pe) const {
   const int p = pe.size();
   std::vector<std::uint64_t> words(owned_.begin(), owned_.end());
   const auto gathered =
-      pe.all_gather_vectors(std::move(words));  // result-gather-ok
+      // kappa-lint: allow(no-partition-gathers, "the one sanctioned gather: the final PartitionResult")
+      pe.all_gather_vectors(std::move(words));
   std::vector<BlockID> assignment(level_->global_n, 0);
   for (int q = 0; q < p; ++q) {
     std::size_t idx = 0;

@@ -15,9 +15,11 @@ namespace {
 
 /// Monotonic nanoseconds for the idle-time counters.
 std::uint64_t now_ns() {
+  // kappa-lint: allow(determinism-sources, "idle-time counters feed CommStats, never partition state")
+  const auto now = std::chrono::steady_clock::now();
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
+          now.time_since_epoch())
           .count());
 }
 

@@ -34,6 +34,7 @@
 /// what keeps the SPMD pipeline's results identical for every PE count.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <unordered_map>
@@ -45,6 +46,7 @@
 #include "parallel/dist_graph.hpp"
 #include "parallel/pe_runtime.hpp"
 #include "parallel/wire_format.hpp"
+#include "util/seeded_hash.hpp"
 #include "util/types.hpp"
 
 namespace kappa {
@@ -121,7 +123,7 @@ class ShardGraph {
   NodeID num_owned_ = 0;
   StaticGraph csr_;
   std::vector<NodeID> local_to_global_;
-  std::unordered_map<NodeID, NodeID> global_to_local_;
+  hash_map<NodeID, NodeID> global_to_local_;
   std::vector<EdgeWeight> weighted_degrees_;
 };
 
@@ -215,7 +217,15 @@ class BlockRowShard {
             std::span<const EdgeWeight>(core_.ewgt.data() + core_.xadj[i],
                                         core_.ewgt.data() + core_.xadj[i + 1]));
     }
-    for (const auto& [u, r] : migrated_) {
+    // Migrated rows live in a hash map; visit them in sorted id order so
+    // callers see a deterministic sequence regardless of the hash seed.
+    std::vector<NodeID> migrated_ids;
+    migrated_ids.reserve(migrated_.size());
+    // kappa-lint: allow(determinism-sources, "keys are sorted before any visit")
+    for (const auto& [u, r] : migrated_) migrated_ids.push_back(u);
+    std::sort(migrated_ids.begin(), migrated_ids.end());
+    for (const NodeID u : migrated_ids) {
+      const GraphRow& r = migrated_.at(u);
       visit(u, r.weight, std::span<const NodeID>(r.targets),
             std::span<const EdgeWeight>(r.weights));
     }
@@ -239,9 +249,9 @@ class BlockRowShard {
   int rank_ = 0;
   int num_pes_ = 1;
   RowSet core_;                                   ///< level-start rows
-  std::unordered_map<NodeID, NodeID> core_index_;  ///< global -> core slot
-  std::unordered_map<NodeID, GraphRow> migrated_;  ///< migrated-in rows
-  std::unordered_map<NodeID, char> departed_;      ///< tombstoned core rows
+  hash_map<NodeID, NodeID> core_index_;  ///< global -> core slot
+  hash_map<NodeID, GraphRow> migrated_;  ///< migrated-in rows
+  hash_map<NodeID, char> departed_;      ///< tombstoned core rows
   std::vector<std::vector<NodeID>> members_;       ///< per block, sorted
   std::uint64_t resident_nodes_ = 0;
   std::uint64_t resident_arcs_ = 0;

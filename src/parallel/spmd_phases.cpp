@@ -16,6 +16,7 @@
 #include "parallel/wire_format.hpp"
 #include "refinement/band.hpp"
 #include "refinement/edge_coloring.hpp"
+#include "util/seeded_hash.hpp"
 #include "util/timer.hpp"
 
 namespace kappa {
@@ -163,9 +164,10 @@ QuotientGraph gather_quotient(const BlockRowShard& store,
   // Merge the all-gathered contributions — identical code over identical
   // data on every PE. (O(boundary) per rank, not O(n_l): block ids never
   // travel here.)
-  std::unordered_map<std::uint64_t, PairContribution> merged;
+  hash_map<std::uint64_t, PairContribution> merged;
   for (const auto& vec :
-       pe.all_gather_vectors(std::move(words))) {  // quotient-gather-ok
+       // kappa-lint: allow(no-refinement-block-gathers, "O(boundary) quotient contributions, never block ids")
+       pe.all_gather_vectors(std::move(words))) {
     std::size_t i = 0;
     while (i + 4 < vec.size()) {
       const std::uint64_t key = vec[i];
@@ -190,6 +192,7 @@ QuotientGraph gather_quotient(const BlockRowShard& store,
   // them, then finalize the boundary lists (sorted, unique).
   std::vector<std::uint64_t> keys;
   keys.reserve(merged.size());
+  // kappa-lint: allow(determinism-sources, "keys are sorted by first-encounter order right below")
   for (const auto& [key, m] : merged) keys.push_back(key);
   std::sort(keys.begin(), keys.end(), [&](std::uint64_t x, std::uint64_t y) {
     const PairContribution& mx = merged.at(x);
@@ -288,7 +291,7 @@ PairSide build_pair_side(const BlockRowShard& store,
       });
 
   out.band_rows.reserve(out.band_ids.size());
-  std::unordered_set<NodeID> fringe;
+  hash_set<NodeID> fringe;
   for (const NodeID u : out.band_ids) {
     GraphRow row = filtered_row(u);
     for (const NodeID t : row.targets) {
@@ -398,7 +401,7 @@ PairView build_pair_view(const PairSide& side_a, const PairSide& side_b,
   for (const auto& [id, block] : stubs) view.to_global.push_back(id);
   std::sort(view.to_global.begin(), view.to_global.end());
 
-  std::unordered_map<NodeID, NodeID> to_view;
+  hash_map<NodeID, NodeID> to_view;
   to_view.reserve(view.to_global.size());
   for (NodeID i = 0; i < view.to_global.size(); ++i) {
     to_view.emplace(view.to_global[i], i);
@@ -407,7 +410,7 @@ PairView build_pair_view(const PairSide& side_a, const PairSide& side_b,
   // Stub rows: the mirror arcs of every band arc into the stub, collected
   // in a deterministic scan (side a's rows in ascending id order, then
   // side b's, arcs in row order).
-  std::unordered_map<NodeID, std::vector<std::pair<NodeID, EdgeWeight>>>
+  hash_map<NodeID, std::vector<std::pair<NodeID, EdgeWeight>>>
       mirrors;
   for (const PairSide* side : {&side_a, &side_b}) {
     for (std::size_t i = 0; i < side->band_ids.size(); ++i) {
@@ -754,7 +757,8 @@ void SpmdRefiner::run_color_classes(BlockRowShard& store,
     // replicated block weights — without any rank knowing the full
     // assignment. The volume is O(moves), never O(n_l).
     const auto gathered =
-        pe_.all_gather_vectors(std::move(delta_words));  // delta-gather-ok
+        // kappa-lint: allow(no-refinement-block-gathers, "O(moves) round deltas, never block ids")
+        pe_.all_gather_vectors(std::move(delta_words));
     struct Migration {
       NodeID u;
       BlockID from;
@@ -869,9 +873,11 @@ namespace {
 
 /// Monotonic nanoseconds for the async lock-window events.
 std::uint64_t async_now_ns() {
+  // kappa-lint: allow(determinism-sources, "timestamps feed the async stats log, never partition state")
+  const auto now = std::chrono::steady_clock::now();
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
+          now.time_since_epoch())
           .count());
 }
 
@@ -979,12 +985,12 @@ void SpmdRefiner::run_async_iteration(
     PairSide side_b;
     NodeWeight weight_b = 0;
   };
-  std::unordered_map<std::size_t, InFlight> inflight;
+  hash_map<std::size_t, InFlight> inflight;
   struct AwaitRows {
     std::vector<AsyncDelta> returning;  ///< this pair's b-side movers
     std::uint64_t begin_ns = 0;
   };
-  std::unordered_map<std::size_t, AwaitRows> awaiting;
+  hash_map<std::size_t, AwaitRows> awaiting;
 
   // Runs pair j once grant and partner side are in hand: refine on the
   // pair view, apply the deltas locally (entries plus both blocks' weight
@@ -1342,7 +1348,7 @@ MigrationIntake SpmdRefiner::migration_intake() const {
 
   // Static core: the subgraph induced by the kept nodes, assembled from
   // resident rows.
-  std::unordered_map<NodeID, NodeID> kept_index;
+  hash_map<NodeID, NodeID> kept_index;
   kept_index.reserve(kept.size());
   for (NodeID i = 0; i < kept.size(); ++i) kept_index.emplace(kept[i], i);
   std::vector<EdgeID> xadj;

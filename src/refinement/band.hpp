@@ -15,6 +15,7 @@
 
 #include "graph/partition.hpp"
 #include "graph/static_graph.hpp"
+#include "util/seeded_hash.hpp"
 #include "util/types.hpp"
 
 namespace kappa {
@@ -59,7 +60,7 @@ template <typename BlockOf, typename Neighbors>
 [[nodiscard]] std::vector<NodeID> boundary_band_side(
     BlockID side, const std::vector<NodeID>& seeds, int depth,
     BlockOf&& block_of, Neighbors&& neighbors) {
-  std::unordered_set<NodeID> visited;
+  hash_set<NodeID> visited;
   std::vector<NodeID> band;
   std::vector<NodeID> frontier;
   for (const NodeID s : seeds) {

@@ -10,6 +10,7 @@
 #include "refinement/band.hpp"
 #include "refinement/edge_coloring.hpp"
 #include "refinement/flow_refiner.hpp"
+#include "util/seeded_hash.hpp"
 
 namespace kappa {
 
@@ -114,10 +115,17 @@ PairRefineResult refine_pair(const StaticGraph& graph, Partition& partition,
 
   // Entry block of every node that ever enters a band; FM (and the flow
   // pass) only move band nodes, so the union of bands covers all moves.
-  std::unordered_map<NodeID, BlockID> entry_block;
+  // First-entry order is recorded separately: moves are emitted in that
+  // order, never in the hash map's.
+  hash_map<NodeID, BlockID> entry_block;
+  std::vector<NodeID> entry_order;
   auto record_band = [&](const std::vector<NodeID>& nodes) {
     if (!collect_moves) return;
-    for (const NodeID u : nodes) entry_block.emplace(u, partition.block(u));
+    for (const NodeID u : nodes) {
+      if (entry_block.emplace(u, partition.block(u)).second) {
+        entry_order.push_back(u);
+      }
+    }
   };
 
   // One stream per pair (odd tags, disjoint from the coloring stream),
@@ -160,8 +168,8 @@ PairRefineResult refine_pair(const StaticGraph& graph, Partition& partition,
     result.cut_gain += flow.cut_gain;
   }
 
-  for (const auto& [u, entry] : entry_block) {
-    if (partition.block(u) != entry) {
+  for (const NodeID u : entry_order) {
+    if (partition.block(u) != entry_block.at(u)) {
       result.moves.emplace_back(u, partition.block(u));
     }
   }

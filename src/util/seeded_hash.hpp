@@ -1,0 +1,86 @@
+/// \file seeded_hash.hpp
+/// \brief Seed-perturbed hashing for the unordered containers of the
+/// partition-reaching paths.
+///
+/// The determinism contract (ROADMAP, kappa-lint determinism-sources)
+/// says the partition is a pure function of (graph, config, seed) — in
+/// particular it must not depend on the iteration order of any hash
+/// table. That property is easy to break silently: std::unordered_map
+/// iterates in bucket order, which is stable for a fixed libstdc++ and
+/// key sequence, so an accidental order dependence passes every test on
+/// one toolchain and diverges on the next.
+///
+/// SeededHash makes the hazard testable. Every unordered container on a
+/// partition-reaching path uses hash_map/hash_set below, whose hasher
+/// XORs a process-global seed (env KAPPA_HASH_SEED, test hook
+/// set_hash_seed) into every hash and remixes with splitmix64. Changing
+/// the seed scrambles bucket order across *all* such containers at once;
+/// the determinism regression test partitions the same instance under
+/// two seeds and asserts byte-identical assignments. Any hash-order
+/// dependence that slips past kappa-lint's lexical range-for check shows
+/// up there as a hard failure instead of a latent platform dependence.
+///
+/// The hasher captures the seed at container construction, so rehashing
+/// stays self-consistent even if set_hash_seed() is called while a
+/// container is live.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace kappa {
+
+namespace detail {
+
+inline std::uint64_t initial_hash_seed() {
+  if (const char* env = std::getenv("KAPPA_HASH_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 0;
+}
+
+inline std::uint64_t& hash_seed_ref() {
+  static std::uint64_t seed = initial_hash_seed();
+  return seed;
+}
+
+/// Finalizer of the splitmix64 generator — a full-avalanche mix, so one
+/// flipped seed bit reshuffles every bucket.
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace detail
+
+/// Sets the process-global hash seed (containers constructed afterwards
+/// pick it up). Test hook; production runs set KAPPA_HASH_SEED instead.
+inline void set_hash_seed(std::uint64_t seed) {
+  detail::hash_seed_ref() = seed;
+}
+
+[[nodiscard]] inline std::uint64_t hash_seed() {
+  return detail::hash_seed_ref();
+}
+
+template <typename T>
+struct SeededHash {
+  std::uint64_t seed = detail::hash_seed_ref();
+  std::size_t operator()(const T& value) const {
+    return static_cast<std::size_t>(
+        detail::splitmix64(std::hash<T>{}(value) ^ seed));
+  }
+};
+
+template <typename K, typename V>
+using hash_map = std::unordered_map<K, V, SeededHash<K>>;
+
+template <typename K>
+using hash_set = std::unordered_set<K, SeededHash<K>>;
+
+}  // namespace kappa

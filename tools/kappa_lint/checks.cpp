@@ -1,0 +1,586 @@
+/// \file checks.cpp
+/// \brief The four check families and the lint driver.
+///
+/// All checks are lexical by construction: the invariants they enforce
+/// were designed (PRs 1-7) around section markers, call-site tags and
+/// include lines, so a token walk is the right altitude — no libclang,
+/// no build. What grep could not see and these checks can: nesting
+/// (collectives under rank-divergent control flow), declarations feeding
+/// later uses (range-for over a variable declared as an unordered
+/// container), and annotations that no longer suppress anything.
+#include <algorithm>
+#include <climits>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "kappa_lint/lint.hpp"
+
+namespace kappa_lint {
+
+namespace {
+
+bool file_in_scope(const Rule& rule, const SourceFile& file) {
+  bool in = false;
+  for (const std::string& p : rule.files) {
+    if (glob_match(p, file.path)) {
+      in = true;
+      break;
+    }
+  }
+  if (!in) return false;
+  for (const std::string& p : rule.exclude) {
+    if (glob_match(p, file.path)) return false;
+  }
+  return true;
+}
+
+/// Line region [first, last] a rule applies to, derived from its raw-text
+/// section markers. A begin marker that never appears yields an empty
+/// region (matching the old awk guards, whose flag never flipped on); a
+/// missing end marker extends the region to EOF.
+struct Region {
+  int first = 1;
+  int last = INT_MAX;
+};
+
+Region rule_region(const Rule& rule, const SourceFile& file) {
+  Region region;
+  if (!rule.begin_marker.empty()) {
+    region.first = INT_MAX;  // empty unless the marker is found
+    for (std::size_t l = 0; l < file.raw_lines.size(); ++l) {
+      if (file.raw_lines[l].find(rule.begin_marker) != std::string::npos) {
+        region.first = static_cast<int>(l + 1) + 1;  // after the marker
+        break;
+      }
+    }
+  }
+  if (!rule.end_marker.empty() && region.first != INT_MAX) {
+    for (std::size_t l = static_cast<std::size_t>(region.first);
+         l < file.raw_lines.size(); ++l) {
+      if (file.raw_lines[l].find(rule.end_marker) != std::string::npos) {
+        region.last = static_cast<int>(l + 1) - 1;  // before the marker
+        break;
+      }
+    }
+  }
+  return region;
+}
+
+bool in_region(const Region& region, int line) {
+  return line >= region.first && line <= region.last;
+}
+
+std::string with_note(const Rule& rule, std::string message) {
+  if (!rule.note.empty()) message += " — " + rule.note;
+  return message;
+}
+
+bool contains(const std::vector<std::string>& items, const std::string& t) {
+  return std::find(items.begin(), items.end(), t) != items.end();
+}
+
+// ----------------------------------------------------------- layering ----
+
+void check_forbid_include(const Rule& rule, const SourceFile& file,
+                          std::vector<Finding>& findings) {
+  for (const Include& inc : file.includes) {
+    bool hit = false;
+    for (const std::string& prefix : rule.items) {
+      if (inc.header.rfind(prefix, 0) == 0) {
+        hit = true;
+        break;
+      }
+    }
+    if (!hit) continue;
+    for (const std::string& prefix : rule.except) {
+      if (inc.header.rfind(prefix, 0) == 0) {
+        hit = false;
+        break;
+      }
+    }
+    if (!hit) continue;
+    findings.push_back(
+        {file.display_path, inc.line, rule.name,
+         with_note(rule, "forbidden include \"" + inc.header + "\"")});
+  }
+}
+
+void check_forbid_call(const Rule& rule, const SourceFile& file,
+                       std::vector<Finding>& findings) {
+  const Region region = rule_region(rule, file);
+  const std::vector<Token>& toks = file.tokens;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!contains(rule.items, toks[i].text)) continue;
+    if (toks[i + 1].text != "(") continue;
+    if (rule.unqualified_only && i > 0) {
+      const std::string& prev = toks[i - 1].text;
+      if (prev == "." || prev == "->" || prev == "::") continue;
+    }
+    if (!in_region(region, toks[i].line)) continue;
+    findings.push_back(
+        {file.display_path, toks[i].line, rule.name,
+         with_note(rule, "forbidden call " + toks[i].text + "()")});
+  }
+}
+
+void check_forbid_symbol(const Rule& rule, const SourceFile& file,
+                         std::vector<Finding>& findings) {
+  const Region region = rule_region(rule, file);
+  for (const Token& tok : file.tokens) {
+    if (!contains(rule.items, tok.text)) continue;
+    if (!in_region(region, tok.line)) continue;
+    findings.push_back(
+        {file.display_path, tok.line, rule.name,
+         with_note(rule, "forbidden symbol " + tok.text)});
+  }
+}
+
+// ------------------------------------------- collective divergence ----
+
+/// Flags every collective invoked lexically inside an if/while whose
+/// guard expression mentions a rank identifier (including the else branch
+/// of such an if — both sides of a rank split diverge). This is the SPMD
+/// deadlock shape: one rank enters the collective, its peers never do.
+void check_divergence(const Rule& rule, const SourceFile& file,
+                      std::vector<Finding>& findings) {
+  const std::vector<Token>& toks = file.tokens;
+  struct Frame {
+    bool rank = false;
+    int guard_line = 0;
+  };
+  std::vector<Frame> stack;
+  // A guard parsed but its body not yet entered ('{' or single statement).
+  bool have_pending = false;
+  bool pending_rank = false;
+  int pending_line = 0;
+  // Active single-statement guard (if without braces), until ';' depth 0.
+  bool stmt_active = false;
+  bool stmt_rank = false;
+  int stmt_line = 0;
+  // '}' just closed a rank-guarded frame; an immediate 'else' inherits.
+  bool after_close = false;
+  bool closed_rank = false;
+  int closed_line = 0;
+  int paren_depth = 0;
+
+  auto is_guard = [&](const std::string& t) {
+    return contains(rule.guards, t);
+  };
+  auto is_collective = [&](const std::string& t) {
+    return contains(rule.items, t);
+  };
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+
+    if ((t == "if" || t == "while") && i + 1 < toks.size() &&
+        toks[i + 1].text == "(") {
+      // 'else if' (and a braceless if nested as a guarded statement):
+      // inherit divergence from the pending guard.
+      bool rank = have_pending && pending_rank;
+      int guard_line = rank ? pending_line : toks[i].line;
+      after_close = false;
+      have_pending = false;
+      int depth = 0;
+      std::size_t j = i + 1;
+      for (; j < toks.size(); ++j) {
+        if (toks[j].text == "(") {
+          ++depth;
+        } else if (toks[j].text == ")") {
+          if (--depth == 0) break;
+        } else if (is_guard(toks[j].text)) {
+          rank = true;
+          guard_line = toks[j].line;
+        }
+      }
+      have_pending = true;
+      pending_rank = rank;
+      pending_line = guard_line;
+      i = j;
+      continue;
+    }
+    if (t == "else") {
+      // The else branch of a rank-guarded if diverges exactly like the
+      // then branch. Leave the pending flags for a following 'if' or '{'.
+      have_pending = true;
+      pending_rank = after_close && closed_rank;
+      pending_line = closed_line;
+      after_close = false;
+      continue;
+    }
+    if (t == "{") {
+      Frame frame;
+      if (have_pending) {
+        frame.rank = pending_rank;
+        frame.guard_line = pending_line;
+        have_pending = false;
+      }
+      stack.push_back(frame);
+      after_close = false;
+      continue;
+    }
+    if (t == "}") {
+      if (!stack.empty()) {
+        after_close = true;
+        closed_rank = stack.back().rank;
+        closed_line = stack.back().guard_line;
+        stack.pop_back();
+      }
+      continue;
+    }
+    after_close = false;
+    if (have_pending) {
+      // The guard governs a single statement: active until ';' depth 0.
+      stmt_active = true;
+      stmt_rank = pending_rank;
+      stmt_line = pending_line;
+      have_pending = false;
+    }
+    if (t == "(") {
+      ++paren_depth;
+    } else if (t == ")") {
+      if (paren_depth > 0) --paren_depth;
+    } else if (t == ";" && paren_depth == 0) {
+      stmt_active = false;
+    }
+
+    if (is_collective(t) && i + 1 < toks.size() && toks[i + 1].text == "(") {
+      bool guarded = stmt_active && stmt_rank;
+      int guard_line = stmt_line;
+      for (const Frame& frame : stack) {
+        if (frame.rank) {
+          guarded = true;
+          guard_line = frame.guard_line;
+          break;  // report the outermost divergent guard
+        }
+      }
+      if (guarded) {
+        findings.push_back(
+            {file.display_path, toks[i].line, rule.name,
+             with_note(rule, "collective " + t +
+                                 "() under rank-divergent control flow "
+                                 "(guard at line " +
+                                 std::to_string(guard_line) +
+                                 ") — potential SPMD deadlock")});
+      }
+    }
+  }
+}
+
+// -------------------------------------------------------- determinism ----
+
+/// Nondeterminism sources that must not feed partition state:
+///  - entropy/wall-clock: std::random_device, the <chrono> clocks, time()
+///  - pointer-keyed hashing (iteration order = allocation order)
+///  - range-for over a variable declared as an unordered container
+///    (iteration order = hash order; sort the keys or use a vector)
+void check_determinism(const Rule& rule, const SourceFile& file,
+                       std::vector<Finding>& findings) {
+  const std::vector<Token>& toks = file.tokens;
+  static const std::vector<std::string> kEntropy = {
+      "random_device", "system_clock", "steady_clock",
+      "high_resolution_clock"};
+
+  // Pass 1: entropy tokens, pointer-keyed hashing, and the names of all
+  // variables declared with an unordered container type.
+  std::set<std::string> unordered_vars;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (contains(kEntropy, t)) {
+      findings.push_back({file.display_path, toks[i].line, rule.name,
+                          with_note(rule, "nondeterminism source " + t)});
+      continue;
+    }
+    if (t == "time" && i + 1 < toks.size() && toks[i + 1].text == "(" &&
+        (i == 0 || (toks[i - 1].text != "." && toks[i - 1].text != "->" &&
+                    toks[i - 1].text != "::"))) {
+      findings.push_back(
+          {file.display_path, toks[i].line, rule.name,
+           with_note(rule, "nondeterminism source time()")});
+      continue;
+    }
+    const bool is_container = contains(rule.containers, t);
+    const bool is_hash = t == "hash";
+    if ((is_container || is_hash) && i + 1 < toks.size() &&
+        toks[i + 1].text == "<") {
+      // Scan the template argument list; '*' in the first (key) argument
+      // is pointer-keyed hashing.
+      int depth = 0;
+      bool in_key = true;
+      bool pointer_key = false;
+      std::size_t j = i + 1;
+      for (; j < toks.size(); ++j) {
+        const std::string& u = toks[j].text;
+        if (u == "<") {
+          ++depth;
+        } else if (u == ">") {
+          if (--depth == 0) break;
+        } else if (u == "," && depth == 1) {
+          in_key = false;
+        } else if (u == "*" && depth == 1 && in_key) {
+          pointer_key = true;
+        } else if (u == ";" || u == "{") {
+          break;  // not a template argument list after all
+        }
+      }
+      if (j >= toks.size() || toks[j].text != ">") continue;
+      if (pointer_key) {
+        findings.push_back(
+            {file.display_path, toks[i].line, rule.name,
+             with_note(rule, "pointer-keyed hashing in " + t +
+                                 "<...*,...> — iteration order becomes "
+                                 "allocation order")});
+      }
+      if (is_container && j + 1 < toks.size()) {
+        // Declarations: container<...> [&*const]* name
+        std::size_t k = j + 1;
+        while (k < toks.size() &&
+               (toks[k].text == "&" || toks[k].text == "*" ||
+                toks[k].text == "const")) {
+          ++k;
+        }
+        if (k < toks.size() && !toks[k].text.empty() &&
+            (std::isalpha(static_cast<unsigned char>(toks[k].text[0])) != 0 ||
+             toks[k].text[0] == '_')) {
+          unordered_vars.insert(toks[k].text);
+        }
+      }
+    }
+  }
+
+  // Pass 2: range-for over one of those variables.
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].text != "for" || toks[i + 1].text != "(") continue;
+    int depth = 0;
+    std::size_t colon = 0;
+    std::size_t close = 0;
+    bool classic = false;  // saw ';' at depth 1 before ':' — a classic for
+    for (std::size_t j = i + 1; j < toks.size(); ++j) {
+      const std::string& u = toks[j].text;
+      if (u == "(") {
+        ++depth;
+      } else if (u == ")") {
+        if (--depth == 0) {
+          close = j;
+          break;
+        }
+      } else if (u == ";" && depth == 1 && colon == 0) {
+        classic = true;
+      } else if (u == ":" && depth == 1 && colon == 0) {
+        colon = j;
+      }
+    }
+    if (classic || colon == 0 || close == 0) continue;
+    // The range expression: a plain (possibly member-qualified) variable.
+    // Anything with a call in it is a function result we cannot track.
+    bool has_call = false;
+    std::string last_ident;
+    for (std::size_t j = colon + 1; j < close; ++j) {
+      const std::string& u = toks[j].text;
+      if (u == "(") has_call = true;
+      if (!u.empty() && (std::isalpha(static_cast<unsigned char>(u[0])) != 0 ||
+                         u[0] == '_')) {
+        last_ident = u;
+      }
+    }
+    if (has_call || last_ident.empty()) continue;
+    if (unordered_vars.count(last_ident) > 0) {
+      findings.push_back(
+          {file.display_path, toks[i].line, rule.name,
+           with_note(rule, "range-for over unordered container '" +
+                               last_ident +
+                               "' — iteration order is hash order; sort "
+                               "the keys or use a vector")});
+    }
+  }
+}
+
+// ------------------------------------------------- annotation hygiene ----
+
+/// Applies `// kappa-lint: allow(check, "reason")` suppressions, then
+/// turns the hygiene violations themselves into findings: a malformed
+/// annotation, an annotation naming an unknown check, and a stale
+/// annotation (one that suppressed nothing — so suppressions cannot
+/// outlive the code they excuse).
+void apply_annotations(const RuleTable& table, std::vector<SourceFile>& files,
+                       std::vector<Finding>& findings) {
+  auto find_rule = [&](const std::string& name) -> const Rule* {
+    for (const Rule& rule : table.rules) {
+      if (rule.name == name) return &rule;
+    }
+    return nullptr;
+  };
+
+  for (SourceFile& file : files) {
+    for (Allow& allow : file.allows) {
+      if (allow.malformed) continue;
+      const Rule* rule = find_rule(allow.rule);
+      if (rule == nullptr || !rule->suppressible) continue;
+      // An annotation suppresses findings of its check on its own line or
+      // on the line directly below (annotation-above style).
+      auto it = findings.begin();
+      while (it != findings.end()) {
+        if (it->file == file.display_path && it->rule == allow.rule &&
+            (it->line == allow.line || it->line == allow.line + 1)) {
+          allow.used = true;
+          it = findings.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    for (const Allow& allow : file.allows) {
+      if (allow.malformed) {
+        findings.push_back({file.display_path, allow.line,
+                            "malformed-suppression", allow.error});
+        continue;
+      }
+      const Rule* rule = find_rule(allow.rule);
+      if (rule == nullptr) {
+        findings.push_back(
+            {file.display_path, allow.line, "malformed-suppression",
+             "allow() names unknown check '" + allow.rule + "'"});
+        continue;
+      }
+      if (!rule->suppressible) {
+        findings.push_back(
+            {file.display_path, allow.line, "malformed-suppression",
+             "check '" + allow.rule + "' cannot be suppressed"});
+        continue;
+      }
+      if (!allow.used) {
+        findings.push_back(
+            {file.display_path, allow.line, "stale-suppression",
+             "allow(" + allow.rule +
+                 ") no longer suppresses anything — delete it"});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> check_files(const RuleTable& table,
+                                 std::vector<SourceFile>& files) {
+  std::vector<Finding> findings;
+  for (const Rule& rule : table.rules) {
+    for (const SourceFile& file : files) {
+      if (!file_in_scope(rule, file)) continue;
+      switch (rule.kind) {
+        case RuleKind::kForbidInclude:
+          check_forbid_include(rule, file, findings);
+          break;
+        case RuleKind::kForbidCall:
+          check_forbid_call(rule, file, findings);
+          break;
+        case RuleKind::kForbidSymbol:
+          check_forbid_symbol(rule, file, findings);
+          break;
+        case RuleKind::kDivergence:
+          check_divergence(rule, file, findings);
+          break;
+        case RuleKind::kDeterminism:
+          check_determinism(rule, file, findings);
+          break;
+      }
+    }
+  }
+  apply_annotations(table, files, findings);
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+Report run(const Options& options, std::ostream& diag) {
+  namespace fs = std::filesystem;
+  Report report;
+
+  std::ifstream rules_stream(options.rules_path);
+  if (!rules_stream) {
+    diag << "kappa-lint: cannot open rule table '" << options.rules_path
+         << "'\n";
+    report.exit_code = 2;
+    return report;
+  }
+  std::stringstream rules_text;
+  rules_text << rules_stream.rdbuf();
+  RuleTable table;
+  std::string error;
+  if (!parse_rules(rules_text.str(), table, error)) {
+    diag << "kappa-lint: " << error << "\n";
+    report.exit_code = 2;
+    return report;
+  }
+  report.rules_loaded = table.rules.size();
+
+  if (options.self_check) {
+    diag << "kappa-lint: rule table ok, " << table.rules.size()
+         << " rules loaded";
+    if (options.min_rules > 0) {
+      diag << " (required: >= " << options.min_rules << ")";
+    }
+    diag << "\n";
+    if (options.min_rules > 0 &&
+        static_cast<int>(table.rules.size()) < options.min_rules) {
+      diag << "kappa-lint: rule table shrank below the expected size — a "
+              "guard was probably deleted instead of migrated\n";
+      report.exit_code = 2;
+    }
+    return report;
+  }
+
+  std::vector<SourceFile> files;
+  for (const std::string& root : options.roots) {
+    if (!fs::exists(root)) {
+      diag << "kappa-lint: no such directory '" << root << "'\n";
+      report.exit_code = 2;
+      return report;
+    }
+    std::vector<fs::path> paths;
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc") {
+        paths.push_back(entry.path());
+      }
+    }
+    std::sort(paths.begin(), paths.end());
+    for (const fs::path& path : paths) {
+      std::ifstream stream(path);
+      std::stringstream text;
+      text << stream.rdbuf();
+      SourceFile file =
+          lex_file(fs::path(path).lexically_relative(root).generic_string(),
+                   text.str());
+      file.display_path = path.generic_string();
+      files.push_back(std::move(file));
+    }
+  }
+
+  report.findings = check_files(table, files);
+  for (const Finding& finding : report.findings) {
+    diag << finding.file << ":" << finding.line << ": [" << finding.rule
+         << "] " << finding.message << "\n";
+  }
+  if (report.findings.empty()) {
+    diag << "kappa-lint: " << files.size() << " files clean ("
+         << table.rules.size() << " rules)\n";
+  } else {
+    diag << "kappa-lint: " << report.findings.size() << " finding"
+         << (report.findings.size() == 1 ? "" : "s") << " in " << files.size()
+         << " files\n";
+    report.exit_code = 1;
+  }
+  return report;
+}
+
+}  // namespace kappa_lint

@@ -1,0 +1,32 @@
+// Fixture: a miniature spmd_phases.cpp that satisfies every rule — the
+// linter must stay silent here (and on the real tree). Section markers
+// mirror the real file's.
+#include <vector>
+
+#include "parallel/pe_runtime.hpp"
+
+namespace kappa {
+
+void coarsen(PEContext& pe) {
+  // Point-to-point only above the initial-partitioning marker.
+  pe.send(0, {1, 2, 3});
+}
+
+// ------------------------------------------------ SPMD initial partition ----
+
+void initial(PEContext& pe) {
+  // Gathers are fine between the markers: the attempt pool is O(p).
+  const auto entries = pe.all_gather_vectors({1});
+  (void)entries;
+}
+
+// -------------------------------------------------------- SPMD refinement ----
+
+void refine(PEContext& pe) {
+  const auto deltas =
+      // kappa-lint: allow(no-refinement-block-gathers, "O(moves) deltas only")
+      pe.all_gather_vectors({});
+  (void)deltas;
+}
+
+}  // namespace kappa

@@ -1,0 +1,38 @@
+// Fixture: nondeterminism sources feeding partition state — entropy,
+// wall clock, pointer-keyed hashing, and hash-order iteration.
+#include <chrono>
+#include <random>
+#include <unordered_map>
+
+namespace kappa {
+
+struct Node;
+
+int entropy_seed() {
+  std::random_device rd;  // fires: entropy
+  return static_cast<int>(rd());
+}
+
+long wall_clock_tiebreak() {
+  const auto now = std::chrono::steady_clock::now();  // fires: wall clock
+  return now.time_since_epoch().count();
+}
+
+int pointer_keyed(const Node* node) {
+  std::unordered_map<const Node*, int> ranks;  // fires: pointer-keyed hash
+  return ranks[node];
+}
+
+int hash_order(int k) {
+  std::unordered_map<int, int> blocks;
+  blocks[k] = 1;
+  int sum = 0;
+  for (const auto& [node, block] : blocks) {  // fires: hash-order range-for
+    sum += block;
+  }
+  std::unordered_map<int, int> weights;
+  weights[k] = 2;
+  return sum + weights.at(k);  // silent: keyed lookup, no iteration
+}
+
+}  // namespace kappa

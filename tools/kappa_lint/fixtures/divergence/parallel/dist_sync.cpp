@@ -1,0 +1,37 @@
+// Fixture: collectives under rank-divergent control flow — the SPMD
+// deadlock shape. Four variants fire (if-block, else-branch, else-if,
+// braceless single statement); the unguarded and rank-work-only calls
+// must not.
+#include "parallel/pe_runtime.hpp"
+
+namespace kappa {
+
+void deadlocks(PEContext& pe, int winner) {
+  if (pe.rank() == winner) {
+    pe.barrier();  // fires: only one rank arrives
+  }
+
+  if (pe.rank() == 0) {
+    pe.send(1, {0});  // silent: point-to-point divergence is fine
+  } else {
+    const auto sum = pe.all_reduce_sum(1);  // fires: else of a rank split
+    (void)sum;
+  }
+
+  if (pe.rank() == 0) {
+    pe.send(1, {0});
+  } else if (winner > 0) {
+    pe.barrier();  // fires: else-if inherits the rank split
+  }
+
+  if (pe.rank() != 0) pe.barrier();  // fires: braceless single statement
+
+  if (winner > 0) {
+    const auto sum = pe.all_reduce_sum(1);  // silent: guard is rank-free
+    (void)sum;
+  }
+
+  pe.barrier();  // silent: unconditional
+}
+
+}  // namespace kappa

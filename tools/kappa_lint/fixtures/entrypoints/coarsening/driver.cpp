@@ -1,0 +1,13 @@
+// Fixture: the removed free-function entry points — the unqualified call
+// fires; the qualified member call is the current API and must not.
+// (Fixtures are lexed, never compiled, so the callees need no decls.)
+namespace kappa {
+
+struct Partitioner;
+
+int removed_entry_points(Partitioner& partitioner, int graph) {
+  const int ok = partitioner.repartition(graph, 0);  // silent: qualified
+  return ok + repartition(graph, 0);                 // fires: unqualified
+}
+
+}  // namespace kappa

@@ -1,0 +1,39 @@
+// Fixture: one forbidden gather per section — coarsening (above the
+// initial-partitioning marker), refinement (untagged), and the async
+// section (unsuppressible even with an allow()).
+#include <vector>
+
+#include "parallel/pe_runtime.hpp"
+
+namespace kappa {
+
+void coarsen(PEContext& pe) {
+  const auto maps = pe.all_gather_vectors({});  // fires: no-coarsening-gathers
+  (void)maps;
+}
+
+// ------------------------------------------------ SPMD initial partition ----
+
+void initial(PEContext& pe) {
+  const auto pool = pe.all_gather(1);  // silent: between the markers
+  (void)pool;
+}
+
+// -------------------------------------------------------- SPMD refinement ----
+
+void refine(PEContext& pe) {
+  const auto blocks = pe.all_gather_vectors({});  // fires: untagged
+  (void)blocks;
+}
+
+// ----------------------------------------------- SPMD async refinement ----
+
+void async_refine(PEContext& pe) {
+  // kappa-lint: allow(no-async-gathers, "an allow() must not silence this")
+  const auto locks = pe.all_gather(0);  // fires: unsuppressible
+  (void)locks;
+}
+
+// ------------------------------------------- end SPMD async refinement ----
+
+}  // namespace kappa

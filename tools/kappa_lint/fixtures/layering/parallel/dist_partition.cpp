@@ -1,0 +1,15 @@
+// Fixture: the algorithm layer reaching into transport internals — both
+// the forbidden includes and the Mailbox symbol must fire.
+#include <sys/socket.h>
+
+#include "parallel/channel.hpp"
+#include "parallel/transport_tcp.hpp"
+
+namespace kappa {
+
+void leak() {
+  Mailbox box;  // forbidden symbol above the transport layer
+  (void)box;
+}
+
+}  // namespace kappa

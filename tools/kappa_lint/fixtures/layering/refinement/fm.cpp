@@ -1,0 +1,10 @@
+// Fixture: a sequential layer including src/parallel — only the
+// sanctioned comm_stats header is allowed through.
+#include "parallel/comm_stats.hpp"  // sanctioned: must NOT fire
+#include "parallel/pe_runtime.hpp"  // forbidden: must fire
+
+namespace kappa {
+
+void fm() {}
+
+}  // namespace kappa

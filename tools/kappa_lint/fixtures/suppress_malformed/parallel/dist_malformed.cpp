@@ -1,0 +1,13 @@
+// Fixture: malformed suppressions — a missing reason string and an
+// unknown check name. Both are errors.
+#include <random>
+
+namespace kappa {
+
+int malformed() {
+  std::random_device rd;  // kappa-lint: allow(determinism-sources)
+  std::random_device rd2;  // kappa-lint: allow(no-such-check, "typo in the check name")
+  return static_cast<int>(rd() + rd2());
+}
+
+}  // namespace kappa

@@ -1,0 +1,11 @@
+// Fixture: a stale suppression — the annotation names a real check, but
+// the line it guards no longer triggers it. Stale annotations are errors
+// so suppressions cannot rot.
+namespace kappa {
+
+int clean_code() {
+  int sum = 0;  // kappa-lint: allow(determinism-sources, "nothing here triggers it anymore")
+  return sum;
+}
+
+}  // namespace kappa

@@ -1,0 +1,14 @@
+// Fixture: a correctly suppressed violation — same-line and line-above
+// annotations, each with a reason. The linter must exit 0 here.
+#include <random>
+
+namespace kappa {
+
+int tagged_entropy() {
+  std::random_device rd;  // kappa-lint: allow(determinism-sources, "fixture: entropy never feeds partition state")
+  // kappa-lint: allow(determinism-sources, "fixture: annotation-above style")
+  std::random_device rd2;
+  return static_cast<int>(rd() + rd2());
+}
+
+}  // namespace kappa

@@ -1,0 +1,263 @@
+/// \file lexer.cpp
+/// \brief The lightweight C++ lexer behind kappa-lint.
+///
+/// Produces exactly what the checks need and nothing more: a token stream
+/// with comments, string/char literals and preprocessor lines stripped
+/// (so a commented-out `all_gather` can never fire a rule), the raw lines
+/// (section markers live in comments and are matched on raw text), the
+/// `#include` directives, and the parsed suppression annotations.
+#include <cctype>
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "kappa_lint/lint.hpp"
+
+namespace kappa_lint {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Parses one `kappa-lint:` annotation found at \p pos of \p line.
+Allow parse_annotation(const std::string& line, std::size_t pos,
+                       int line_number) {
+  Allow allow;
+  allow.line = line_number;
+  allow.malformed = true;  // until fully parsed
+  std::size_t i = pos;     // points just past "kappa-lint:"
+  auto skip_ws = [&] {
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i])) != 0) {
+      ++i;
+    }
+  };
+  skip_ws();
+  if (line.compare(i, 5, "allow") != 0) {
+    allow.error = "expected 'allow' after 'kappa-lint:'";
+    return allow;
+  }
+  i += 5;
+  skip_ws();
+  if (i >= line.size() || line[i] != '(') {
+    allow.error = "expected '(' after 'allow'";
+    return allow;
+  }
+  ++i;
+  skip_ws();
+  const std::size_t name_begin = i;
+  while (i < line.size() && (is_ident_char(line[i]) || line[i] == '-')) ++i;
+  allow.rule = line.substr(name_begin, i - name_begin);
+  if (allow.rule.empty()) {
+    allow.error = "missing check name in allow(...)";
+    return allow;
+  }
+  skip_ws();
+  if (i >= line.size() || line[i] != ',') {
+    allow.error = "missing reason string in allow(" + allow.rule +
+                  ", \"...\") — every suppression must say why";
+    return allow;
+  }
+  ++i;
+  skip_ws();
+  if (i >= line.size() || line[i] != '"') {
+    allow.error = "missing reason string in allow(" + allow.rule +
+                  ", \"...\") — every suppression must say why";
+    return allow;
+  }
+  ++i;
+  const std::size_t reason_begin = i;
+  while (i < line.size() && line[i] != '"') ++i;
+  if (i >= line.size()) {
+    allow.error = "unterminated reason string";
+    return allow;
+  }
+  allow.reason = line.substr(reason_begin, i - reason_begin);
+  ++i;
+  skip_ws();
+  if (i >= line.size() || line[i] != ')') {
+    allow.error = "expected ')' closing allow(...)";
+    return allow;
+  }
+  if (allow.reason.empty()) {
+    allow.error = "empty reason string in allow(" + allow.rule + ")";
+    return allow;
+  }
+  allow.malformed = false;
+  return allow;
+}
+
+/// Parses an `#include` directive from one raw line, if present.
+bool parse_include(const std::string& line, std::string& header) {
+  std::size_t i = 0;
+  while (i < line.size() &&
+         std::isspace(static_cast<unsigned char>(line[i])) != 0) {
+    ++i;
+  }
+  if (i >= line.size() || line[i] != '#') return false;
+  ++i;
+  while (i < line.size() &&
+         std::isspace(static_cast<unsigned char>(line[i])) != 0) {
+    ++i;
+  }
+  if (line.compare(i, 7, "include") != 0) return false;
+  i += 7;
+  while (i < line.size() &&
+         std::isspace(static_cast<unsigned char>(line[i])) != 0) {
+    ++i;
+  }
+  if (i >= line.size() || (line[i] != '"' && line[i] != '<')) return false;
+  const char close = line[i] == '"' ? '"' : '>';
+  ++i;
+  const std::size_t begin = i;
+  while (i < line.size() && line[i] != close) ++i;
+  if (i >= line.size()) return false;
+  header = line.substr(begin, i - begin);
+  return true;
+}
+
+}  // namespace
+
+SourceFile lex_file(std::string path, const std::string& contents) {
+  SourceFile file;
+  file.path = std::move(path);
+  file.display_path = file.path;
+
+  // Raw lines: section markers, includes and annotations are line-based.
+  {
+    std::string current;
+    for (const char c : contents) {
+      if (c == '\n') {
+        file.raw_lines.push_back(std::move(current));
+        current.clear();
+      } else {
+        current.push_back(c);
+      }
+    }
+    file.raw_lines.push_back(std::move(current));
+  }
+  for (std::size_t l = 0; l < file.raw_lines.size(); ++l) {
+    const std::string& line = file.raw_lines[l];
+    std::string header;
+    if (parse_include(line, header)) {
+      file.includes.push_back({std::move(header), static_cast<int>(l + 1)});
+    }
+    const std::size_t pos = line.find("kappa-lint:");
+    if (pos != std::string::npos) {
+      file.allows.push_back(parse_annotation(line, pos + 11,
+                                             static_cast<int>(l + 1)));
+    }
+  }
+
+  // Token stream. A hand-rolled scanner: comments, literals and
+  // preprocessor lines vanish; identifiers and numbers become one token;
+  // '->' and '::' stay fused so qualified calls are recognizable.
+  const std::size_t n = contents.size();
+  std::size_t i = 0;
+  int line = 1;
+  auto advance = [&] {
+    if (contents[i] == '\n') ++line;
+    ++i;
+  };
+  bool at_line_start = true;
+  while (i < n) {
+    const char c = contents[i];
+    if (c == '\n') {
+      advance();
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      advance();
+      continue;
+    }
+    // Preprocessor line (with continuations): skip entirely.
+    if (at_line_start && c == '#') {
+      while (i < n && contents[i] != '\n') {
+        if (contents[i] == '\\' && i + 1 < n && contents[i + 1] == '\n') {
+          advance();  // the backslash
+        }
+        advance();
+      }
+      continue;
+    }
+    at_line_start = false;
+    // Comments.
+    if (c == '/' && i + 1 < n && contents[i + 1] == '/') {
+      while (i < n && contents[i] != '\n') advance();
+      continue;
+    }
+    if (c == '/' && i + 1 < n && contents[i + 1] == '*') {
+      advance();
+      advance();
+      while (i + 1 < n && !(contents[i] == '*' && contents[i + 1] == '/')) {
+        advance();
+      }
+      if (i + 1 < n) {
+        advance();
+        advance();
+      } else {
+        i = n;
+      }
+      continue;
+    }
+    // String / char literals collapse to an empty placeholder token.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const int tok_line = line;
+      advance();
+      while (i < n && contents[i] != quote) {
+        if (contents[i] == '\\' && i + 1 < n) advance();
+        advance();
+      }
+      if (i < n) advance();
+      file.tokens.push_back({"\"\"", tok_line});
+      continue;
+    }
+    // Identifier / number.
+    if (is_ident_start(c) ||
+        std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      const int tok_line = line;
+      std::string text;
+      while (i < n && (is_ident_char(contents[i]) ||
+                       // keep 1e-5 / 0x1p+3 style exponents glued together
+                       ((contents[i] == '+' || contents[i] == '-') &&
+                        !text.empty() &&
+                        (text.back() == 'e' || text.back() == 'E' ||
+                         text.back() == 'p' || text.back() == 'P') &&
+                        std::isdigit(static_cast<unsigned char>(text[0])) !=
+                            0))) {
+        text.push_back(contents[i]);
+        advance();
+      }
+      file.tokens.push_back({std::move(text), tok_line});
+      continue;
+    }
+    // Punctuators: fuse '->' and '::'; everything else is one character.
+    const int tok_line = line;
+    if (c == '-' && i + 1 < n && contents[i + 1] == '>') {
+      advance();
+      advance();
+      file.tokens.push_back({"->", tok_line});
+      continue;
+    }
+    if (c == ':' && i + 1 < n && contents[i + 1] == ':') {
+      advance();
+      advance();
+      file.tokens.push_back({"::", tok_line});
+      continue;
+    }
+    file.tokens.push_back({std::string(1, c), tok_line});
+    advance();
+  }
+  return file;
+}
+
+}  // namespace kappa_lint

@@ -1,0 +1,154 @@
+/// \file lint.hpp
+/// \brief kappa-lint: the SPMD invariant checker.
+///
+/// A self-contained static-analysis pass over the kappa source tree that
+/// promotes the CI grep guards of PRs 1-7 into first-class checks. It is a
+/// lightweight lexer plus an include-graph walker — deliberately not a
+/// compiler frontend: every invariant it enforces is lexical by design
+/// (section markers, call sites, include lines, guard expressions), which
+/// keeps the tool dependency-free and fast enough to run on every push.
+///
+/// Four check families, driven by a declarative rule table (rules.kl):
+///
+///   1. layering              - the include graph must respect declared
+///                              layer rules (forbid-include), and layer
+///                              internals must not leak upward as symbols
+///                              (forbid-symbol).
+///   2. collective-divergence - a PEContext/PERuntime collective invoked
+///                              lexically inside a conditional whose guard
+///                              mentions a rank identifier is a potential
+///                              SPMD deadlock (divergence).
+///   3. determinism-sources   - std::random_device, wall clocks, pointer-
+///                              keyed hashing and range-for iteration over
+///                              unordered containers must not feed
+///                              partition state (determinism).
+///   4. annotation hygiene    - one uniform suppression syntax,
+///                                // kappa-lint: allow(<check>, "<reason>")
+///                              with malformed- and stale-suppression
+///                              detection built in (a suppression that no
+///                              longer suppresses anything is itself an
+///                              error, so annotations cannot rot).
+///
+/// Exit codes: 0 clean, 1 findings, 2 configuration/usage error.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace kappa_lint {
+
+// ------------------------------------------------------------- lexing ----
+
+/// One lexical token: an identifier/number, a string-literal placeholder,
+/// or a (possibly two-character) punctuator. Comments and preprocessor
+/// lines are stripped; string and char literals collapse to "".
+struct Token {
+  std::string text;
+  int line = 0;
+};
+
+/// One `#include` directive, parsed from the raw lines.
+struct Include {
+  std::string header;  ///< path between the quotes/brackets
+  int line = 0;
+};
+
+/// One parsed `// kappa-lint: allow(<check>, "<reason>")` annotation.
+struct Allow {
+  std::string rule;
+  std::string reason;
+  int line = 0;
+  bool malformed = false;
+  std::string error;  ///< why it failed to parse (when malformed)
+  bool used = false;  ///< set when it suppressed at least one finding
+};
+
+/// A lexed source file, path reported root-relative ('/'-separated).
+struct SourceFile {
+  std::string path;
+  std::string display_path;  ///< path as printed in findings
+  std::vector<std::string> raw_lines;
+  std::vector<Token> tokens;
+  std::vector<Include> includes;
+  std::vector<Allow> allows;
+};
+
+/// Lexes \p contents into tokens, includes, and suppression annotations.
+SourceFile lex_file(std::string path, const std::string& contents);
+
+// -------------------------------------------------------------- rules ----
+
+enum class RuleKind {
+  kForbidInclude,  ///< layering: no include of the listed header prefixes
+  kForbidCall,     ///< no call of the listed functions (region-scoped)
+  kForbidSymbol,   ///< no use of the listed identifiers (region-scoped)
+  kDivergence,     ///< collectives under rank-divergent control flow
+  kDeterminism,    ///< nondeterminism sources feeding partition state
+};
+
+/// One entry of the rule table (rules.kl).
+struct Rule {
+  std::string name;
+  RuleKind kind = RuleKind::kForbidCall;
+  std::vector<std::string> files;    ///< glob patterns, root-relative
+  std::vector<std::string> exclude;  ///< glob patterns removed from files
+  std::vector<std::string> items;    ///< headers / calls / symbols /
+                                     ///< collectives, per kind
+  std::vector<std::string> except;   ///< forbid-include: allowed prefixes
+  std::vector<std::string> guards;   ///< divergence: rank identifiers
+  std::vector<std::string> containers;  ///< determinism: container names
+  std::string begin_marker;  ///< region begins after the first raw line
+                             ///< containing this (empty: file start)
+  std::string end_marker;    ///< region ends before the first raw line
+                             ///< containing this after begin (empty: EOF)
+  bool unqualified_only = false;  ///< forbid-call: member/qualified calls ok
+  bool suppressible = true;       ///< false: allow() cannot silence it
+  std::string note;               ///< appended to every finding message
+};
+
+struct RuleTable {
+  std::vector<Rule> rules;
+};
+
+/// Parses the rules.kl DSL. Returns false and sets \p error on failure.
+bool parse_rules(const std::string& contents, RuleTable& out,
+                 std::string& error);
+
+/// Glob match: '*' within a path segment, '**' across segments, '?' one
+/// non-separator character.
+bool glob_match(const std::string& pattern, const std::string& path);
+
+// ------------------------------------------------------------- driver ----
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct Options {
+  std::string rules_path;
+  std::vector<std::string> roots;
+  bool self_check = false;  ///< validate the rule table and stop
+  int min_rules = 0;        ///< self-check: required minimum table size
+};
+
+struct Report {
+  std::vector<Finding> findings;
+  std::size_t rules_loaded = 0;
+  int exit_code = 0;  ///< 0 clean, 1 findings, 2 config error
+};
+
+/// Runs all checks plus the annotation-hygiene pass over \p files,
+/// consuming suppressions. Findings are sorted by (file, line).
+std::vector<Finding> check_files(const RuleTable& table,
+                                 std::vector<SourceFile>& files);
+
+/// Full CLI driver: loads rules, walks roots, lexes, checks, prints
+/// findings to \p diag.
+Report run(const Options& options, std::ostream& diag);
+
+}  // namespace kappa_lint

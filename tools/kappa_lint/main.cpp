@@ -1,0 +1,61 @@
+/// \file main.cpp
+/// \brief CLI entry point: kappa-lint [--rules <file>] [--self-check]
+///        [--min-rules <n>] <root>...
+///
+/// Typical invocations:
+///   kappa-lint --rules tools/kappa_lint/rules.kl src
+///   kappa-lint --rules tools/kappa_lint/rules.kl --self-check --min-rules 11
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "kappa_lint/lint.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: kappa-lint [--rules <rules.kl>] [--self-check]\n"
+         "                  [--min-rules <n>] <root>...\n"
+         "\n"
+         "Checks the C++ sources under each <root> against the rule table.\n"
+         "  --rules <file>   rule table (default: tools/kappa_lint/rules.kl)\n"
+         "  --self-check     validate the rule table and exit\n"
+         "  --min-rules <n>  with --self-check: fail if fewer rules loaded\n"
+         "\n"
+         "Suppressions: // kappa-lint: allow(<check>, \"<reason>\")\n"
+         "on the flagged line or the line directly above. A suppression\n"
+         "that no longer suppresses anything is itself an error.\n"
+         "\n"
+         "exit codes: 0 clean, 1 findings, 2 configuration error\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  kappa_lint::Options options;
+  options.rules_path = "tools/kappa_lint/rules.kl";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--rules") {
+      if (i + 1 >= argc) return usage();
+      options.rules_path = argv[++i];
+    } else if (arg == "--self-check") {
+      options.self_check = true;
+    } else if (arg == "--min-rules") {
+      if (i + 1 >= argc) return usage();
+      options.min_rules = std::atoi(argv[++i]);
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "kappa-lint: unknown option '" << arg << "'\n";
+      return usage();
+    } else {
+      options.roots.push_back(arg);
+    }
+  }
+  if (!options.self_check && options.roots.empty()) return usage();
+  return kappa_lint::run(options, std::cout).exit_code;
+}

@@ -1,0 +1,261 @@
+/// \file rules.cpp
+/// \brief Parser for the rules.kl rule-table DSL.
+///
+/// The table is declarative so that the invariant set reads like the CI
+/// guards it replaced. Grammar (line-oriented):
+///
+///   # comment
+///   rule <name> <kind> {
+///     <key> = <value>[, <value>...]
+///     ...
+///   }
+///
+/// Kinds: forbid-include, forbid-call, forbid-symbol, divergence,
+/// determinism. Values may be double-quoted (required when they contain
+/// commas, '#', or leading/trailing spaces).
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "kappa_lint/lint.hpp"
+
+namespace kappa_lint {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+/// Strips a trailing # comment, respecting double quotes.
+std::string strip_comment(const std::string& line) {
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (line[i] == '"') quoted = !quoted;
+    if (line[i] == '#' && !quoted) return line.substr(0, i);
+  }
+  return line;
+}
+
+/// Splits a value list on top-level commas; unquotes quoted values.
+std::vector<std::string> split_values(const std::string& text) {
+  std::vector<std::string> values;
+  std::string current;
+  bool quoted = false;
+  for (const char c : text) {
+    if (c == '"') {
+      quoted = !quoted;
+      continue;  // quotes delimit, never appear in values
+    }
+    if (c == ',' && !quoted) {
+      const std::string v = trim(current);
+      if (!v.empty()) values.push_back(v);
+      current.clear();
+      continue;
+    }
+    current.push_back(c);
+  }
+  const std::string v = trim(current);
+  if (!v.empty()) values.push_back(v);
+  return values;
+}
+
+bool parse_kind(const std::string& text, RuleKind& kind) {
+  if (text == "forbid-include") {
+    kind = RuleKind::kForbidInclude;
+  } else if (text == "forbid-call") {
+    kind = RuleKind::kForbidCall;
+  } else if (text == "forbid-symbol") {
+    kind = RuleKind::kForbidSymbol;
+  } else if (text == "divergence") {
+    kind = RuleKind::kDivergence;
+  } else if (text == "determinism") {
+    kind = RuleKind::kDeterminism;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool parse_bool(const std::string& text, bool& out) {
+  if (text == "true") {
+    out = true;
+  } else if (text == "false") {
+    out = false;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool parse_rules(const std::string& contents, RuleTable& out,
+                 std::string& error) {
+  out.rules.clear();
+  std::vector<std::string> lines;
+  {
+    std::string current;
+    for (const char c : contents) {
+      if (c == '\n') {
+        lines.push_back(current);
+        current.clear();
+      } else {
+        current.push_back(c);
+      }
+    }
+    lines.push_back(current);
+  }
+
+  Rule rule;
+  bool in_rule = false;
+  for (std::size_t l = 0; l < lines.size(); ++l) {
+    const std::string line = trim(strip_comment(lines[l]));
+    const std::string where = "rules.kl:" + std::to_string(l + 1) + ": ";
+    if (line.empty()) continue;
+
+    if (!in_rule) {
+      // Expect: rule <name> <kind> {
+      if (line.rfind("rule ", 0) != 0) {
+        error = where + "expected 'rule <name> <kind> {', got '" + line + "'";
+        return false;
+      }
+      std::vector<std::string> parts;
+      std::string word;
+      for (const char c : line) {
+        if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+          if (!word.empty()) parts.push_back(word);
+          word.clear();
+        } else {
+          word.push_back(c);
+        }
+      }
+      if (!word.empty()) parts.push_back(word);
+      if (parts.size() != 4 || parts[3] != "{") {
+        error = where + "expected 'rule <name> <kind> {'";
+        return false;
+      }
+      rule = Rule{};
+      rule.name = parts[1];
+      if (!parse_kind(parts[2], rule.kind)) {
+        error = where + "unknown rule kind '" + parts[2] + "'";
+        return false;
+      }
+      for (const Rule& existing : out.rules) {
+        if (existing.name == rule.name) {
+          error = where + "duplicate rule name '" + rule.name + "'";
+          return false;
+        }
+      }
+      in_rule = true;
+      continue;
+    }
+
+    if (line == "}") {
+      if (rule.files.empty()) {
+        error = where + "rule '" + rule.name + "' declares no files";
+        return false;
+      }
+      out.rules.push_back(rule);
+      in_rule = false;
+      continue;
+    }
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      error = where + "expected '<key> = <values>' inside rule '" +
+              rule.name + "'";
+      return false;
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value_text = trim(line.substr(eq + 1));
+    const std::vector<std::string> values = split_values(value_text);
+    if (values.empty()) {
+      error = where + "key '" + key + "' has no value";
+      return false;
+    }
+
+    if (key == "files") {
+      rule.files = values;
+    } else if (key == "exclude") {
+      rule.exclude = values;
+    } else if (key == "except") {
+      rule.except = values;
+    } else if (key == "items" || key == "headers" || key == "calls" ||
+               key == "symbols" || key == "collectives") {
+      rule.items = values;
+    } else if (key == "guards") {
+      rule.guards = values;
+    } else if (key == "containers") {
+      rule.containers = values;
+    } else if (key == "begin") {
+      rule.begin_marker = values.front();
+    } else if (key == "end") {
+      rule.end_marker = values.front();
+    } else if (key == "note") {
+      rule.note = values.front();
+    } else if (key == "unqualified-only") {
+      if (!parse_bool(values.front(), rule.unqualified_only)) {
+        error = where + "unqualified-only must be true or false";
+        return false;
+      }
+    } else if (key == "suppressible") {
+      if (!parse_bool(values.front(), rule.suppressible)) {
+        error = where + "suppressible must be true or false";
+        return false;
+      }
+    } else {
+      error = where + "unknown key '" + key + "' in rule '" + rule.name + "'";
+      return false;
+    }
+  }
+  if (in_rule) {
+    error = "rules.kl: unterminated rule '" + rule.name + "' (missing '}')";
+    return false;
+  }
+  if (out.rules.empty()) {
+    error = "rules.kl: empty rule table";
+    return false;
+  }
+  return true;
+}
+
+bool glob_match(const std::string& pattern, const std::string& path) {
+  // Recursive matcher: '*' stays within a path segment, '**' crosses
+  // segments, '?' matches one non-separator character.
+  struct Impl {
+    static bool match(const std::string& p, std::size_t pi,
+                      const std::string& s, std::size_t si) {
+      while (pi < p.size()) {
+        const char c = p[pi];
+        if (c == '*') {
+          const bool dstar = pi + 1 < p.size() && p[pi + 1] == '*';
+          const std::size_t next = pi + (dstar ? 2 : 1);
+          for (std::size_t k = si; k <= s.size(); ++k) {
+            if (match(p, next, s, k)) return true;
+            if (k < s.size() && !dstar && s[k] == '/') break;
+          }
+          return false;
+        }
+        if (si >= s.size()) return false;
+        if (c == '?') {
+          if (s[si] == '/') return false;
+        } else if (c != s[si]) {
+          return false;
+        }
+        ++pi;
+        ++si;
+      }
+      return si == s.size();
+    }
+  };
+  return Impl::match(pattern, 0, path, 0);
+}
+
+}  // namespace kappa_lint
