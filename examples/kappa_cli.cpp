@@ -8,6 +8,7 @@
 ///             [--eps=0.03] [--seed=1] [--threads=1] [--pes=0]
 ///             [--transport=inproc|tcp] [--rank=R] [--peers=HOST:PORT]
 ///             [--recv-timeout-ms=60000] [--output=out.part]
+///             [--trace-out=FILE] [--metrics-out=FILE] [--async]
 ///
 /// --pes=N > 0 runs the pipeline SPMD on a PE runtime of N PEs (the
 /// result is identical for every N under a fixed seed; N changes wall
@@ -19,16 +20,32 @@
 /// rendezvous address (see examples/launch_tcp.sh). Every process
 /// computes the identical partition; each writes its own copy unless
 /// --output is given, in which case only rank 0 writes.
+///
+/// --trace-out=FILE turns tracing on and writes the merged Chrome-trace
+/// JSON of every rank's spans (open in https://ui.perfetto.dev). On a TCP
+/// fabric the flag must be passed to every rank (the tracing decision is
+/// collective); the merged file appears on the rank-0 process only.
+/// --metrics-out=FILE dumps the unified metrics registry
+/// (schema kappa.metrics.v1); TCP ranks > 0 write their local view to
+/// FILE.rank<R> so the per-process files never race.
+///
+/// --async swaps the refiner's color-class oracle for the barrier-free
+/// block-lock scheduler (Config::async_refinement) — mainly for reading
+/// traced timelines of the two schedulers side by side.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 
+#include "core/metrics_export.hpp"
 #include "core/partitioner.hpp"
 #include "graph/graph_io.hpp"
 #include "graph/validation.hpp"
 #include "parallel/pe_runtime.hpp"
 #include "parallel/transport_tcp.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace {
 
@@ -42,6 +59,23 @@ const char* arg_value(int argc, char** argv, const char* key) {
   return nullptr;
 }
 
+bool has_flag(int argc, char** argv, const char* key) {
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], key) == 0) return true;
+  }
+  return false;
+}
+
+/// Keeps the merged trace of the run for the export step below.
+struct CaptureTraceSink final : kappa::TraceSink {
+  kappa::MergedTrace trace;
+  bool fired = false;
+  void on_trace(const kappa::MergedTrace& merged) override {
+    trace = merged;
+    fired = true;
+  }
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -51,7 +85,8 @@ int main(int argc, char** argv) {
                  "usage: %s <graph.metis> <k> [--preset=fast|strong|minimal]"
                  " [--eps=0.03] [--seed=1] [--threads=1] [--pes=0]"
                  " [--transport=inproc|tcp] [--rank=R] [--peers=HOST:PORT]"
-                 " [--recv-timeout-ms=N] [--output=FILE]\n",
+                 " [--recv-timeout-ms=N] [--output=FILE]"
+                 " [--trace-out=FILE] [--metrics-out=FILE] [--async]\n",
                  argv[0]);
     return 2;
   }
@@ -95,6 +130,14 @@ int main(int argc, char** argv) {
   int pes = 0;
   if (const char* value = arg_value(argc, argv, "--pes")) {
     pes = std::atoi(value);
+  }
+  if (has_flag(argc, argv, "--async")) {
+    config.async_refinement = true;
+  }
+  const char* trace_out = arg_value(argc, argv, "--trace-out");
+  const char* metrics_out = arg_value(argc, argv, "--metrics-out");
+  if (trace_out != nullptr || metrics_out != nullptr) {
+    config.trace_enabled = true;
   }
 
   bool tcp = false;
@@ -146,19 +189,26 @@ int main(int argc, char** argv) {
 
   PartitionResult result;
   bool write_output = true;
+  CaptureTraceSink trace_sink;
   try {
     if (tcp) {
       PERuntime runtime(make_tcp_fabric(tcp_options), config.seed);
-      result = Partitioner(Context::spmd(config, runtime)).partition(graph);
+      Partitioner partitioner(Context::spmd(config, runtime));
+      partitioner.set_trace_sink(&trace_sink);
+      result = partitioner.partition(graph);
       // Every rank holds the identical partition. With an explicit
       // --output all ranks would race for one file — let rank 0 write it;
       // default (per-invocation) paths are shared too, same rule.
       write_output = runtime.primary_rank() == 0;
     } else if (pes > 0) {
       PERuntime runtime(pes, config.seed);
-      result = Partitioner(Context::spmd(config, runtime)).partition(graph);
+      Partitioner partitioner(Context::spmd(config, runtime));
+      partitioner.set_trace_sink(&trace_sink);
+      result = partitioner.partition(graph);
     } else {
-      result = Partitioner(Context::sequential(config)).partition(graph);
+      Partitioner partitioner(Context::sequential(config));
+      partitioner.set_trace_sink(&trace_sink);
+      result = partitioner.partition(graph);
     }
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
@@ -185,6 +235,49 @@ int main(int argc, char** argv) {
                     result.comm.wire_bytes_sent),
                 static_cast<unsigned long long>(
                     result.comm.wire_bytes_received));
+  }
+
+  if (trace_out != nullptr && trace_sink.fired) {
+    std::ofstream out(trace_out);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot open %s\n", trace_out);
+      return 1;
+    }
+    write_chrome_trace(trace_sink.trace, out);
+    std::uint64_t dropped = 0;
+    for (const std::uint64_t d : trace_sink.trace.dropped_per_rank) {
+      dropped += d;
+    }
+    std::fprintf(stderr,
+                 "trace written to %s (%zu events, %d ranks, %llu dropped)\n",
+                 trace_out, trace_sink.trace.events.size(),
+                 trace_sink.trace.num_ranks,
+                 static_cast<unsigned long long>(dropped));
+  }
+  if (metrics_out != nullptr) {
+    const std::string backend =
+        tcp ? "tcp" : (pes > 0 ? "inproc" : "sequential");
+    MetricsRegistry registry = metrics_from_result(result, config, backend);
+    if (trace_sink.fired) {
+      registry.set_u64("trace.events",
+                       trace_sink.trace.events.size());
+      registry.set_u64_list("trace.dropped_per_rank",
+                            trace_sink.trace.dropped_per_rank);
+    }
+    // TCP ranks > 0 hold a local view only (and would race for one
+    // path); suffix theirs so rank 0's file is THE metrics document.
+    std::string metrics_path = metrics_out;
+    if (tcp && !write_output) {
+      metrics_path += ".rank" + std::to_string(tcp_options.rank);
+    }
+    std::ofstream out(metrics_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot open %s\n", metrics_path.c_str());
+      return 1;
+    }
+    registry.write_json(out);
+    out << "\n";
+    std::fprintf(stderr, "metrics written to %s\n", metrics_path.c_str());
   }
 
   if (write_output) {

@@ -6,6 +6,13 @@
 #
 #   KAPPA_CLI=path/to/kappa_cli   binary (default: ./build/kappa_cli)
 #   KAPPA_PORT=17771              rank 0's rendezvous port
+#   KAPPA_TRACE_OUT=trace.json    traced run: every rank gets
+#                                 --trace-out (the tracing decision is
+#                                 collective); rank 0 writes the single
+#                                 merged Chrome-trace JSON here
+#   KAPPA_METRICS_OUT=m.json      metrics: rank 0 writes the merged
+#                                 document here, ranks > 0 their local
+#                                 view to m.json.rank<R>
 #
 # Ranks 1..p-1 run in the background; rank 0 runs in the foreground and
 # prints the result. Every rank computes the identical partition.
@@ -25,6 +32,19 @@ if ! [ -x "$cli" ]; then
   exit 1
 fi
 
+# Observability plumbing: the flags must reach EVERY rank — tracing is a
+# collective decision (rank 0 gathers every rank's span buffer at the end
+# of the run), so a rank launched without them would leave the gather
+# hanging. Rank 0 ends up with the one merged trace/metrics file; ranks
+# > 0 suffix their metrics dump with .rank<R> themselves.
+obs_flags=()
+if [ -n "${KAPPA_TRACE_OUT:-}" ]; then
+  obs_flags+=(--trace-out="$KAPPA_TRACE_OUT")
+fi
+if [ -n "${KAPPA_METRICS_OUT:-}" ]; then
+  obs_flags+=(--metrics-out="$KAPPA_METRICS_OUT")
+fi
+
 pids=()
 cleanup() {
   for pid in "${pids[@]:-}"; do
@@ -35,12 +55,12 @@ trap cleanup EXIT
 
 for ((rank = 1; rank < p; ++rank)); do
   "$cli" "$graph" "$k" --pes="$p" --transport=tcp --rank="$rank" \
-    --peers=127.0.0.1:"$port" "$@" >/dev/null 2>&1 &
+    --peers=127.0.0.1:"$port" "${obs_flags[@]:-}" "$@" >/dev/null 2>&1 &
   pids+=("$!")
 done
 
 "$cli" "$graph" "$k" --pes="$p" --transport=tcp --rank=0 \
-  --peers=127.0.0.1:"$port" "$@"
+  --peers=127.0.0.1:"$port" "${obs_flags[@]:-}" "$@"
 
 for pid in "${pids[@]:-}"; do
   wait "$pid"

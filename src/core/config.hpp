@@ -91,6 +91,13 @@ struct Config {
   /// without increasing overload, so a pair is never made worse. Off in
   /// all paper presets; the ablation bench quantifies its effect.
   bool enable_flow_refinement = false;
+  /// Observability: record per-rank spans (phases, per-level halo,
+  /// coloring rounds, pair refinement, transport) into a preallocated
+  /// buffer and merge them on the primary rank after the run — see
+  /// util/trace.hpp and Partitioner::set_trace_sink(). Also switchable
+  /// per run with the KAPPA_TRACE environment variable. Observer-only:
+  /// the partition is byte-identical with tracing on or off.
+  bool trace_enabled = false;
 
   /// The Table 2 preset for a given k and eps.
   [[nodiscard]] static Config preset(Preset preset, BlockID k,

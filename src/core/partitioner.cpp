@@ -13,7 +13,9 @@
 #include "graph/subgraph.hpp"
 #include "parallel/pe_runtime.hpp"
 #include "parallel/spmd_phases.hpp"
+#include "parallel/trace_merge.hpp"
 #include "util/random.hpp"
+#include "util/trace.hpp"
 
 namespace kappa {
 
@@ -75,21 +77,32 @@ void record_migration(const StaticGraph& graph, const Partition& current,
 }
 
 PartitionResult run_sequential(const StaticGraph& graph, const Config& config,
-                               const Partition* warm) {
+                               const Partition* warm, TraceSink* sink) {
+  const bool tracing = trace_run_enabled(config.trace_enabled);
+  TraceRecorder recorder(tracing ? trace_buffer_capacity() : 1);
+  const ThreadTraceScope bind_trace(tracing ? &recorder : nullptr);
   const Rng rng(config.seed);
   SequentialCoarsener coarsener(config, rng, warm);
   SequentialRefiner refiner(graph, config, rng);
+  PartitionResult result;
   if (warm != nullptr) {
     WarmStartInitialPartitioner initial(*warm, config.k);
-    return run_multilevel(graph, config, coarsener, initial, refiner);
+    result = run_multilevel(graph, config, coarsener, initial, refiner);
+  } else {
+    SequentialInitialPartitioner initial(config, rng);
+    result = run_multilevel(graph, config, coarsener, initial, refiner);
   }
-  SequentialInitialPartitioner initial(config, rng);
-  return run_multilevel(graph, config, coarsener, initial, refiner);
+  if (tracing && sink != nullptr) {
+    sink->on_trace(merge_local_trace(recorder, /*rank=*/0, /*num_ranks=*/1));
+  }
+  return result;
 }
 
 PartitionResult run_spmd(const StaticGraph& graph, const Config& config,
-                         PERuntime& runtime, const Partition* warm) {
+                         PERuntime& runtime, const Partition* warm,
+                         TraceSink* sink) {
   const int p = runtime.num_pes();
+  const bool tracing = trace_run_enabled(config.trace_enabled);
   PartitionResult result;
   std::vector<MigrationIntake> intake(p);
   std::vector<ShardFootprint> footprints(p);
@@ -97,8 +110,13 @@ PartitionResult run_spmd(const StaticGraph& graph, const Config& config,
   std::vector<ShardFootprint> partition_memory(p);
   std::vector<PairShipStats> pair_ship(p);
   std::vector<std::vector<AsyncPairEvent>> async_pairs(p);
+  // Populated by the global rank 0 thread iff tracing (empty elsewhere —
+  // on a multi-process fabric only the process hosting rank 0 gets it).
+  CollectedTrace collected;
 
   const std::vector<CommStats> per_pe = runtime.run([&](PEContext& pe) {
+    TraceRecorder recorder(tracing ? trace_buffer_capacity() : 1);
+    const ThreadTraceScope bind_trace(tracing ? &recorder : nullptr);
     SpmdCoarsener coarsener(config, pe, warm);
     SpmdRefiner refiner(graph, config, pe, warm);
     PartitionResult local;
@@ -128,6 +146,24 @@ PartitionResult run_spmd(const StaticGraph& graph, const Config& config,
     // primary (lowest locally hosted) rank keeps it — rank 0 in-process,
     // this process's own rank on a multi-process fabric.
     if (pe.rank() == runtime.primary_rank()) result = std::move(local);
+    if (tracing) {
+      // The partition is already materialized — everything from here on
+      // is observation and cannot feed back into it.
+      RankSnapshot snapshot;
+      snapshot.comm = pe.stats();
+      snapshot.comm.wire_bytes_sent = pe.wire_bytes_sent();
+      snapshot.comm.wire_bytes_received = pe.wire_bytes_received();
+      snapshot.shard_memory = footprints[pe.rank()];
+      snapshot.hierarchy_memory = hierarchy_memory[pe.rank()];
+      snapshot.partition_memory = partition_memory[pe.rank()];
+      snapshot.pair_ship = pair_ship[pe.rank()];
+      for (const AsyncPairEvent& event : async_pairs[pe.rank()]) {
+        ++snapshot.async_pairs;
+        snapshot.async_lock_ns += event.end_ns - event.begin_ns;
+      }
+      CollectedTrace mine = collect_trace(pe, recorder, snapshot);
+      if (pe.rank() == 0) collected = std::move(mine);
+    }
   });
 
   result.num_pes = p;
@@ -146,6 +182,26 @@ PartitionResult run_spmd(const StaticGraph& graph, const Config& config,
       result.migrated_edges_per_pe.push_back(i.edges);
     }
   }
+  if (tracing && !collected.ranks.empty()) {
+    // Multi-process fabrics only observe their local ranks; the gathered
+    // snapshots fill the slots of remotely hosted ranks, so rank 0's
+    // result (and any metrics built from it) is as complete as an
+    // in-process run's. Locally observed slots stay authoritative.
+    for (int q = 0; q < p; ++q) {
+      const std::size_t slot = static_cast<std::size_t>(q);
+      const CommStats& have = result.comm_per_pe[slot];
+      if (have.messages_sent != 0 || have.barriers != 0) continue;
+      result.comm_per_pe[slot] = collected.ranks[slot].comm;
+      result.shard_memory_per_pe[slot] = collected.ranks[slot].shard_memory;
+      result.hierarchy_memory_per_pe[slot] =
+          collected.ranks[slot].hierarchy_memory;
+      result.partition_memory_per_pe[slot] =
+          collected.ranks[slot].partition_memory;
+      result.pair_ship_per_pe[slot] = collected.ranks[slot].pair_ship;
+    }
+    result.comm = total_comm_stats(result.comm_per_pe);
+    if (sink != nullptr) sink->on_trace(collected.trace);
+  }
   return result;
 }
 
@@ -153,9 +209,10 @@ PartitionResult run_spmd(const StaticGraph& graph, const Config& config,
 
 PartitionResult Partitioner::partition(const StaticGraph& graph) const {
   if (context_.is_spmd()) {
-    return run_spmd(graph, context_.config(), *context_.runtime(), nullptr);
+    return run_spmd(graph, context_.config(), *context_.runtime(), nullptr,
+                    trace_sink_);
   }
-  return run_sequential(graph, context_.config(), nullptr);
+  return run_sequential(graph, context_.config(), nullptr, trace_sink_);
 }
 
 PartitionResult Partitioner::repartition(const StaticGraph& graph,
@@ -164,8 +221,9 @@ PartitionResult Partitioner::repartition(const StaticGraph& graph,
   const EdgeWeight input_cut = edge_cut(graph, current);
   PartitionResult result =
       context_.is_spmd()
-          ? run_spmd(graph, context_.config(), *context_.runtime(), &current)
-          : run_sequential(graph, context_.config(), &current);
+          ? run_spmd(graph, context_.config(), *context_.runtime(), &current,
+                     trace_sink_)
+          : run_sequential(graph, context_.config(), &current, trace_sink_);
   record_migration(graph, current, input_cut, result);
   return result;
 }

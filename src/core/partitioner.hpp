@@ -31,6 +31,7 @@
 #include "graph/partition.hpp"
 #include "graph/static_graph.hpp"
 #include "parallel/comm_stats.hpp"
+#include "util/trace.hpp"
 #include "util/types.hpp"
 
 namespace kappa {
@@ -173,6 +174,17 @@ class Partitioner {
 
   [[nodiscard]] const Context& context() const { return context_; }
 
+  /// Registers a consumer for the merged per-rank trace of subsequent
+  /// runs (borrowed; must outlive the runs). Fires only when tracing is
+  /// on (config.trace_enabled or KAPPA_TRACE), after the result is
+  /// assembled, on the process that hosts global rank 0 — exactly once
+  /// per run there, never elsewhere. Sequential runs produce a one-rank
+  /// trace. Tracing is observer-only: the partition is byte-identical
+  /// with or without a sink.
+  void set_trace_sink(TraceSink* sink) { trace_sink_ = sink; }
+
+  [[nodiscard]] TraceSink* trace_sink() const { return trace_sink_; }
+
   /// Partitions \p graph into context().config().k blocks from scratch:
   /// contraction, initial partitioning, uncoarsening with refinement.
   [[nodiscard]] PartitionResult partition(const StaticGraph& graph) const;
@@ -189,6 +201,7 @@ class Partitioner {
 
  private:
   Context context_;
+  TraceSink* trace_sink_ = nullptr;
 };
 
 }  // namespace kappa

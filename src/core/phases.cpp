@@ -10,6 +10,7 @@
 #include "parallel/dist_hierarchy.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace kappa {
 
@@ -22,27 +23,39 @@ PartitionResult run_multilevel(const StaticGraph& graph, const Config& config,
 
   // --- Phase 1: contraction (§3). ---
   Timer phase_timer;
-  const Hierarchy hierarchy = coarsener.coarsen(graph);
+  const Hierarchy hierarchy = [&] {
+    KAPPA_TRACE_SPAN("phase.coarsen");
+    return coarsener.coarsen(graph);
+  }();
   result.coarsening_time = phase_timer.elapsed_s();
   result.hierarchy_levels = hierarchy.num_levels();
   result.coarsest_nodes = hierarchy.coarsest().num_nodes();
 
   // --- Phase 2: initial partitioning (§4). ---
   phase_timer.restart();
-  initial.observe_hierarchy(hierarchy);
-  Partition partition = initial.partition(hierarchy.coarsest());
+  Partition partition = [&] {
+    KAPPA_TRACE_SPAN("phase.initial");
+    initial.observe_hierarchy(hierarchy);
+    return initial.partition(hierarchy.coarsest());
+  }();
   result.initial_time = phase_timer.elapsed_s();
 
   // --- Phase 3: uncoarsening with pairwise refinement (§5). ---
   phase_timer.restart();
-  for (std::size_t level = hierarchy.num_levels(); level-- > 0;) {
-    const StaticGraph& current = hierarchy.graph(level);
-    if (level + 1 < hierarchy.num_levels()) {
-      partition = project_partition(current, hierarchy.map(level), partition);
+  {
+    KAPPA_TRACE_SPAN("phase.refine");
+    for (std::size_t level = hierarchy.num_levels(); level-- > 0;) {
+      KAPPA_TRACE_SPAN("refine.level", level);
+      const StaticGraph& current = hierarchy.graph(level);
+      if (level + 1 < hierarchy.num_levels()) {
+        partition =
+            project_partition(current, hierarchy.map(level), partition);
+      }
+      refiner.refine(current, partition, level);
     }
-    refiner.refine(current, partition, level);
+    KAPPA_TRACE_SPAN("phase.rebalance");
+    refiner.rebalance(graph, partition);
   }
-  refiner.rebalance(graph, partition);
   result.refinement_time = phase_timer.elapsed_s();
 
   result.cut = edge_cut(graph, partition);

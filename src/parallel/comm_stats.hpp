@@ -31,6 +31,13 @@ struct LevelHaloStats {
 struct CommStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t words_sent = 0;
+  /// Receive-side twins of the send counters: messages and payload words
+  /// this PE took delivery of (point-to-point and collective lanes). In a
+  /// closed run Σ messages_received = Σ messages_sent over all ranks —
+  /// the per-rank split exposes asymmetric roles (the async arbiter, a
+  /// broadcast root) that the send counters alone hide.
+  std::uint64_t messages_received = 0;
+  std::uint64_t words_received = 0;
   std::uint64_t barriers = 0;
   /// Nanoseconds this PE spent blocked inside collectives / barriers —
   /// the time a rank waits for the slowest participant instead of doing
@@ -124,12 +131,19 @@ struct AsyncPairEvent {
 /// Aggregates per-rank counters into one total: messages, words, and idle
 /// time add up; barriers are synchronization points every rank passes
 /// together, so the aggregate is the maximum, not the sum.
+///
+/// Covers EVERY CommStats field — the pinned aggregation test in
+/// trace_test.cpp static-asserts on sizeof(CommStats), so a new field
+/// cannot land without either being aggregated here or being explicitly
+/// exempted there.
 [[nodiscard]] inline CommStats total_comm_stats(
     const std::vector<CommStats>& per_rank) {
   CommStats total;
   for (const CommStats& s : per_rank) {
     total.messages_sent += s.messages_sent;
     total.words_sent += s.words_sent;
+    total.messages_received += s.messages_received;
+    total.words_received += s.words_received;
     total.barriers = std::max(total.barriers, s.barriers);
     total.collective_idle_ns += s.collective_idle_ns;
     total.recv_idle_ns += s.recv_idle_ns;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "parallel/shard_graph.hpp"
+#include "util/trace.hpp"
 
 namespace kappa {
 
@@ -241,6 +242,8 @@ RefinerColoringResult distributed_color_quotient_edges(
     }
     if (pe.all_reduce_sum(uncolored) == 0) break;
     ++result.rounds;
+    KAPPA_TRACE_SPAN("color.round",
+                     static_cast<std::uint64_t>(result.rounds), uncolored);
 
     // --- Phase A: coin flips; active blocks nominate one random
     // uncolored incident edge, shipping their used-bitmap with it. ---

@@ -24,6 +24,7 @@
 #include "parallel/dist_partition.hpp"
 #include "parallel/wire_format.hpp"
 #include "util/seeded_hash.hpp"
+#include "util/trace.hpp"
 
 namespace kappa {
 
@@ -89,20 +90,27 @@ DistHierarchy::DistHierarchy(const StaticGraph& finest,
   // Every loop decision below depends on replicated scalars only, so all
   // PEs run the same number of levels (and hence the same exchanges).
   pe_.set_halo_level(0);
-  levels_.push_back(build_finest_level(options));
+  {
+    KAPPA_TRACE_SPAN("coarsen.finest");
+    levels_.push_back(build_finest_level(options));
+  }
   pe_.set_halo_level(-1);
   account_level(levels_.back());
 
   std::size_t level = 0;
   while (levels_.back().global_n > options.contraction_limit) {
     DistLevel& current = levels_.back();
+    KAPPA_TRACE_SPAN("coarsen.level", static_cast<std::uint64_t>(level),
+                     current.global_n);
     pe_.set_halo_level(static_cast<int>(level));
     const Rng level_rng = rng_.fork(level);
 
     MatchingOptions level_options = match_options;
     if (warm_) level_options.blocks = &current.warm_blocks;
-    const std::vector<NodeID> partner =
-        match_level(current, level_options, options.matcher, level_rng);
+    const std::vector<NodeID> partner = [&] {
+      KAPPA_TRACE_SPAN("coarsen.match");
+      return match_level(current, level_options, options.matcher, level_rng);
+    }();
 
     // Stop rules on replicated scalars: the global pair count (each pair
     // counted by the owner of its canonical endpoint) and the shrink.
@@ -122,7 +130,10 @@ DistHierarchy::DistHierarchy(const StaticGraph& finest,
     const double shrink =
         static_cast<double>(pairs) / static_cast<double>(current.global_n);
 
-    DistLevel next = contract_level(current, partner);
+    DistLevel next = [&] {
+      KAPPA_TRACE_SPAN("coarsen.contract");
+      return contract_level(current, partner);
+    }();
     pe_.set_halo_level(-1);
     levels_.push_back(std::move(next));
     account_level(levels_.back());

@@ -2,26 +2,16 @@
 
 #include <algorithm>
 #include <cassert>
-#include <chrono>
 #include <stdexcept>
 #include <string>
 #include <thread>
 
 #include "parallel/transport_inproc.hpp"
+#include "util/trace.hpp"
 
 namespace kappa {
 
 namespace {
-
-/// Monotonic nanoseconds for the idle-time counters.
-std::uint64_t now_ns() {
-  // kappa-lint: allow(determinism-sources, "idle-time counters feed CommStats, never partition state")
-  const auto now = std::chrono::steady_clock::now();
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          now.time_since_epoch())
-          .count());
-}
 
 /// Order-independent fingerprint mismatch beats a deadlock: FNV-1a over
 /// a word sequence, used by PESubGroup::validate to compare owner maps.
@@ -52,6 +42,8 @@ void PEContext::send(int dest, std::vector<std::uint64_t> payload) {
     ++stats_.halo_per_level[level].messages;
     stats_.halo_per_level[level].words += payload.size();
   }
+  KAPPA_TRACE_SPAN("net.send", static_cast<std::uint64_t>(dest),
+                   payload.size() * sizeof(std::uint64_t));
   transport_.send(dest, Lane::kApp, std::move(payload));
 }
 
@@ -59,32 +51,69 @@ Message PEContext::receive(int source) {
   // Only time the genuinely blocking path: a receive that is satisfied
   // immediately is work, not idleness.
   if (auto ready = transport_.try_receive(source, Lane::kApp)) {
+    ++stats_.messages_received;
+    stats_.words_received += ready->payload.size();
     return std::move(*ready);
   }
-  const std::uint64_t start = now_ns();
+  const std::uint64_t start = trace_now_ns();
   Message msg = transport_.receive(source, Lane::kApp);
-  stats_.recv_idle_ns += now_ns() - start;
+  const std::uint64_t end = trace_now_ns();
+  stats_.recv_idle_ns += end - start;
+  if (TraceRecorder* recorder = thread_trace()) {
+    recorder->span("net.recv.wait", start, end,
+                   static_cast<std::uint64_t>(msg.source),
+                   msg.payload.size() * sizeof(std::uint64_t));
+  }
+  ++stats_.messages_received;
+  stats_.words_received += msg.payload.size();
   return msg;
 }
 
 std::optional<Message> PEContext::try_receive(int source) {
-  return transport_.try_receive(source, Lane::kApp);
+  auto msg = transport_.try_receive(source, Lane::kApp);
+  if (msg) {
+    ++stats_.messages_received;
+    stats_.words_received += msg->payload.size();
+  }
+  return msg;
 }
 
 void PEContext::barrier() {
   ++stats_.barriers;
-  const std::uint64_t start = now_ns();
+  const std::uint64_t start = trace_now_ns();
   transport_.barrier();
-  stats_.collective_idle_ns += now_ns() - start;
+  const std::uint64_t end = trace_now_ns();
+  stats_.collective_idle_ns += end - start;
+  if (TraceRecorder* recorder = thread_trace()) {
+    recorder->span("net.barrier", start, end);
+  }
+}
+
+std::uint64_t PEContext::wire_bytes_sent() const {
+  return transport_.wire_bytes_sent();
+}
+
+std::uint64_t PEContext::wire_bytes_received() const {
+  return transport_.wire_bytes_received();
 }
 
 Message PEContext::collective_receive(int source) {
   if (auto ready = transport_.try_receive(source, Lane::kCollective)) {
+    ++stats_.messages_received;
+    stats_.words_received += ready->payload.size();
     return std::move(*ready);
   }
-  const std::uint64_t start = now_ns();
+  const std::uint64_t start = trace_now_ns();
   Message msg = transport_.receive(source, Lane::kCollective);
-  stats_.collective_idle_ns += now_ns() - start;
+  const std::uint64_t end = trace_now_ns();
+  stats_.collective_idle_ns += end - start;
+  if (TraceRecorder* recorder = thread_trace()) {
+    recorder->span("net.collective.wait", start, end,
+                   static_cast<std::uint64_t>(msg.source),
+                   msg.payload.size() * sizeof(std::uint64_t));
+  }
+  ++stats_.messages_received;
+  stats_.words_received += msg.payload.size();
   return msg;
 }
 

@@ -92,6 +92,14 @@ class PEContext {
   /// Communication counters of this PE.
   [[nodiscard]] const CommStats& stats() const { return stats_; }
 
+  /// Bytes this rank's transport endpoint has put on / taken off the
+  /// physical wire so far (endpoint-lifetime totals, zero on the
+  /// in-process backend). The trace collector snapshots these mid-run
+  /// for the per-rank metrics; PERuntime::run still reports the exact
+  /// per-run delta in its returned CommStats.
+  [[nodiscard]] std::uint64_t wire_bytes_sent() const;
+  [[nodiscard]] std::uint64_t wire_bytes_received() const;
+
   /// Attributes subsequent point-to-point sends to the halo-exchange
   /// counters of coarsening level \p level (see CommStats::halo_per_level);
   /// pass -1 to stop attributing. The totals always count everything.

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <chrono>
 #include <limits>
 #include <map>
 #include <numeric>
@@ -18,6 +17,7 @@
 #include "refinement/edge_coloring.hpp"
 #include "util/seeded_hash.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace kappa {
 
@@ -602,10 +602,15 @@ void SpmdRefiner::run_pairwise(BlockRowShard& store, DistPartition& partition,
 
   int no_change_streak = 0;
   for (int global = 0; global < options.max_global_iterations; ++global) {
+    KAPPA_TRACE_SPAN("refine.iteration", static_cast<std::uint64_t>(global),
+                     use_async ? 1 : 0);
     // Quotient graph from all-gathered per-rank contributions — merged
     // identically on every PE, so both schedulers below start from the
     // same pair list in the same order.
-    const QuotientGraph quotient = gather_quotient(store, partition, k, pe_);
+    const QuotientGraph quotient = [&] {
+      KAPPA_TRACE_SPAN("refine.quotient");
+      return gather_quotient(store, partition, k, pe_);
+    }();
     if (quotient.edges().empty()) break;  // every block is isolated
 
     EdgeWeight my_cut_gain = 0;
@@ -641,7 +646,10 @@ void SpmdRefiner::run_pairwise(BlockRowShard& store, DistPartition& partition,
   // All ranks leave the loop in the same iteration (the stop rule is
   // all-reduced), so the polish collectives stay aligned.
   if (use_async) {
-    const QuotientGraph quotient = gather_quotient(store, partition, k, pe_);
+    const QuotientGraph quotient = [&] {
+      KAPPA_TRACE_SPAN("refine.quotient");
+      return gather_quotient(store, partition, k, pe_);
+    }();
     if (!quotient.edges().empty()) {
       EdgeWeight polish_cut_gain = 0;
       NodeWeight polish_imbalance_gain = 0;
@@ -677,6 +685,7 @@ void SpmdRefiner::run_color_classes(BlockRowShard& store,
           : color_quotient_edges(quotient, color_rng);
 
   for (int color = 0; color < coloring.num_colors; ++color) {
+    KAPPA_TRACE_SPAN("refine.color_class", static_cast<std::uint64_t>(color));
     const std::vector<std::size_t> pairs = coloring.color_class(color);
     // No empty-class skip: with the partial in-refiner coloring a rank
     // may see none of a class's pairs but must still join the class's
@@ -695,6 +704,7 @@ void SpmdRefiner::run_color_classes(BlockRowShard& store,
       const int executor = BlockRowShard::owner_of_block(edge.a, p);
       const int partner_owner = BlockRowShard::owner_of_block(edge.b, p);
       if (partner_owner == rank && executor != rank) {
+        KAPPA_TRACE_SPAN("pair.ship", edge.a, edge.b);
         const PairSide side = build_pair_side(store, partition, edge.a,
                                               edge.b, edge.b, edge.boundary,
                                               ship_depth);
@@ -713,6 +723,7 @@ void SpmdRefiner::run_color_classes(BlockRowShard& store,
     for (const std::size_t j : pairs) {
       const QuotientEdge& edge = quotient.edges()[j];
       if (BlockRowShard::owner_of_block(edge.a, p) != rank) continue;
+      KAPPA_TRACE_SPAN("pair.execute", edge.a, edge.b);
       const int partner_owner = BlockRowShard::owner_of_block(edge.b, p);
       const PairSide side_a = build_pair_side(
           store, partition, edge.a, edge.b, edge.a, edge.boundary, ship_depth);
@@ -871,15 +882,10 @@ void SpmdRefiner::run_color_classes(BlockRowShard& store,
 
 namespace {
 
-/// Monotonic nanoseconds for the async lock-window events.
-std::uint64_t async_now_ns() {
-  // kappa-lint: allow(determinism-sources, "timestamps feed the async stats log, never partition state")
-  const auto now = std::chrono::steady_clock::now();
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          now.time_since_epoch())
-          .count());
-}
+/// Monotonic nanoseconds for the async lock-window events — the
+/// sanctioned trace clock (the timestamps feed the async stats log and
+/// the trace, never partition state).
+std::uint64_t async_now_ns() { return trace_now_ns(); }
 
 // First payload word of every async-scheduler message.
 constexpr std::uint64_t kMsgGrant = 1;    ///< arbiter -> executor: [tag, j]
@@ -1055,7 +1061,11 @@ void SpmdRefiner::run_async_iteration(
       }
       flush_invals(inval);
       footprint_.merge_peak(store.footprint());
-      async_events_.push_back({edge.a, edge.b, begin_ns, async_now_ns()});
+      const std::uint64_t end_ns = async_now_ns();
+      async_events_.push_back({edge.a, edge.b, begin_ns, end_ns});
+      if (TraceRecorder* recorder = thread_trace()) {
+        recorder->span("async.pair", begin_ns, end_ns, edge.a, edge.b);
+      }
       pe_.send(kArbiter, {kMsgDone, j});
       return;
     }
@@ -1099,6 +1109,7 @@ void SpmdRefiner::run_async_iteration(
     std::size_t cursor = 1;
     const std::size_t j = msg.payload[cursor++];
     const QuotientEdge& edge = edges[j];
+    KAPPA_TRACE_SPAN("async.moves", edge.a, edge.b);
     const int executor = BlockRowShard::owner_of_block(edge.a, p);
     const std::size_t num_deltas = msg.payload[cursor++];
     std::vector<AsyncDelta> deltas(num_deltas);
@@ -1167,7 +1178,11 @@ void SpmdRefiner::run_async_iteration(
       store.apply_move(d.u, d.from, d.to, &row);
     }
     footprint_.merge_peak(store.footprint());
-    async_events_.push_back({edge.a, edge.b, wait.begin_ns, async_now_ns()});
+    const std::uint64_t end_ns = async_now_ns();
+    async_events_.push_back({edge.a, edge.b, wait.begin_ns, end_ns});
+    if (TraceRecorder* recorder = thread_trace()) {
+      recorder->span("async.pair", wait.begin_ns, end_ns, edge.a, edge.b);
+    }
     pe_.send(kArbiter, {kMsgDone, j});
   };
 
@@ -1181,6 +1196,7 @@ void SpmdRefiner::run_async_iteration(
     switch (msg.payload[0]) {
       case kMsgGrant: {
         const std::size_t j = msg.payload[1];
+        KAPPA_TRACE_INSTANT("async.grant", j);
         InFlight& run = inflight[j];
         run.granted = true;
         const bool local_partner =
@@ -1194,6 +1210,7 @@ void SpmdRefiner::run_async_iteration(
       case kMsgShip: {
         const std::size_t j = msg.payload[1];
         const QuotientEdge& edge = edges[j];
+        KAPPA_TRACE_SPAN("async.ship", edge.a, edge.b);
         const int executor = BlockRowShard::owner_of_block(edge.a, p);
         const PairSide side = build_pair_side(
             store, partition, edge.a, edge.b, edge.b, edge.boundary,
@@ -1399,7 +1416,10 @@ PartitionResult run_multilevel_spmd(const StaticGraph& graph,
 
   // --- Phase 1: contraction into the distributed hierarchy store (§3). ---
   Timer phase_timer;
-  DistHierarchy hierarchy = coarsener.coarsen(graph);
+  DistHierarchy hierarchy = [&] {
+    KAPPA_TRACE_SPAN("phase.coarsen");
+    return coarsener.coarsen(graph);
+  }();
   result.coarsening_time = phase_timer.elapsed_s();
   result.hierarchy_levels = hierarchy.num_levels();
   result.coarsest_nodes = hierarchy.level_nodes(hierarchy.num_levels() - 1);
@@ -1410,8 +1430,11 @@ PartitionResult run_multilevel_spmd(const StaticGraph& graph,
 
   // --- Phase 2: initial partitioning on the once-gathered coarsest (§4). ---
   phase_timer.restart();
-  initial.observe_hierarchy(hierarchy);
-  Partition coarsest_partition = initial.partition(hierarchy.coarsest());
+  Partition coarsest_partition = [&] {
+    KAPPA_TRACE_SPAN("phase.initial");
+    initial.observe_hierarchy(hierarchy);
+    return initial.partition(hierarchy.coarsest());
+  }();
   result.initial_time = phase_timer.elapsed_s();
 
   // --- Phase 3: uncoarsening with pairwise refinement (§5). The partition
@@ -1419,17 +1442,28 @@ PartitionResult run_multilevel_spmd(const StaticGraph& graph,
   // shard-locally through the contraction maps, refined on band-limited
   // views, and materialized exactly once for the result. ---
   phase_timer.restart();
-  DistPartition partition = hierarchy.lift(coarsest_partition);
-  for (std::size_t level = hierarchy.num_levels(); level-- > 0;) {
-    if (level + 1 < hierarchy.num_levels()) {
-      partition = hierarchy.project(level, partition);
+  DistPartition partition = [&] {
+    KAPPA_TRACE_SPAN("phase.refine");
+    DistPartition refined = hierarchy.lift(coarsest_partition);
+    for (std::size_t level = hierarchy.num_levels(); level-- > 0;) {
+      KAPPA_TRACE_SPAN("refine.level", level);
+      if (level + 1 < hierarchy.num_levels()) {
+        refined = hierarchy.project(level, refined);
+      }
+      refiner.refine(hierarchy, level, refined);
     }
-    refiner.refine(hierarchy, level, partition);
-  }
-  refiner.rebalance(partition);
+    {
+      KAPPA_TRACE_SPAN("phase.rebalance");
+      refiner.rebalance(refined);
+    }
+    return refined;
+  }();
   result.refinement_time = phase_timer.elapsed_s();
 
-  Partition final_partition = hierarchy.materialize(partition);
+  Partition final_partition = [&] {
+    KAPPA_TRACE_SPAN("phase.materialize");
+    return hierarchy.materialize(partition);
+  }();
   result.cut = edge_cut(graph, final_partition);
   result.balance = balance(graph, final_partition);
   result.balanced = is_balanced(graph, final_partition, config.eps);

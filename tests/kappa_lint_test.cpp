@@ -161,9 +161,34 @@ TEST(LintFixtures, DeterminismSourcesFire) {
   EXPECT_EQ(report.exit_code, 1);
   const auto counts = count_by_rule(report);
   // Entropy, wall clock, pointer-keyed hashing, hash-order range-for;
-  // keyed lookups into unordered containers stay silent.
+  // keyed lookups into unordered containers stay silent. The wall-clock
+  // read additionally fires the clock-confinement rule (same hazard seen
+  // from the tracing side).
   EXPECT_EQ(counts.at("determinism-sources"), 4);
+  EXPECT_EQ(counts.at("trace-clock-confinement"), 1);
+  EXPECT_EQ(report.findings.size(), 5u);
+}
+
+TEST(LintFixtures, TraceClockConfinementFires) {
+  const Report report = lint_fixture("trace_clock");
+  EXPECT_EQ(report.exit_code, 1);
+  const auto counts = count_by_rule(report);
+  // Each raw clock read in a partition-reaching layer is both a timing
+  // side channel and a nondeterminism source; the transport carve-out
+  // file stays silent under both rules.
+  EXPECT_EQ(counts.at("trace-clock-confinement"), 2);
+  EXPECT_EQ(counts.at("determinism-sources"), 2);
   EXPECT_EQ(report.findings.size(), 4u);
+}
+
+TEST(LintFixtures, TraceFeedbackFires) {
+  const Report report = lint_fixture("trace_feedback");
+  EXPECT_EQ(report.exit_code, 1);
+  const auto counts = count_by_rule(report);
+  // read_dropped, read_events, and a MetricsRegistry read in algorithm
+  // layers; writing spans never fires.
+  EXPECT_EQ(counts.at("trace-no-feedback"), 3);
+  EXPECT_EQ(report.findings.size(), 3u);
 }
 
 TEST(LintFixtures, ValidSuppressionsSilenceFindings) {
@@ -204,11 +229,11 @@ TEST(LintDriver, SelfCheckEnforcesMinimumTableSize) {
   Options options;
   options.rules_path = tool_dir() + "/rules.kl";
   options.self_check = true;
-  options.min_rules = 11;  // one per former CI guard plus the new families
+  options.min_rules = 13;  // former CI guards + new families + trace rules
   std::ostringstream diag;
   const Report report = run(options, diag);
   EXPECT_EQ(report.exit_code, 0) << diag.str();
-  EXPECT_GE(report.rules_loaded, 11u);
+  EXPECT_GE(report.rules_loaded, 13u);
 
   options.min_rules = 1000;
   std::ostringstream diag2;

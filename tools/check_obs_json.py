@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Validates kappa observability dumps (CI traced-smoke job).
+
+usage:
+  check_obs_json.py trace   <trace.json>   <expected_ranks>
+  check_obs_json.py metrics <metrics.json> <expected_ranks>
+
+Stdlib only. Checks the documented shapes (README "Observability"):
+
+trace — Chrome "Trace Event Format": traceEvents is a non-empty list
+whose entries carry ph in {M, X, C, i}, pid 0 and an integer tid (the
+rank); every rank contributes at least one span; the span taxonomy's
+phase spans are present; otherData pins num_ranks and per-rank
+dropped/clock-offset arrays of the right length. A nonzero ring-overflow
+drop count FAILS the check — the trace silently lost events, so the
+buffer (KAPPA_TRACE_BUFFER) must grow.
+
+metrics — schema kappa.metrics.v1: a {"schema", "metrics"} document
+whose entries are {"type", "value"} pairs with the value's JSON shape
+matching the declared type; the core key set partition.cut /
+run.num_pes / comm.words_sent must be present and run.num_pes must equal
+the expected rank count.
+"""
+import json
+import sys
+
+VALID_PH = {"M", "X", "C", "i"}
+REQUIRED_SPANS = ("phase.coarsen", "phase.initial", "phase.refine")
+REQUIRED_METRICS = ("partition.cut", "run.num_pes", "comm.words_sent",
+                    "time.total_s", "run.backend")
+
+
+def fail(message):
+    print(f"check_obs_json: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(path, ranks):
+    with open(path) as handle:
+        doc = json.load(handle)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("traceEvents missing or empty")
+    span_ranks = set()
+    span_names = set()
+    for event in events:
+        ph = event.get("ph")
+        if ph not in VALID_PH:
+            fail(f"bad ph in event {event!r}")
+        if event.get("pid") != 0 or not isinstance(event.get("tid"), int):
+            fail(f"bad pid/tid in event {event!r}")
+        if ph == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(f"bad ts in event {event!r}")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(f"bad dur in event {event!r}")
+            span_ranks.add(event["tid"])
+            span_names.add(event.get("name"))
+    other = doc.get("otherData")
+    if not isinstance(other, dict):
+        fail("otherData missing")
+    if other.get("num_ranks") != ranks:
+        fail(f"num_ranks {other.get('num_ranks')!r}, expected {ranks}")
+    dropped = other.get("dropped_per_rank")
+    offsets = other.get("clock_offset_ns")
+    if not isinstance(dropped, list) or len(dropped) != ranks:
+        fail(f"dropped_per_rank wrong shape: {dropped!r}")
+    if not isinstance(offsets, list) or len(offsets) != ranks:
+        fail(f"clock_offset_ns wrong shape: {offsets!r}")
+    if any(d != 0 for d in dropped):
+        fail(f"ring-overflow drops {dropped} — raise KAPPA_TRACE_BUFFER")
+    missing_ranks = set(range(ranks)) - span_ranks
+    if missing_ranks:
+        fail(f"ranks without any span: {sorted(missing_ranks)}")
+    missing_spans = [n for n in REQUIRED_SPANS if n not in span_names]
+    if missing_spans:
+        fail(f"required spans missing: {missing_spans}")
+    print(f"check_obs_json: trace ok — {len(events)} events, "
+          f"{len(span_names)} span names, {ranks} ranks, 0 dropped")
+
+
+def check_metrics(path, ranks):
+    with open(path) as handle:
+        doc = json.load(handle)
+    if doc.get("schema") != "kappa.metrics.v1":
+        fail(f"schema {doc.get('schema')!r}, expected kappa.metrics.v1")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        fail("metrics missing or empty")
+    shapes = {
+        "u64": lambda v: isinstance(v, int) and v >= 0,
+        "i64": lambda v: isinstance(v, int),
+        "f64": lambda v: isinstance(v, (int, float)) or v is None,
+        "str": lambda v: isinstance(v, str),
+        "u64[]": lambda v: isinstance(v, list)
+        and all(isinstance(x, int) and x >= 0 for x in v),
+        "f64[]": lambda v: isinstance(v, list)
+        and all(isinstance(x, (int, float)) or x is None for x in v),
+    }
+    for name, entry in metrics.items():
+        if not isinstance(entry, dict) or set(entry) != {"type", "value"}:
+            fail(f"metric {name!r} is not a type/value pair: {entry!r}")
+        checker = shapes.get(entry["type"])
+        if checker is None:
+            fail(f"metric {name!r} has unknown type {entry['type']!r}")
+        if not checker(entry["value"]):
+            fail(f"metric {name!r} value does not match type "
+                 f"{entry['type']!r}: {entry['value']!r}")
+    missing = [n for n in REQUIRED_METRICS if n not in metrics]
+    if missing:
+        fail(f"required metrics missing: {missing}")
+    num_pes = metrics["run.num_pes"]["value"]
+    if num_pes != ranks:
+        fail(f"run.num_pes {num_pes}, expected {ranks}")
+    print(f"check_obs_json: metrics ok — {len(metrics)} entries, "
+          f"{ranks} ranks")
+
+
+def main(argv):
+    if len(argv) != 4 or argv[1] not in ("trace", "metrics"):
+        print(__doc__, file=sys.stderr)
+        return 2
+    kind, path, ranks = argv[1], argv[2], int(argv[3])
+    if kind == "trace":
+        check_trace(path, ranks)
+    else:
+        check_metrics(path, ranks)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

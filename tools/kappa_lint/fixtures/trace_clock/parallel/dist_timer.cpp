@@ -1,0 +1,14 @@
+// Fixture: a raw clock read in a partition-reaching layer — fires
+// trace-clock-confinement AND determinism-sources (a wall-clock read is
+// both a timing side channel the trace cannot see and a nondeterminism
+// source).
+#include <chrono>
+
+namespace kappa {
+
+long level_elapsed_ns() {
+  const auto t = std::chrono::steady_clock::now();  // fires both rules
+  return t.time_since_epoch().count();
+}
+
+}  // namespace kappa

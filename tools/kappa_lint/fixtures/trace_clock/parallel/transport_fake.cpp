@@ -1,0 +1,13 @@
+// Negative control: transport backends legitimately use deadlines — the
+// parallel/transport_* carve-out keeps trace-clock-confinement and
+// determinism-sources silent here.
+#include <chrono>
+
+namespace kappa {
+
+long deadline_ns() {
+  const auto t = std::chrono::steady_clock::now();  // silent: excluded
+  return t.time_since_epoch().count();
+}
+
+}  // namespace kappa

@@ -1,0 +1,12 @@
+// Fixture: the refinement layer timing its own gain computations with a
+// raw clock instead of util/trace.hpp's trace_now_ns().
+#include <chrono>
+
+namespace kappa {
+
+long gain_window_ns() {
+  const auto t = std::chrono::high_resolution_clock::now();  // fires both
+  return t.time_since_epoch().count();
+}
+
+}  // namespace kappa

@@ -1,0 +1,12 @@
+// Fixture: an algorithm layer pulling values back out of the metrics
+// registry — registry reads are reserved for core/ orchestration and the
+// export layer.
+#include "util/metrics.hpp"
+
+namespace kappa {
+
+unsigned long long cut_hint(const MetricsRegistry& registry) {  // fires
+  return registry.u64("partition.cut");
+}
+
+}  // namespace kappa

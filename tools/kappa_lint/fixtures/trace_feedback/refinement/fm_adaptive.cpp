@@ -1,0 +1,18 @@
+// Fixture: refinement adapting its behavior to trace state — the
+// feedback loop trace-no-feedback exists to forbid. Writing spans is
+// fine; *reading* the recorder breaks the traced-vs-untraced
+// byte-identity guarantee.
+#include "util/trace.hpp"
+
+namespace kappa {
+
+int adaptive_passes() {
+  TraceRecorder* recorder = thread_trace();
+  if (recorder == nullptr) return 1;
+  int passes = 1;
+  if (recorder->read_dropped() > 0) passes = 2;  // fires: read side
+  passes += static_cast<int>(recorder->read_events().size() % 2);  // fires
+  return passes;
+}
+
+}  // namespace kappa
