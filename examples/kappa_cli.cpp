@@ -9,6 +9,7 @@
 ///             [--transport=inproc|tcp] [--rank=R] [--peers=HOST:PORT]
 ///             [--recv-timeout-ms=60000] [--output=out.part]
 ///             [--trace-out=FILE] [--metrics-out=FILE] [--async]
+///             [--watch-out=FILE] [--stall-timeout-ms=N]
 ///
 /// --pes=N > 0 runs the pipeline SPMD on a PE runtime of N PEs (the
 /// result is identical for every N under a fixed seed; N changes wall
@@ -28,6 +29,16 @@
 /// --metrics-out=FILE dumps the unified metrics registry
 /// (schema kappa.metrics.v1); TCP ranks > 0 write their local view to
 /// FILE.rank<R> so the per-process files never race.
+///
+/// --watch-out=FILE turns on kappa-watch: rank 0 streams kappa.snapshot.v1
+/// JSONL snapshots (metrics deltas + per-rank liveness) to FILE while the
+/// run is in flight — render them live with tools/kappa_top.py. TCP ranks
+/// > 0 write stall reports (if any) to FILE.rank<R>. --stall-timeout-ms=N
+/// arms a per-rank watchdog that emits a structured stall report (open
+/// span stack, recent events, queue depths, peer verdicts) when a rank
+/// stops advancing for N ms. Observer-only: the partition is
+/// byte-identical with watch on or off. KAPPA_WATCH_OUT and
+/// KAPPA_STALL_TIMEOUT_MS override both.
 ///
 /// --async swaps the refiner's color-class oracle for the barrier-free
 /// block-lock scheduler (Config::async_refinement) — mainly for reading
@@ -86,7 +97,8 @@ int main(int argc, char** argv) {
                  " [--eps=0.03] [--seed=1] [--threads=1] [--pes=0]"
                  " [--transport=inproc|tcp] [--rank=R] [--peers=HOST:PORT]"
                  " [--recv-timeout-ms=N] [--output=FILE]"
-                 " [--trace-out=FILE] [--metrics-out=FILE] [--async]\n",
+                 " [--trace-out=FILE] [--metrics-out=FILE] [--async]"
+                 " [--watch-out=FILE] [--stall-timeout-ms=N]\n",
                  argv[0]);
     return 2;
   }
@@ -138,6 +150,17 @@ int main(int argc, char** argv) {
   const char* metrics_out = arg_value(argc, argv, "--metrics-out");
   if (trace_out != nullptr || metrics_out != nullptr) {
     config.trace_enabled = true;
+  }
+  if (const char* value = arg_value(argc, argv, "--watch-out")) {
+    config.watch_out = value;
+  }
+  if (const char* value = arg_value(argc, argv, "--stall-timeout-ms")) {
+    config.stall_timeout_ms = std::atoi(value);
+  }
+  if ((!config.watch_out.empty() || config.stall_timeout_ms > 0) && pes < 1) {
+    std::fprintf(stderr,
+                 "warning: --watch-out/--stall-timeout-ms observe the SPMD "
+                 "runtime; a sequential run (--pes=0) publishes nothing\n");
   }
 
   bool tcp = false;

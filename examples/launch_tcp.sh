@@ -13,6 +13,16 @@
 #   KAPPA_METRICS_OUT=m.json      metrics: rank 0 writes the merged
 #                                 document here, ranks > 0 their local
 #                                 view to m.json.rank<R>
+#   KAPPA_WATCH_OUT=watch.jsonl   kappa-watch: rank 0 streams live
+#                                 kappa.snapshot.v1 snapshots here (watch
+#                                 them with tools/kappa_top.py); ranks > 0
+#                                 write stall reports, if any, to
+#                                 watch.jsonl.rank<R>
+#   KAPPA_STALL_TIMEOUT_MS=2000   arm the per-rank stall watchdog: a rank
+#                                 that stops advancing for this long emits
+#                                 a structured stall report
+#   KAPPA_RECV_TIMEOUT_MS=60000   dead-peer deadline of blocking receives
+#                                 (--recv-timeout-ms on every rank)
 #
 # Ranks 1..p-1 run in the background; rank 0 runs in the foreground and
 # prints the result. Every rank computes the identical partition.
@@ -43,6 +53,17 @@ if [ -n "${KAPPA_TRACE_OUT:-}" ]; then
 fi
 if [ -n "${KAPPA_METRICS_OUT:-}" ]; then
   obs_flags+=(--metrics-out="$KAPPA_METRICS_OUT")
+fi
+# kappa-watch knobs, same every-rank rule: heartbeats are only useful when
+# every peer sends them, and a watchdog on one rank classifies the others.
+if [ -n "${KAPPA_WATCH_OUT:-}" ]; then
+  obs_flags+=(--watch-out="$KAPPA_WATCH_OUT")
+fi
+if [ -n "${KAPPA_STALL_TIMEOUT_MS:-}" ]; then
+  obs_flags+=(--stall-timeout-ms="$KAPPA_STALL_TIMEOUT_MS")
+fi
+if [ -n "${KAPPA_RECV_TIMEOUT_MS:-}" ]; then
+  obs_flags+=(--recv-timeout-ms="$KAPPA_RECV_TIMEOUT_MS")
 fi
 
 pids=()

@@ -98,6 +98,20 @@ struct Config {
   /// per run with the KAPPA_TRACE environment variable. Observer-only:
   /// the partition is byte-identical with tracing on or off.
   bool trace_enabled = false;
+  /// Observability: kappa-watch live health. `watch_out` streams
+  /// `kappa.snapshot.v1` JSONL snapshots (metrics deltas + per-rank
+  /// progress) to the given path; `stall_timeout_ms > 0` arms a per-rank
+  /// watchdog that emits a structured stall report when a rank stops
+  /// advancing. Both also switchable per run with KAPPA_WATCH_OUT /
+  /// KAPPA_STALL_TIMEOUT_MS (see parallel/watch.hpp). Observer-only like
+  /// tracing: the partition is byte-identical with watch on or off.
+  std::string watch_out;
+  int stall_timeout_ms = 0;
+  /// Snapshot cadence of the sampler and heartbeat cadence of the TCP
+  /// transport's liveness lane (KAPPA_WATCH_INTERVAL_MS /
+  /// KAPPA_HEARTBEAT_INTERVAL_MS override).
+  int watch_interval_ms = 250;
+  int heartbeat_interval_ms = 100;
 
   /// The Table 2 preset for a given k and eps.
   [[nodiscard]] static Config preset(Preset preset, BlockID k,

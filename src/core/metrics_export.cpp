@@ -85,6 +85,8 @@ MetricsRegistry metrics_from_result(const PartitionResult& result,
   registry.set_u64("comm.rounds_waited", comm.rounds_waited);
   registry.set_u64("comm.wire_bytes_sent", comm.wire_bytes_sent);
   registry.set_u64("comm.wire_bytes_received", comm.wire_bytes_received);
+  registry.set_u64("comm.heartbeat_frames_sent", comm.heartbeat_frames_sent);
+  registry.set_u64("comm.heartbeat_words_sent", comm.heartbeat_words_sent);
   const std::vector<CommStats>& per_pe = result.comm_per_pe;
   registry.set_u64_list(
       "comm.per_rank.messages_sent",

@@ -5,6 +5,9 @@
 #include "core/partitioner.hpp"
 
 #include <cassert>
+#include <memory>
+#include <optional>
+#include <string>
 #include <utility>
 
 #include "core/phases.hpp"
@@ -14,6 +17,8 @@
 #include "parallel/pe_runtime.hpp"
 #include "parallel/spmd_phases.hpp"
 #include "parallel/trace_merge.hpp"
+#include "parallel/watch.hpp"
+#include "util/progress.hpp"
 #include "util/random.hpp"
 #include "util/trace.hpp"
 
@@ -114,9 +119,40 @@ PartitionResult run_spmd(const StaticGraph& graph, const Config& config,
   // on a multi-process fabric only the process hosting rank 0 gets it).
   CollectedTrace collected;
 
+  // kappa-watch: boards live in THIS scope, outside the per-rank lambda,
+  // because rank q's thread may finish while another rank's sampler is
+  // still reading q's board through the in-process registry.
+  const WatchOptions watch =
+      resolve_watch_options(config.watch_out, config.stall_timeout_ms,
+                            config.watch_interval_ms,
+                            config.heartbeat_interval_ms);
+  std::vector<ProgressBoard> boards(
+      watch.enabled() ? static_cast<std::size_t>(p) : 0);
+  std::string watch_path = watch.snapshot_path;
+  if (!watch_path.empty() && runtime.primary_rank() != 0) {
+    // Multi-process fabric, secondary process: keep rank 0's file name for
+    // the sampler's stream and give this process's stall reports (the only
+    // records it can emit) a sibling file, like the metrics export does.
+    watch_path += ".rank" + std::to_string(runtime.primary_rank());
+  }
+  const std::unique_ptr<WatchSink> watch_sink =
+      watch.enabled() ? std::make_unique<WatchSink>(watch_path) : nullptr;
+
   const std::vector<CommStats> per_pe = runtime.run([&](PEContext& pe) {
     TraceRecorder recorder(tracing ? trace_buffer_capacity() : 1);
     const ThreadTraceScope bind_trace(tracing ? &recorder : nullptr);
+    ProgressBoard* board =
+        boards.empty() ? nullptr : &boards[static_cast<std::size_t>(pe.rank())];
+    const ThreadProgressScope bind_progress(board);
+    // Destroyed before the scopes above unwind: the watchdog and sampler
+    // threads stop (and the transport's heartbeats with them) while the
+    // board and the PE context are still fully alive.
+    std::optional<RankWatch> rank_watch;
+    if (board != nullptr) {
+      progress_phase(ProgressPhase::kIdle);
+      rank_watch.emplace(pe, *board, watch, watch_sink.get(),
+                         /*run_sampler=*/pe.rank() == 0);
+    }
     SpmdCoarsener coarsener(config, pe, warm);
     SpmdRefiner refiner(graph, config, pe, warm);
     PartitionResult local;
@@ -153,6 +189,8 @@ PartitionResult run_spmd(const StaticGraph& graph, const Config& config,
       snapshot.comm = pe.stats();
       snapshot.comm.wire_bytes_sent = pe.wire_bytes_sent();
       snapshot.comm.wire_bytes_received = pe.wire_bytes_received();
+      snapshot.comm.heartbeat_frames_sent = pe.heartbeat_frames_sent();
+      snapshot.comm.heartbeat_words_sent = pe.heartbeat_words_sent();
       snapshot.shard_memory = footprints[pe.rank()];
       snapshot.hierarchy_memory = hierarchy_memory[pe.rank()];
       snapshot.partition_memory = partition_memory[pe.rank()];

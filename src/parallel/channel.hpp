@@ -130,6 +130,19 @@ class Mailbox {
     return total;
   }
 
+  /// Per-source queue depths, (source, depth) ascending by source — the
+  /// stall-report view: a deep queue names the peer whose traffic this
+  /// rank has stopped draining. Registered-but-empty sources report 0.
+  [[nodiscard]] std::vector<std::pair<int, std::size_t>> depths() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<int, std::size_t>> result;
+    result.reserve(sources_.size());
+    for (std::size_t s = 0; s < sources_.size(); ++s) {
+      result.emplace_back(static_cast<int>(s), sources_[s].queue.size());
+    }
+    return result;
+  }
+
  private:
   struct SourceQueue {
     std::deque<std::pair<std::uint64_t, std::vector<std::uint64_t>>> queue;

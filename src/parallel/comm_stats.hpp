@@ -58,6 +58,13 @@ struct CommStats {
   /// above.
   std::uint64_t wire_bytes_sent = 0;
   std::uint64_t wire_bytes_received = 0;
+  /// kappa-watch heartbeat frames / payload words this rank's endpoint
+  /// put on the wire during the run — the measured overhead of live
+  /// observability, kept out of the modeled counters above (heartbeats
+  /// are transport-internal observer traffic, not algorithm traffic) but
+  /// included in wire_bytes_sent. Zero with watch off or in-process.
+  std::uint64_t heartbeat_frames_sent = 0;
+  std::uint64_t heartbeat_words_sent = 0;
   /// Per-coarsening-level halo-exchange breakdown (subset of the totals
   /// above), indexed by level; empty outside the SPMD coarsening path.
   std::vector<LevelHaloStats> halo_per_level;
@@ -150,6 +157,8 @@ struct AsyncPairEvent {
     total.rounds_waited += s.rounds_waited;
     total.wire_bytes_sent += s.wire_bytes_sent;
     total.wire_bytes_received += s.wire_bytes_received;
+    total.heartbeat_frames_sent += s.heartbeat_frames_sent;
+    total.heartbeat_words_sent += s.heartbeat_words_sent;
     if (s.halo_per_level.size() > total.halo_per_level.size()) {
       total.halo_per_level.resize(s.halo_per_level.size());
     }

@@ -97,6 +97,29 @@ std::uint64_t PEContext::wire_bytes_received() const {
   return transport_.wire_bytes_received();
 }
 
+void PEContext::enable_watch(const ProgressBoard* board,
+                             int heartbeat_interval_ms) {
+  transport_.enable_watch(board, heartbeat_interval_ms);
+}
+
+void PEContext::disable_watch() { transport_.disable_watch(); }
+
+std::optional<PeerHealth> PEContext::peer_health(int peer) const {
+  return transport_.peer_health(peer);
+}
+
+std::vector<LaneQueueDepth> PEContext::queue_depths() const {
+  return transport_.queue_depths();
+}
+
+std::uint64_t PEContext::heartbeat_frames_sent() const {
+  return transport_.heartbeat_frames_sent();
+}
+
+std::uint64_t PEContext::heartbeat_words_sent() const {
+  return transport_.heartbeat_words_sent();
+}
+
 Message PEContext::collective_receive(int source) {
   if (auto ready = transport_.try_receive(source, Lane::kCollective)) {
     ++stats_.messages_received;
@@ -385,6 +408,10 @@ std::vector<CommStats> PERuntime::run(
         const std::uint64_t wire_sent_before = endpoint.wire_bytes_sent();
         const std::uint64_t wire_received_before =
             endpoint.wire_bytes_received();
+        const std::uint64_t hb_frames_before =
+            endpoint.heartbeat_frames_sent();
+        const std::uint64_t hb_words_before =
+            endpoint.heartbeat_words_sent();
         PEContext context(endpoint, seed_);
         program(context);
         CommStats& out = stats[static_cast<std::size_t>(rank)];
@@ -393,6 +420,10 @@ std::vector<CommStats> PERuntime::run(
             endpoint.wire_bytes_sent() - wire_sent_before;
         out.wire_bytes_received =
             endpoint.wire_bytes_received() - wire_received_before;
+        out.heartbeat_frames_sent =
+            endpoint.heartbeat_frames_sent() - hb_frames_before;
+        out.heartbeat_words_sent =
+            endpoint.heartbeat_words_sent() - hb_words_before;
       } catch (...) {
         errors[i] = std::current_exception();
       }

@@ -100,6 +100,27 @@ class PEContext {
   [[nodiscard]] std::uint64_t wire_bytes_sent() const;
   [[nodiscard]] std::uint64_t wire_bytes_received() const;
 
+  // --- kappa-watch forwarders (observer-only) ---------------------------
+  // The watch layer (parallel/watch.cpp) is the only caller; algorithm
+  // layers are forbidden to touch these (lint rule
+  // heartbeat-lane-isolation). All of them are thread-safe against the
+  // rank thread — they read transport-internal atomics/mutex state and
+  // never touch the modeled CommStats.
+
+  /// Starts publishing \p board to peers (heartbeat frames on TCP, board
+  /// registry in-process). \p board must outlive disable_watch().
+  void enable_watch(const ProgressBoard* board, int heartbeat_interval_ms);
+  /// Stops publishing; joins the backend's heartbeat thread if any.
+  void disable_watch();
+  /// Latest liveness knowledge about \p peer (empty: nothing heard yet).
+  [[nodiscard]] std::optional<PeerHealth> peer_health(int peer) const;
+  /// Inbound queue depths per (source, lane) of this rank's endpoint.
+  [[nodiscard]] std::vector<LaneQueueDepth> queue_depths() const;
+  /// Heartbeat frames / words this endpoint sent (lifetime totals, like
+  /// wire_bytes_*; PERuntime::run reports the per-run delta).
+  [[nodiscard]] std::uint64_t heartbeat_frames_sent() const;
+  [[nodiscard]] std::uint64_t heartbeat_words_sent() const;
+
   /// Attributes subsequent point-to-point sends to the halo-exchange
   /// counters of coarsening level \p level (see CommStats::halo_per_level);
   /// pass -1 to stop attributing. The totals always count everything.

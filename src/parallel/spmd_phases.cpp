@@ -15,6 +15,7 @@
 #include "parallel/wire_format.hpp"
 #include "refinement/band.hpp"
 #include "refinement/edge_coloring.hpp"
+#include "util/progress.hpp"
 #include "util/seeded_hash.hpp"
 #include "util/timer.hpp"
 #include "util/trace.hpp"
@@ -604,6 +605,7 @@ void SpmdRefiner::run_pairwise(BlockRowShard& store, DistPartition& partition,
   for (int global = 0; global < options.max_global_iterations; ++global) {
     KAPPA_TRACE_SPAN("refine.iteration", static_cast<std::uint64_t>(global),
                      use_async ? 1 : 0);
+    progress_iteration(static_cast<std::uint32_t>(global));
     // Quotient graph from all-gathered per-rank contributions — merged
     // identically on every PE, so both schedulers below start from the
     // same pair list in the same order.
@@ -736,6 +738,7 @@ void SpmdRefiner::run_color_classes(BlockRowShard& store,
           build_pair_view(side_a, side_b, partition.block_weight(edge.a),
                           partition.block_weight(edge.b), edge, k);
       ship_stats_.pairs_executed += 1;
+      progress_pair();
       participated = true;
       if (partner_owner != rank) {
         // The shipped partner band is this pair's transient intake.
@@ -944,6 +947,15 @@ void SpmdRefiner::run_async_iteration(
       if (partner_owner != executor) pe_.send(partner_owner, {kMsgShip, j});
     }
     ungranted.resize(w);
+    // Lock-table summary for kappa-watch stall reports: how many blocks
+    // the arbiter currently holds locked, how many granted pairs are
+    // still in flight, how many are done this iteration.
+    std::uint64_t locked = 0;
+    for (const char b : busy) locked += (b != 0) ? 1u : 0u;
+    progress_aux(ProgressAux::kAsyncLocksHeld, locked);
+    progress_aux(ProgressAux::kAsyncGrantsInFlight,
+                 num_pairs - ungranted.size() - done_pairs);
+    progress_aux(ProgressAux::kAsyncPairsDone, done_pairs);
   };
   if (rank == kArbiter) {
     ungranted.reserve(num_pairs);
@@ -1030,6 +1042,7 @@ void SpmdRefiner::run_async_iteration(
         build_pair_view(side_a, run.side_b, partition.block_weight(edge.a),
                         run.weight_b, edge, k);
     ship_stats_.pairs_executed += 1;
+    progress_pair();
 
     const PairRefineResult result = refine_pair(
         view.graph, view.partition, edge.a, edge.b, view.seeds, options,
@@ -1275,6 +1288,10 @@ void SpmdRefiner::run_async_iteration(
     }
   }
   assert(inflight.empty() && awaiting.empty() && ungranted.empty());
+  if (rank == kArbiter) {
+    progress_aux(ProgressAux::kAsyncLocksHeld, 0);
+    progress_aux(ProgressAux::kAsyncGrantsInFlight, 0);
+  }
   if (!participated && num_pairs > 0) pe_.count_idle_round();
 
   // --- Iteration seam: restore global consistency. Authoritative O(k)
@@ -1416,6 +1433,7 @@ PartitionResult run_multilevel_spmd(const StaticGraph& graph,
 
   // --- Phase 1: contraction into the distributed hierarchy store (§3). ---
   Timer phase_timer;
+  progress_phase(ProgressPhase::kCoarsen);
   DistHierarchy hierarchy = [&] {
     KAPPA_TRACE_SPAN("phase.coarsen");
     return coarsener.coarsen(graph);
@@ -1430,6 +1448,7 @@ PartitionResult run_multilevel_spmd(const StaticGraph& graph,
 
   // --- Phase 2: initial partitioning on the once-gathered coarsest (§4). ---
   phase_timer.restart();
+  progress_phase(ProgressPhase::kInitial);
   Partition coarsest_partition = [&] {
     KAPPA_TRACE_SPAN("phase.initial");
     initial.observe_hierarchy(hierarchy);
@@ -1442,11 +1461,13 @@ PartitionResult run_multilevel_spmd(const StaticGraph& graph,
   // shard-locally through the contraction maps, refined on band-limited
   // views, and materialized exactly once for the result. ---
   phase_timer.restart();
+  progress_phase(ProgressPhase::kRefine);
   DistPartition partition = [&] {
     KAPPA_TRACE_SPAN("phase.refine");
     DistPartition refined = hierarchy.lift(coarsest_partition);
     for (std::size_t level = hierarchy.num_levels(); level-- > 0;) {
       KAPPA_TRACE_SPAN("refine.level", level);
+      progress_level(static_cast<std::uint32_t>(level));
       if (level + 1 < hierarchy.num_levels()) {
         refined = hierarchy.project(level, refined);
       }
@@ -1454,12 +1475,14 @@ PartitionResult run_multilevel_spmd(const StaticGraph& graph,
     }
     {
       KAPPA_TRACE_SPAN("phase.rebalance");
+      progress_phase(ProgressPhase::kRebalance);
       refiner.rebalance(refined);
     }
     return refined;
   }();
   result.refinement_time = phase_timer.elapsed_s();
 
+  progress_phase(ProgressPhase::kMaterialize);
   Partition final_partition = [&] {
     KAPPA_TRACE_SPAN("phase.materialize");
     return hierarchy.materialize(partition);
@@ -1469,6 +1492,7 @@ PartitionResult run_multilevel_spmd(const StaticGraph& graph,
   result.balanced = is_balanced(graph, final_partition, config.eps);
   result.partition = std::move(final_partition);
   result.total_time = total_timer.elapsed_s();
+  progress_phase(ProgressPhase::kDone);
   return result;
 }
 

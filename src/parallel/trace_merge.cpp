@@ -41,6 +41,8 @@ void encode_snapshot(const RankSnapshot& s, std::vector<std::uint64_t>& out) {
   out.push_back(c.rounds_waited);
   out.push_back(c.wire_bytes_sent);
   out.push_back(c.wire_bytes_received);
+  out.push_back(c.heartbeat_frames_sent);
+  out.push_back(c.heartbeat_words_sent);
   out.push_back(c.halo_per_level.size());
   for (const LevelHaloStats& h : c.halo_per_level) {
     out.push_back(h.messages);
@@ -72,6 +74,8 @@ RankSnapshot decode_snapshot(const std::vector<std::uint64_t>& in,
   c.rounds_waited = in.at(pos++);
   c.wire_bytes_sent = in.at(pos++);
   c.wire_bytes_received = in.at(pos++);
+  c.heartbeat_frames_sent = in.at(pos++);
+  c.heartbeat_words_sent = in.at(pos++);
   c.halo_per_level.resize(in.at(pos++));
   for (LevelHaloStats& h : c.halo_per_level) {
     h.messages = in.at(pos++);

@@ -25,11 +25,14 @@
 /// makes positional matching on the collective lane sound.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "util/progress.hpp"
 
 namespace kappa {
 
@@ -55,9 +58,41 @@ class TransportError : public std::runtime_error {
 enum class Lane : std::uint8_t {
   kApp = 0,         ///< application point-to-point traffic (PEContext::send)
   kCollective = 1,  ///< collective-algorithm traffic (barrier, gathers)
+  /// kappa-watch heartbeat frames: observer-only liveness traffic owned
+  /// by the transport itself (enable_watch). Algorithm layers never send
+  /// or receive on this lane — enforced by kappa-lint
+  /// (heartbeat-lane-isolation) — so heartbeats can never satisfy an
+  /// application or collective receive and the partition stays
+  /// byte-identical with watch on or off.
+  kHeartbeat = 2,
 };
 
-inline constexpr int kNumLanes = 2;
+inline constexpr int kNumLanes = 3;
+
+/// What this endpoint knows about one peer's liveness — fed by heartbeat
+/// frames on the TCP backend and by direct board reads in-process.
+struct PeerHealth {
+  /// The transport saw the peer's connection die without the shutdown
+  /// handshake. A dead peer also fails pending receives (TransportError).
+  bool dead = false;
+  /// The peer's last published progress word.
+  ProgressSnapshot progress;
+  /// trace_now_ns() when evidence of the peer last arrived here (a
+  /// heartbeat frame; board-publication time in-process).
+  std::uint64_t last_heard_ns = 0;
+  /// trace_now_ns() when the peer's own progress last advanced — the
+  /// number that separates *stalled* (connection up, progress frozen)
+  /// from merely quiet.
+  std::uint64_t last_change_ns = 0;
+};
+
+/// Queue depth of one (source, lane) mailbox — stall-report material:
+/// a deep queue names the peer the wedged rank is not draining.
+struct LaneQueueDepth {
+  int source = -1;
+  Lane lane = Lane::kApp;
+  std::size_t depth = 0;
+};
 
 /// One rank's endpoint into the interconnect of a run. Thread ownership:
 /// exactly one PE thread drives send/receive/barrier; backends may use
@@ -96,6 +131,49 @@ class Transport {
   /// the counterpart to the modeled CommStats word counters.
   [[nodiscard]] virtual std::uint64_t wire_bytes_sent() const { return 0; }
   [[nodiscard]] virtual std::uint64_t wire_bytes_received() const { return 0; }
+
+  // --- kappa-watch hooks (observer-only; defaults are no-ops) -----------
+  // The watch layer (parallel/watch.cpp) drives these through PEContext;
+  // algorithm layers never touch them (lint rule
+  // heartbeat-lane-isolation).
+
+  /// Starts publishing \p board to peers: the TCP backend spawns a
+  /// heartbeat thread that sends the packed progress word to every peer
+  /// on Lane::kHeartbeat each \p heartbeat_interval_ms; the in-process
+  /// backend registers the board so peers read it directly. \p board must
+  /// outlive disable_watch().
+  virtual void enable_watch(const ProgressBoard* board,
+                            int heartbeat_interval_ms) {
+    (void)board;
+    (void)heartbeat_interval_ms;
+  }
+
+  /// Stops heartbeats / unregisters the board; joins any internal
+  /// heartbeat thread. Safe to call when watch was never enabled.
+  virtual void disable_watch() {}
+
+  /// Latest liveness knowledge about \p peer, or empty when this backend
+  /// has none (watch off, or no heartbeat heard yet).
+  [[nodiscard]] virtual std::optional<PeerHealth> peer_health(
+      int peer) const {
+    (void)peer;
+    return std::nullopt;
+  }
+
+  /// Current per-(source, lane) inbound queue depths of this endpoint.
+  [[nodiscard]] virtual std::vector<LaneQueueDepth> queue_depths() const {
+    return {};
+  }
+
+  /// Heartbeat frames / payload words this endpoint put on the wire over
+  /// its lifetime — the measured cost of the watch layer (included in
+  /// wire_bytes_sent(), broken out here). Zero off the TCP backend.
+  [[nodiscard]] virtual std::uint64_t heartbeat_frames_sent() const {
+    return 0;
+  }
+  [[nodiscard]] virtual std::uint64_t heartbeat_words_sent() const {
+    return 0;
+  }
 };
 
 /// A fabric connects the ranks of one run and hands out the per-rank

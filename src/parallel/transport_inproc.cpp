@@ -1,6 +1,7 @@
 #include "parallel/transport_inproc.hpp"
 
 #include <array>
+#include <atomic>
 #include <barrier>
 #include <stdexcept>
 #include <string>
@@ -28,6 +29,16 @@ class InprocEndpoint final : public Transport {
                                                    Lane lane) override;
   void barrier() override;
 
+  // kappa-watch: in-process ranks share an address space, so there is no
+  // heartbeat traffic — enable_watch registers the rank's board in the
+  // fabric and peers read it directly (the degenerate, zero-cost form of
+  // the heartbeat lane).
+  void enable_watch(const ProgressBoard* board,
+                    int heartbeat_interval_ms) override;
+  void disable_watch() override;
+  [[nodiscard]] std::optional<PeerHealth> peer_health(int peer) const override;
+  [[nodiscard]] std::vector<LaneQueueDepth> queue_depths() const override;
+
  private:
   InprocFabric& fabric_;
   int rank_;
@@ -37,7 +48,7 @@ class InprocFabric final : public TransportFabric {
  public:
   explicit InprocFabric(int num_pes)
       : num_pes_(num_pes), mailboxes_(static_cast<std::size_t>(num_pes)),
-        barrier_(num_pes) {
+        boards_(static_cast<std::size_t>(num_pes)), barrier_(num_pes) {
     endpoints_.reserve(static_cast<std::size_t>(num_pes));
     for (int rank = 0; rank < num_pes; ++rank) {
       endpoints_.emplace_back(*this, rank);
@@ -67,6 +78,11 @@ class InprocFabric final : public TransportFabric {
   // One mailbox per (rank, lane): application p2p and collective traffic
   // never satisfy each other's receives.
   std::vector<std::array<Mailbox, kNumLanes>> mailboxes_;
+  // kappa-watch board registry, one slot per rank. Boards are owned by
+  // the watch layer and guaranteed (by core/partitioner.cpp) to outlive
+  // the run, so a reader that loads a pointer just before the owner
+  // unregisters it still dereferences live memory.
+  std::vector<std::atomic<const ProgressBoard*>> boards_;
   std::barrier<> barrier_;
   std::vector<InprocEndpoint> endpoints_;
 };
@@ -93,6 +109,45 @@ std::optional<Message> InprocEndpoint::try_receive(int source, Lane lane) {
 }
 
 void InprocEndpoint::barrier() { fabric_.barrier_.arrive_and_wait(); }
+
+void InprocEndpoint::enable_watch(const ProgressBoard* board,
+                                  int heartbeat_interval_ms) {
+  (void)heartbeat_interval_ms;  // no wire, no cadence
+  fabric_.boards_[static_cast<std::size_t>(rank_)].store(
+      board, std::memory_order_release);
+}
+
+void InprocEndpoint::disable_watch() {
+  fabric_.boards_[static_cast<std::size_t>(rank_)].store(
+      nullptr, std::memory_order_release);
+}
+
+std::optional<PeerHealth> InprocEndpoint::peer_health(int peer) const {
+  if (peer < 0 || peer >= fabric_.num_pes_) return std::nullopt;
+  const ProgressBoard* board =
+      fabric_.boards_[static_cast<std::size_t>(peer)].load(
+          std::memory_order_acquire);
+  if (board == nullptr) return std::nullopt;
+  PeerHealth health;
+  health.progress = board->snapshot();
+  // Shared clock and shared memory: the board itself is the freshest
+  // possible evidence, so "last heard" and "last changed" coincide.
+  health.last_heard_ns = health.progress.last_advance_ns;
+  health.last_change_ns = health.progress.last_advance_ns;
+  return health;
+}
+
+std::vector<LaneQueueDepth> InprocEndpoint::queue_depths() const {
+  std::vector<LaneQueueDepth> depths;
+  const auto& lanes = fabric_.mailboxes_[static_cast<std::size_t>(rank_)];
+  for (int lane = 0; lane < kNumLanes; ++lane) {
+    for (const auto& [source, depth] :
+         lanes[static_cast<std::size_t>(lane)].depths()) {
+      depths.push_back({source, static_cast<Lane>(lane), depth});
+    }
+  }
+  return depths;
+}
 
 }  // namespace
 

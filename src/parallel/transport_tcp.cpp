@@ -12,13 +12,16 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <condition_variable>
 #include <cstring>
 #include <functional>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "parallel/channel.hpp"
+#include "util/trace.hpp"
 
 namespace kappa {
 
@@ -36,6 +39,11 @@ constexpr std::uint64_t kProtocolVersion = 1;
 constexpr std::uint64_t kFrameApp = 0;
 constexpr std::uint64_t kFrameCollective = 1;
 constexpr std::uint64_t kFrameBye = 2;
+/// kappa-watch heartbeat (Lane::kHeartbeat): a packed ProgressBoard
+/// snapshot, sent by the transport's own heartbeat thread, delivered to
+/// the receiver's peer-health table — never to a mailbox, so it can
+/// never satisfy an application or collective receive.
+constexpr std::uint64_t kFrameHeartbeat = 3;
 
 /// How often a blocked receiver-thread read wakes up to check the stop
 /// flag, and therefore the upper bound on teardown latency per peer.
@@ -275,6 +283,10 @@ class TcpTransport final : public Transport {
           " outside [0, " + std::to_string(options.num_ranks) + ")");
     }
     fds_.assign(static_cast<std::size_t>(options.num_ranks), -1);
+    peers_.assign(static_cast<std::size_t>(options.num_ranks), PeerSlot{});
+    hb_ok_.assign(static_cast<std::size_t>(options.num_ranks), 1);
+    send_mutexes_ = std::vector<std::mutex>(
+        static_cast<std::size_t>(options.num_ranks));
     for (int q = 0; q < options.num_ranks; ++q) {
       if (q == options.rank) continue;
       for (Mailbox& inbox : inbox_) inbox.register_source(q);
@@ -291,11 +303,14 @@ class TcpTransport final : public Transport {
   }
 
   ~TcpTransport() override {
+    disable_watch();  // join the heartbeat thread before touching the fds
     stopping_.store(true, std::memory_order_release);
     const std::uint64_t bye[2] = {kFrameBye, 0};
-    for (const int fd : fds_) {
+    for (std::size_t q = 0; q < fds_.size(); ++q) {
+      const int fd = fds_[q];
       if (fd < 0) continue;
       try {
+        const std::lock_guard<std::mutex> lock(send_mutexes_[q]);
         write_full(fd, bye, sizeof bye, "bye");
       } catch (const TransportError&) {
         // The peer is already gone; nothing left to say.
@@ -317,10 +332,17 @@ class TcpTransport final : public Transport {
     const int fd = fds_.at(static_cast<std::size_t>(dest));
     const std::string what =
         "tcp send to rank " + std::to_string(dest);
-    write_full(fd, header, sizeof header, what);
-    if (!payload.empty()) {
-      write_full(fd, payload.data(), payload.size() * sizeof(std::uint64_t),
-                 what);
+    {
+      // The heartbeat thread shares this fd; the per-peer mutex keeps the
+      // header+payload pair contiguous on the wire. Uncontended in the
+      // unwatched case — one CAS against a ~microsecond syscall.
+      const std::lock_guard<std::mutex> lock(
+          send_mutexes_[static_cast<std::size_t>(dest)]);
+      write_full(fd, header, sizeof header, what);
+      if (!payload.empty()) {
+        write_full(fd, payload.data(),
+                   payload.size() * sizeof(std::uint64_t), what);
+      }
     }
     bytes_sent_.fetch_add(sizeof header +
                               payload.size() * sizeof(std::uint64_t),
@@ -365,6 +387,65 @@ class TcpTransport final : public Transport {
   }
   [[nodiscard]] std::uint64_t wire_bytes_received() const override {
     return bytes_received_.load(std::memory_order_relaxed);
+  }
+
+  void enable_watch(const ProgressBoard* board,
+                    int heartbeat_interval_ms) override {
+    if (board == nullptr || heartbeat_interval_ms <= 0 ||
+        heartbeat_.joinable()) {
+      return;
+    }
+    watch_board_ = board;
+    {
+      const std::lock_guard<std::mutex> lock(hb_mutex_);
+      hb_stop_ = false;
+    }
+    heartbeat_ = std::thread(
+        [this, heartbeat_interval_ms] { heartbeat_loop(heartbeat_interval_ms); });
+  }
+
+  void disable_watch() override {
+    {
+      const std::lock_guard<std::mutex> lock(hb_mutex_);
+      hb_stop_ = true;
+    }
+    hb_cv_.notify_all();
+    if (heartbeat_.joinable()) heartbeat_.join();
+    watch_board_ = nullptr;
+  }
+
+  [[nodiscard]] std::optional<PeerHealth> peer_health(
+      int peer) const override {
+    if (peer < 0 || peer >= options_.num_ranks || peer == options_.rank) {
+      return std::nullopt;
+    }
+    const std::lock_guard<std::mutex> lock(watch_mutex_);
+    const PeerSlot& slot = peers_[static_cast<std::size_t>(peer)];
+    if (!slot.known && !slot.dead) return std::nullopt;
+    PeerHealth health;
+    health.dead = slot.dead;
+    health.progress = slot.progress;
+    health.last_heard_ns = slot.last_heard_ns;
+    health.last_change_ns = slot.last_change_ns;
+    return health;
+  }
+
+  [[nodiscard]] std::vector<LaneQueueDepth> queue_depths() const override {
+    std::vector<LaneQueueDepth> depths;
+    for (int lane = 0; lane < kNumLanes; ++lane) {
+      for (const auto& [source, depth] :
+           inbox_[static_cast<std::size_t>(lane)].depths()) {
+        depths.push_back({source, static_cast<Lane>(lane), depth});
+      }
+    }
+    return depths;
+  }
+
+  [[nodiscard]] std::uint64_t heartbeat_frames_sent() const override {
+    return hb_frames_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t heartbeat_words_sent() const override {
+    return hb_words_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -528,6 +609,7 @@ class TcpTransport final : public Transport {
         }
         if (status == ReadStatus::kEof) {
           if (peer_done) return;  // clean shutdown: BYE then EOF
+          mark_peer_dead(q);
           fail_all(what + ": connection closed without shutdown handshake "
                           "— peer died");
           return;
@@ -537,7 +619,8 @@ class TcpTransport final : public Transport {
           for (Mailbox& inbox : inbox_) inbox.finish_source(q);
           continue;
         }
-        if (header[0] != kFrameApp && header[0] != kFrameCollective) {
+        if (header[0] != kFrameApp && header[0] != kFrameCollective &&
+            header[0] != kFrameHeartbeat) {
           fail_all(what + ": corrupt frame tag " +
                    std::to_string(header[0]));
           return;
@@ -568,11 +651,17 @@ class TcpTransport final : public Transport {
         bytes_received_.fetch_add(
             sizeof header + payload.size() * sizeof(std::uint64_t),
             std::memory_order_relaxed);
+        if (header[0] == kFrameHeartbeat) {
+          // Observer lane: update the peer-health table, never a mailbox.
+          note_heartbeat(q, payload);
+          continue;
+        }
         const Lane lane =
             header[0] == kFrameApp ? Lane::kApp : Lane::kCollective;
         inbox_[static_cast<std::size_t>(lane)].push({q, std::move(payload)});
       }
     } catch (const TransportError& error) {
+      mark_peer_dead(q);
       fail_all(error.what());
     }
   }
@@ -581,13 +670,104 @@ class TcpTransport final : public Transport {
     for (Mailbox& inbox : inbox_) inbox.fail(reason);
   }
 
+  /// What this endpoint has heard about one peer over the heartbeat lane.
+  struct PeerSlot {
+    bool known = false;
+    bool dead = false;
+    ProgressSnapshot progress;
+    std::uint64_t last_heard_ns = 0;
+    std::uint64_t last_change_ns = 0;
+  };
+
+  void mark_peer_dead(int q) {
+    const std::lock_guard<std::mutex> lock(watch_mutex_);
+    peers_[static_cast<std::size_t>(q)].dead = true;
+  }
+
+  /// Receiver thread: folds one heartbeat payload into the peer table.
+  /// The advance counter decides "changed": a stopped peer (SIGSTOP) that
+  /// resumes delivering stale queued frames still reads as unchanged
+  /// until its board actually moves again.
+  void note_heartbeat(int q, const std::vector<std::uint64_t>& payload) {
+    if (payload.size() != ProgressBoard::kWireWords) return;
+    std::array<std::uint64_t, ProgressBoard::kWireWords> words{};
+    std::copy(payload.begin(), payload.end(), words.begin());
+    const ProgressSnapshot snap = ProgressBoard::unpack(words);
+    const std::uint64_t now = trace_now_ns();
+    const std::lock_guard<std::mutex> lock(watch_mutex_);
+    PeerSlot& slot = peers_[static_cast<std::size_t>(q)];
+    if (!slot.known || slot.progress.advances != snap.advances) {
+      slot.last_change_ns = now;
+    }
+    slot.known = true;
+    slot.progress = snap;
+    slot.last_heard_ns = now;
+  }
+
+  /// Heartbeat thread body: one frame per peer per interval, first frame
+  /// immediately so peers learn of this rank before its first silence.
+  void heartbeat_loop(int interval_ms) {
+    while (true) {
+      send_heartbeats();
+      std::unique_lock<std::mutex> lock(hb_mutex_);
+      if (hb_cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                          [this] { return hb_stop_; })) {
+        return;
+      }
+    }
+  }
+
+  void send_heartbeats() {
+    std::uint64_t frame[2 + ProgressBoard::kWireWords];
+    frame[0] = kFrameHeartbeat;
+    frame[1] = ProgressBoard::kWireWords;
+    const auto words = watch_board_->pack();
+    std::copy(words.begin(), words.end(), frame + 2);
+    for (int q = 0; q < options_.num_ranks; ++q) {
+      const std::size_t slot = static_cast<std::size_t>(q);
+      if (q == options_.rank || fds_[slot] < 0 || hb_ok_[slot] == 0) {
+        continue;
+      }
+      try {
+        const std::lock_guard<std::mutex> lock(send_mutexes_[slot]);
+        write_full(fds_[slot], frame, sizeof frame,
+                   "tcp heartbeat to rank " + std::to_string(q));
+      } catch (const TransportError&) {
+        // This peer's link is gone; its receive_loop reports the death.
+        // Stop heartbeating it so the watch thread never throws again.
+        hb_ok_[slot] = 0;
+        continue;
+      }
+      bytes_sent_.fetch_add(sizeof frame, std::memory_order_relaxed);
+      hb_frames_.fetch_add(1, std::memory_order_relaxed);
+      hb_words_.fetch_add(ProgressBoard::kWireWords,
+                          std::memory_order_relaxed);
+    }
+  }
+
   TcpOptions options_;
   std::vector<int> fds_;  ///< mesh connection per rank; own rank = -1
+  /// Serializes writers per peer fd: the PE thread (send) and the
+  /// heartbeat thread share the socket; without this, frame bytes could
+  /// interleave mid-frame and corrupt the stream.
+  std::vector<std::mutex> send_mutexes_;
   std::array<Mailbox, kNumLanes> inbox_;
   std::vector<std::thread> receivers_;
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> bytes_sent_{0};
   std::atomic<std::uint64_t> bytes_received_{0};
+
+  // kappa-watch state.
+  const ProgressBoard* watch_board_ = nullptr;
+  std::thread heartbeat_;
+  std::mutex hb_mutex_;
+  std::condition_variable hb_cv_;
+  bool hb_stop_ = false;           ///< guarded by hb_mutex_
+  std::vector<char> hb_ok_;        ///< heartbeat thread only, after ctor
+  std::atomic<std::uint64_t> hb_frames_{0};
+  std::atomic<std::uint64_t> hb_words_{0};
+  mutable std::mutex watch_mutex_;
+  std::vector<PeerSlot> peers_;    ///< guarded by watch_mutex_
 };
 
 /// The fabric of a TCP process: exactly one locally hosted rank.

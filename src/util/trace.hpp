@@ -27,6 +27,8 @@
 #include <string>
 #include <vector>
 
+#include "util/progress.hpp"
+
 namespace kappa {
 
 /// Monotonic nanoseconds since an arbitrary epoch (the process-wide
@@ -109,24 +111,38 @@ class ThreadTraceScope {
   TraceRecorder* previous_;
 };
 
-/// RAII scoped span recorded into the current thread's recorder.
+/// RAII scoped span recorded into the current thread's recorder, and —
+/// when a ProgressBoard is bound (kappa-watch on) — pushed/popped on the
+/// board's open-span stack, so every instrumented span boundary doubles
+/// as a liveness advance without a second set of publication sites.
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name, std::uint64_t arg0 = 0,
                      std::uint64_t arg1 = 0)
-      : recorder_(thread_trace()), name_(name), arg0_(arg0), arg1_(arg1) {
-    if (recorder_ != nullptr) start_ns_ = trace_now_ns();
+      : recorder_(thread_trace()),
+        board_(thread_progress()),
+        name_(name),
+        arg0_(arg0),
+        arg1_(arg1) {
+    if (recorder_ != nullptr || board_ != nullptr) {
+      start_ns_ = trace_now_ns();
+    }
+    if (board_ != nullptr) board_->push_span(name, start_ns_);
   }
   ~TraceSpan() {
+    if (recorder_ == nullptr && board_ == nullptr) return;
+    const std::uint64_t end_ns = trace_now_ns();
     if (recorder_ != nullptr) {
-      recorder_->span(name_, start_ns_, trace_now_ns(), arg0_, arg1_);
+      recorder_->span(name_, start_ns_, end_ns, arg0_, arg1_);
     }
+    if (board_ != nullptr) board_->pop_span(end_ns);
   }
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
 
  private:
   TraceRecorder* recorder_;
+  ProgressBoard* board_;
   const char* name_;
   std::uint64_t start_ns_ = 0;
   std::uint64_t arg0_;

@@ -191,6 +191,18 @@ TEST(LintFixtures, TraceFeedbackFires) {
   EXPECT_EQ(report.findings.size(), 3u);
 }
 
+TEST(LintFixtures, HeartbeatLaneIsolationFires) {
+  const Report report = lint_fixture("heartbeat");
+  EXPECT_EQ(report.exit_code, 1);
+  const auto counts = count_by_rule(report);
+  // Liveness-steered pairing, a payload on the observer-only heartbeat
+  // lane, and backlog-adaptive draining — each a feedback channel from
+  // the watch layer into the partition; the sanctioned app-lane send
+  // stays silent.
+  EXPECT_EQ(counts.at("heartbeat-lane-isolation"), 3);
+  EXPECT_EQ(report.findings.size(), 3u);
+}
+
 TEST(LintFixtures, ValidSuppressionsSilenceFindings) {
   const Report report = lint_fixture("suppress_valid");
   EXPECT_EQ(report.exit_code, 0);
@@ -229,11 +241,11 @@ TEST(LintDriver, SelfCheckEnforcesMinimumTableSize) {
   Options options;
   options.rules_path = tool_dir() + "/rules.kl";
   options.self_check = true;
-  options.min_rules = 13;  // former CI guards + new families + trace rules
+  options.min_rules = 14;  // former CI guards + new families + trace + watch
   std::ostringstream diag;
   const Report report = run(options, diag);
   EXPECT_EQ(report.exit_code, 0) << diag.str();
-  EXPECT_GE(report.rules_loaded, 13u);
+  EXPECT_GE(report.rules_loaded, 14u);
 
   options.min_rules = 1000;
   std::ostringstream diag2;

@@ -476,7 +476,7 @@ TEST(MetricsRegistry, MatchesLegacyResultCounters) {
 // static_assert trips whenever CommStats grows, forcing whoever adds a
 // field to extend the aggregation (comm_stats.hpp) AND this test.
 static_assert(sizeof(CommStats) ==
-                  10 * sizeof(std::uint64_t) +
+                  12 * sizeof(std::uint64_t) +
                       sizeof(std::vector<LevelHaloStats>),
               "CommStats changed shape: update total_comm_stats() and "
               "TotalCommStats.AggregatesEveryField");
@@ -493,6 +493,8 @@ TEST(TotalCommStats, AggregatesEveryField) {
   a.rounds_waited = 8;
   a.wire_bytes_sent = 9;
   a.wire_bytes_received = 10;
+  a.heartbeat_frames_sent = 11;
+  a.heartbeat_words_sent = 12;
   a.halo_per_level = {{100, 200}};
 
   CommStats b;
@@ -506,6 +508,8 @@ TEST(TotalCommStats, AggregatesEveryField) {
   b.rounds_waited = 80;
   b.wire_bytes_sent = 90;
   b.wire_bytes_received = 100;
+  b.heartbeat_frames_sent = 110;
+  b.heartbeat_words_sent = 120;
   b.halo_per_level = {{1000, 2000}, {1, 2}};
 
   const CommStats total = total_comm_stats({a, b});
@@ -520,6 +524,8 @@ TEST(TotalCommStats, AggregatesEveryField) {
   EXPECT_EQ(total.rounds_waited, 88u);
   EXPECT_EQ(total.wire_bytes_sent, 99u);
   EXPECT_EQ(total.wire_bytes_received, 110u);
+  EXPECT_EQ(total.heartbeat_frames_sent, 121u);
+  EXPECT_EQ(total.heartbeat_words_sent, 132u);
   ASSERT_EQ(total.halo_per_level.size(), 2u);
   EXPECT_EQ(total.halo_per_level[0].messages, 1100u);
   EXPECT_EQ(total.halo_per_level[0].words, 2200u);

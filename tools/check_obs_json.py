@@ -1,9 +1,11 @@
 #!/usr/bin/env python3
-"""Validates kappa observability dumps (CI traced-smoke job).
+"""Validates kappa observability dumps (CI traced-smoke / watched-smoke).
 
 usage:
   check_obs_json.py trace   <trace.json>   <expected_ranks>
   check_obs_json.py metrics <metrics.json> <expected_ranks>
+  check_obs_json.py watch   <watch.jsonl>  <expected_ranks> \\
+                    [--allow-stalls | --expect-stall]
 
 Stdlib only. Checks the documented shapes (README "Observability"):
 
@@ -20,6 +22,18 @@ whose entries are {"type", "value"} pairs with the value's JSON shape
 matching the declared type; the core key set partition.cut /
 run.num_pes / comm.words_sent must be present and run.num_pes must equal
 the expected rank count.
+
+watch — a kappa-watch JSONL stream (one JSON object per line) mixing
+kappa.snapshot.v1 periodic snapshots and kappa.stall.v1 stall reports.
+At least one snapshot must be present; snapshot seq values are strictly
+increasing per emitting rank; the per-rank table lists every rank
+exactly once with a state in {alive, stalled, dead, unknown} and the
+delta counters are non-negative integers. A stall report in the stream
+FAILS the check — a clean run has none — unless --allow-stalls is
+given; --expect-stall inverts that: at least one stall report must be
+present and each is shape-checked (progress word, non-empty open-span
+stack, recent-event ring, queue depths, async-arbiter table, peer
+table).
 """
 import json
 import sys
@@ -120,15 +134,154 @@ def check_metrics(path, ranks):
           f"{ranks} ranks")
 
 
+VALID_STATES = {"alive", "stalled", "dead", "unknown"}
+VALID_LANES = {"app", "collective", "heartbeat"}
+SNAPSHOT_DELTAS = ("wire_bytes_sent_delta", "wire_bytes_received_delta",
+                   "heartbeat_frames_delta", "heartbeat_words_delta",
+                   "pairs_delta", "advances_delta")
+
+
+def is_u64(value):
+    return isinstance(value, int) and not isinstance(value, bool) and value >= 0
+
+
+def check_rank_table(table, ranks, where):
+    if not isinstance(table, list) or len(table) != ranks:
+        fail(f"{where}: rank table wrong shape (expected {ranks} rows): "
+             f"{table!r}")
+    seen = set()
+    for row in table:
+        if not isinstance(row, dict):
+            fail(f"{where}: rank table row is not an object: {row!r}")
+        for key in ("rank", "level", "iteration", "pairs", "advances",
+                    "age_ms"):
+            if not is_u64(row.get(key)):
+                fail(f"{where}: rank row {key!r} bad: {row!r}")
+        if row.get("state") not in VALID_STATES:
+            fail(f"{where}: bad state {row.get('state')!r} in {row!r}")
+        if not isinstance(row.get("phase"), str):
+            fail(f"{where}: bad phase in {row!r}")
+        seen.add(row["rank"])
+    if seen != set(range(ranks)):
+        fail(f"{where}: rank table does not list every rank exactly once: "
+             f"{sorted(seen)}")
+
+
+def check_snapshot(record, ranks, line_no):
+    where = f"line {line_no} (snapshot)"
+    for key in ("seq", "t_ns", "rank"):
+        if not is_u64(record.get(key)):
+            fail(f"{where}: {key!r} bad: {record.get(key)!r}")
+    if record.get("num_ranks") != ranks:
+        fail(f"{where}: num_ranks {record.get('num_ranks')!r}, "
+             f"expected {ranks}")
+    metrics = record.get("metrics")
+    if not isinstance(metrics, dict) or set(metrics) != set(SNAPSHOT_DELTAS):
+        fail(f"{where}: metrics key set wrong: {metrics!r}")
+    for key in SNAPSHOT_DELTAS:
+        if not is_u64(metrics[key]):
+            fail(f"{where}: metrics {key!r} bad: {metrics[key]!r}")
+    check_rank_table(record.get("ranks"), ranks, where)
+
+
+def check_stall(record, ranks, line_no):
+    where = f"line {line_no} (stall)"
+    for key in ("rank", "t_ns", "stalled_ms"):
+        if not is_u64(record.get(key)):
+            fail(f"{where}: {key!r} bad: {record.get(key)!r}")
+    progress = record.get("progress")
+    if not isinstance(progress, dict):
+        fail(f"{where}: progress missing")
+    for key in ("level", "iteration", "pairs", "advances", "last_advance_ns"):
+        if not is_u64(progress.get(key)):
+            fail(f"{where}: progress {key!r} bad: {progress!r}")
+    if not isinstance(progress.get("phase"), str):
+        fail(f"{where}: progress phase bad: {progress!r}")
+    spans = record.get("open_spans")
+    if not isinstance(spans, list) or not spans \
+            or not all(isinstance(s, str) for s in spans):
+        fail(f"{where}: open_spans must be a non-empty list of span names: "
+             f"{spans!r}")
+    recent = record.get("recent")
+    if not isinstance(recent, list):
+        fail(f"{where}: recent missing")
+    for event in recent:
+        if not isinstance(event, dict) or not isinstance(
+                event.get("name"), str) or not is_u64(event.get("t_ns")):
+            fail(f"{where}: bad recent event {event!r}")
+    depths = record.get("queue_depths")
+    if not isinstance(depths, list):
+        fail(f"{where}: queue_depths missing")
+    for depth in depths:
+        if not isinstance(depth, dict) or not is_u64(depth.get("source")) \
+                or depth.get("lane") not in VALID_LANES \
+                or not is_u64(depth.get("depth")):
+            fail(f"{where}: bad queue depth {depth!r}")
+    async_table = record.get("async")
+    if not isinstance(async_table, dict):
+        fail(f"{where}: async table missing")
+    for key in ("locks_held", "grants_in_flight", "pairs_done"):
+        if not is_u64(async_table.get(key)):
+            fail(f"{where}: async {key!r} bad: {async_table!r}")
+    check_rank_table(record.get("peers"), ranks, where)
+
+
+def check_watch(path, ranks, allow_stalls, expect_stall):
+    snapshots = 0
+    stalls = 0
+    last_seq = {}  # emitting rank -> last snapshot seq
+    with open(path) as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                fail(f"line {line_no}: not valid JSON ({error})")
+            if not isinstance(record, dict):
+                fail(f"line {line_no}: record is not an object")
+            schema = record.get("schema")
+            if schema == "kappa.snapshot.v1":
+                check_snapshot(record, ranks, line_no)
+                rank, seq = record["rank"], record["seq"]
+                if rank in last_seq and seq <= last_seq[rank]:
+                    fail(f"line {line_no}: snapshot seq not increasing for "
+                         f"rank {rank}: {seq} after {last_seq[rank]}")
+                last_seq[rank] = seq
+                snapshots += 1
+            elif schema == "kappa.stall.v1":
+                check_stall(record, ranks, line_no)
+                stalls += 1
+            else:
+                fail(f"line {line_no}: unknown schema {schema!r}")
+    if snapshots == 0:
+        fail("no kappa.snapshot.v1 records — the sampler never ran")
+    if stalls and not (allow_stalls or expect_stall):
+        fail(f"{stalls} stall report(s) in a run expected to be clean")
+    if expect_stall and stalls == 0:
+        fail("--expect-stall, but no kappa.stall.v1 record present")
+    print(f"check_obs_json: watch ok — {snapshots} snapshots, "
+          f"{stalls} stall reports, {ranks} ranks")
+
+
 def main(argv):
-    if len(argv) != 4 or argv[1] not in ("trace", "metrics"):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    flags = set(a for a in argv[1:] if a.startswith("--"))
+    known_flags = {"--allow-stalls", "--expect-stall"}
+    if len(args) != 3 or args[0] not in ("trace", "metrics", "watch") \
+            or not flags <= known_flags \
+            or (flags and args[0] != "watch"):
         print(__doc__, file=sys.stderr)
         return 2
-    kind, path, ranks = argv[1], argv[2], int(argv[3])
+    kind, path, ranks = args[0], args[1], int(args[2])
     if kind == "trace":
         check_trace(path, ranks)
-    else:
+    elif kind == "metrics":
         check_metrics(path, ranks)
+    else:
+        check_watch(path, ranks, "--allow-stalls" in flags,
+                    "--expect-stall" in flags)
     return 0
 
 

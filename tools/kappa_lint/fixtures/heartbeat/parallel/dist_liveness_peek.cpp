@@ -1,0 +1,32 @@
+// Fixture: an algorithm layer reaching into the kappa-watch machinery.
+// The heartbeat lane and the liveness/queue introspection hooks exist so
+// the *watch* layer (parallel/watch.cpp) can observe a run; the moment an
+// algorithm steers itself by them, watched and unwatched runs diverge and
+// the byte-identity guarantee is gone. heartbeat-lane-isolation flags
+// every such use, unsuppressibly.
+#include "parallel/pe_runtime.hpp"
+
+namespace kappa {
+
+void liveness_adaptive_pairing(PEContext& pe, int partner) {
+  // fires: pairing decision steered by peer liveness — a watched run
+  // would schedule different pairs than an unwatched one.
+  if (pe.peer_health(partner).has_value()) {
+    pe.send(partner, {0});
+  }
+
+  // fires: application payload smuggled onto the observer-only lane,
+  // invisible to the modeled CommStats counters.
+  pe.raw_send(partner, Lane::kHeartbeat, {42});
+
+  // fires: backlog-adaptive behavior from transport introspection — the
+  // drain order becomes timing-dependent.
+  if (!pe.queue_depths().empty()) {
+    pe.send(partner, {1});
+  }
+
+  // Silent: the sanctioned application lane and modeled counters.
+  pe.send(partner, {2});
+}
+
+}  // namespace kappa

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""kappa_top — renders a kappa-watch snapshot stream as a live rank table.
+
+usage:
+  kappa_top.py <watch.jsonl>                 one-shot: latest snapshot
+  kappa_top.py <watch.jsonl> --follow        live: redraw as lines arrive
+  kappa_top.py <watch.jsonl> --follow --interval 0.5
+
+Reads the kappa.snapshot.v1 / kappa.stall.v1 JSONL stream that
+`kappa_cli --watch-out=FILE` (or KAPPA_WATCH_OUT with launch_tcp.sh)
+produces and renders the newest snapshot's per-rank table:
+
+  rank  state    phase        level  iter  pairs  advances  age
+     0  alive    refine           3     2    148      1052  12ms
+     1  stalled  refine           3     2    141       980  2340ms
+
+plus the snapshot's delta counters (wire bytes, heartbeat frames, pair
+executions since the previous sample) and a trailer for every stall
+report seen so far. --follow tails the file like `tail -f` and redraws
+in place; a run that ends (no new lines) just stops updating — ^C to
+quit. Stdlib only; works on a file another process is still appending
+to.
+"""
+import json
+import sys
+import time
+
+STATE_ORDER = {"dead": 0, "stalled": 1, "unknown": 2, "alive": 3}
+
+
+def parse_args(argv):
+    path = None
+    follow = False
+    interval = 1.0
+    i = 1
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--follow":
+            follow = True
+        elif arg == "--interval":
+            i += 1
+            if i >= len(argv):
+                return None
+            interval = float(argv[i])
+        elif arg.startswith("--"):
+            return None
+        elif path is None:
+            path = arg
+        else:
+            return None
+        i += 1
+    if path is None:
+        return None
+    return path, follow, interval
+
+
+def consume(handle, state):
+    """Reads any newly appended lines; returns True if something changed."""
+    changed = False
+    while True:
+        line = handle.readline()
+        if not line:
+            return changed
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # a partially flushed trailing line; retry next poll
+        schema = record.get("schema")
+        if schema == "kappa.snapshot.v1":
+            state["snapshot"] = record
+            state["snapshots"] += 1
+            changed = True
+        elif schema == "kappa.stall.v1":
+            state["stalls"].append(record)
+            changed = True
+
+
+def render(state):
+    snapshot = state["snapshot"]
+    lines = []
+    if snapshot is None:
+        lines.append("kappa_top: no snapshot yet")
+    else:
+        metrics = snapshot.get("metrics", {})
+        lines.append(
+            "kappa-watch  seq {}  ranks {}  (snapshot #{} from rank {})".format(
+                snapshot.get("seq"), snapshot.get("num_ranks"),
+                state["snapshots"], snapshot.get("rank")))
+        lines.append(
+            "  deltas: wire {}B out / {}B in, {} heartbeat frames, "
+            "{} pairs, {} advances".format(
+                metrics.get("wire_bytes_sent_delta", 0),
+                metrics.get("wire_bytes_received_delta", 0),
+                metrics.get("heartbeat_frames_delta", 0),
+                metrics.get("pairs_delta", 0),
+                metrics.get("advances_delta", 0)))
+        lines.append("")
+        lines.append("  rank  state    phase         level   iter"
+                     "    pairs  advances       age")
+        rows = sorted(snapshot.get("ranks", []),
+                      key=lambda r: (STATE_ORDER.get(r.get("state"), 9),
+                                     r.get("rank", 0)))
+        for row in rows:
+            lines.append("  {:>4}  {:<7}  {:<12} {:>6} {:>6} {:>8} {:>9} "
+                         "{:>7}ms".format(
+                             row.get("rank"), row.get("state"),
+                             row.get("phase"), row.get("level"),
+                             row.get("iteration"), row.get("pairs"),
+                             row.get("advances"), row.get("age_ms")))
+    if state["stalls"]:
+        lines.append("")
+        lines.append("  {} stall report(s):".format(len(state["stalls"])))
+        for stall in state["stalls"][-5:]:
+            spans = stall.get("open_spans", [])
+            lines.append("    rank {} stalled {}ms in {} ({})".format(
+                stall.get("rank"), stall.get("stalled_ms"),
+                stall.get("progress", {}).get("phase"),
+                " > ".join(spans) if spans else "no open span"))
+    return "\n".join(lines)
+
+
+def main(argv):
+    parsed = parse_args(argv)
+    if parsed is None:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path, follow, interval = parsed
+    state = {"snapshot": None, "snapshots": 0, "stalls": []}
+    try:
+        handle = open(path)
+    except OSError as error:
+        print(f"kappa_top: cannot open {path}: {error}", file=sys.stderr)
+        return 1
+    with handle:
+        consume(handle, state)
+        if not follow:
+            print(render(state))
+            return 0 if state["snapshot"] is not None else 1
+        try:
+            # Redraw in place: home the cursor and clear to end of screen,
+            # so a shrinking table leaves no stale rows behind.
+            sys.stdout.write("\x1b[2J")
+            while True:
+                sys.stdout.write("\x1b[H" + render(state) + "\x1b[0J\n")
+                sys.stdout.flush()
+                time.sleep(interval)
+                consume(handle, state)
+        except KeyboardInterrupt:
+            sys.stdout.write("\n")
+            return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
